@@ -1,0 +1,243 @@
+// TAB-ABL -- ablations of the design choices DESIGN.md calls out.
+//
+// (a) perturbation on/off in the Section 3.1 forest pass: the random factor
+//     in (1, 2) is what guarantees the unimodal-forest property on tied
+//     weights; on distinct weights it should be nearly free.
+// (b) cluster-size cap k: the phi * rho trade of the decomposition.
+// (c) two-level (exact quotient solve) vs multilevel (V-cycle) quotient
+//     treatment, in PCG iterations and wall time.
+// (d) T_i leaf weights: Definition 3.1 prescribes w(r_i, u) = vol_A(u);
+//     compare the exact condition number kappa(B_S, A) against a uniform
+//     leaf-weight variant on small graphs.
+#include <cstdio>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/graph/quotient.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/la/dense_eigen.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "hicond/partition/hierarchy.hpp"
+#include "hicond/partition/refinement.hpp"
+#include "hicond/precond/multilevel.hpp"
+#include "hicond/precond/steiner.hpp"
+#include "hicond/precond/steiner_tree.hpp"
+#include "hicond/util/rng.hpp"
+#include "hicond/util/timer.hpp"
+
+namespace {
+
+using namespace hicond;
+
+/// kappa(B_S, A) for a Steiner graph with arbitrary leaf weights c_v.
+double steiner_condition_custom_leaves(const Graph& a, const Decomposition& p,
+                                       const std::vector<double>& leaf) {
+  const vidx n = a.num_vertices();
+  // S = [diag(leaf), -V; -V', Q + D_Q~] with V(v, c) = leaf_v on v's cluster.
+  const Graph q = quotient_graph(a, p.assignment);
+  DenseMatrix qd = dense_laplacian(q);
+  for (vidx v = 0; v < n; ++v) {
+    qd(p.assignment[static_cast<std::size_t>(v)],
+       p.assignment[static_cast<std::size_t>(v)]) +=
+        leaf[static_cast<std::size_t>(v)];
+  }
+  const DenseMatrix qd_inv = spd_inverse(qd);
+  DenseMatrix b(n, n);
+  for (vidx u = 0; u < n; ++u) {
+    const vidx cu = p.assignment[static_cast<std::size_t>(u)];
+    for (vidx v = 0; v < n; ++v) {
+      const vidx cv = p.assignment[static_cast<std::size_t>(v)];
+      b(u, v) = -leaf[static_cast<std::size_t>(u)] *
+                leaf[static_cast<std::size_t>(v)] * qd_inv(cu, cv);
+    }
+    b(u, u) += leaf[static_cast<std::size_t>(u)];
+  }
+  const auto eig = generalized_eigen_laplacian(b, dense_laplacian(a));
+  return eig.values.back() / eig.values.front();
+}
+
+int pcg_iterations(const Graph& g, const LinearOperator& m, bool flexible) {
+  const vidx n = g.num_vertices();
+  Rng rng(23);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  auto a = [&g](std::span<const double> x, std::span<double> y) {
+    g.laplacian_apply(x, y);
+  };
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const CgOptions opt{.max_iterations = 5000, .rel_tolerance = 1e-8,
+                      .project_constant = true};
+  const SolveStats stats = flexible ? flexible_pcg_solve(a, m, b, x, opt)
+                                    : pcg_solve(a, m, b, x, opt);
+  return stats.converged ? stats.iterations : -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# TAB-ABL (a): perturbation on/off (Section 3.1 pass [1])\n");
+  std::printf("%-14s %-10s %9s %7s %7s\n", "graph", "perturb", "phi_min",
+              "rho", "forest");
+  {
+    struct Case {
+      const char* name;
+      Graph graph;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"grid_distinct",
+                     gen::grid2d(16, 16, gen::WeightSpec::uniform(1, 2), 3)});
+    cases.push_back({"torus_unit", gen::torus2d(16, 16)});
+    for (const auto& c : cases) {
+      for (bool perturb : {true, false}) {
+        const auto fd = fixed_degree_decomposition(
+            c.graph, {.max_cluster_size = 4, .perturb = perturb});
+        const auto stats = evaluate_decomposition(c.graph, fd.decomposition);
+        std::printf("%-14s %-10s %9.4f %7.2f %7s\n", c.name,
+                    perturb ? "on" : "off", stats.min_phi_lower,
+                    stats.reduction_factor,
+                    is_unimodal_forest(fd.perturbed_forest) ? "unimodal"
+                                                            : "tied");
+      }
+    }
+  }
+
+  std::printf("#\n# TAB-ABL (b): cluster cap k -- the phi * rho trade\n");
+  std::printf("%4s %9s %7s %9s %9s\n", "k", "phi_min", "rho", "gamma",
+              "phi*rho");
+  {
+    const Graph g = gen::oct_volume(10, 10, 10, {.field_orders = 2.0}, 5);
+    for (vidx k : {2, 3, 4, 6, 8, 12}) {
+      const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = k});
+      const auto stats = evaluate_decomposition(g, fd.decomposition);
+      std::printf("%4d %9.4f %7.2f %9.4f %9.4f\n", k, stats.min_phi_lower,
+                  stats.reduction_factor, stats.min_gamma,
+                  stats.min_phi_lower * stats.reduction_factor);
+    }
+  }
+
+  std::printf("#\n# TAB-ABL (c): two-level vs multilevel quotient solve, "
+              "Jacobi vs Chebyshev smoothing\n");
+  std::printf("%6s %8s %10s %10s %10s %10s %10s %10s\n", "side", "n",
+              "two_it", "two_ms", "mlJac_it", "mlJac_ms", "mlCheb_it",
+              "mlCheb_ms");
+  for (vidx side : {10, 14, 18}) {
+    const Graph g = gen::oct_volume(side, side, side, {.field_orders = 3.0},
+                                    7);
+    const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+    const SteinerPreconditioner two =
+        SteinerPreconditioner::build(g, fd.decomposition);
+    const LaminarHierarchy h = build_hierarchy(
+        g, {.contraction = {.max_cluster_size = 4}, .coarsest_size = 100});
+    const MultilevelSteinerSolver ml_jac =
+        MultilevelSteinerSolver::build(h, {.smoother = SmootherKind::jacobi});
+    const MultilevelSteinerSolver ml_cheb = MultilevelSteinerSolver::build(
+        h, {.smoother = SmootherKind::chebyshev, .chebyshev_degree = 2});
+    Timer t1;
+    const int it_two = pcg_iterations(g, two.as_operator(), false);
+    const double ms_two = t1.seconds() * 1e3;
+    Timer t2;
+    const int it_jac = pcg_iterations(g, ml_jac.as_operator(), true);
+    const double ms_jac = t2.seconds() * 1e3;
+    Timer t3;
+    const int it_cheb = pcg_iterations(g, ml_cheb.as_operator(), true);
+    const double ms_cheb = t3.seconds() * 1e3;
+    std::printf("%6d %8d %10d %10.1f %10d %10.1f %10d %10.1f\n", side,
+                g.num_vertices(), it_two, ms_two, it_jac, ms_jac, it_cheb,
+                ms_cheb);
+  }
+
+  std::printf("#\n# TAB-ABL (d): T_i leaf weights: vol_A(u) "
+              "(Definition 3.1) vs uniform\n");
+  std::printf("%-16s %5s %12s %14s\n", "graph", "n", "kappa_vol",
+              "kappa_uniform");
+  {
+    struct Case {
+      const char* name;
+      Graph graph;
+    };
+    std::vector<Case> cases;
+    cases.push_back(
+        {"grid_5x4", gen::grid2d(5, 4, gen::WeightSpec::uniform(1, 2), 3)});
+    cases.push_back(
+        {"grid_6x6_heavy",
+         gen::grid2d(6, 6, gen::WeightSpec::lognormal(0, 1.5), 5)});
+    cases.push_back({"planar_tri_24",
+                     gen::random_planar_triangulation(
+                         24, gen::WeightSpec::uniform(1, 4), 7)});
+    for (const auto& c : cases) {
+      const auto fd = fixed_degree_decomposition(c.graph,
+                                                 {.max_cluster_size = 3});
+      const vidx n = c.graph.num_vertices();
+      std::vector<double> vol_leaves(static_cast<std::size_t>(n));
+      double mean_vol = 0.0;
+      for (vidx v = 0; v < n; ++v) {
+        vol_leaves[static_cast<std::size_t>(v)] = c.graph.vol(v);
+        mean_vol += c.graph.vol(v);
+      }
+      mean_vol /= static_cast<double>(n);
+      const std::vector<double> uniform_leaves(static_cast<std::size_t>(n),
+                                               mean_vol);
+      std::printf("%-16s %5d %12.3f %14.3f\n", c.name, n,
+                  steiner_condition_custom_leaves(c.graph, fd.decomposition,
+                                                  vol_leaves),
+                  steiner_condition_custom_leaves(c.graph, fd.decomposition,
+                                                  uniform_leaves));
+    }
+  }
+  std::printf("# Definition 3.1's vol-weighted leaves should dominate the "
+              "uniform variant on weighted graphs\n");
+
+  std::printf("#\n# TAB-ABL (e): Steiner *tree* [Maggs et al.] vs Steiner "
+              "*graph* (Definition 3.1) -- the paper's extension\n");
+  std::printf("%6s %8s %12s %12s %12s\n", "side", "n", "tree_iters",
+              "graph_iters", "ml_iters");
+  for (vidx side : {10, 14, 18}) {
+    const Graph g = gen::oct_volume(side, side, side, {.field_orders = 3.0},
+                                    11);
+    const LaminarHierarchy h = build_hierarchy(
+        g, {.contraction = {.max_cluster_size = 4}, .coarsest_size = 100});
+    const SteinerTreePreconditioner tree =
+        SteinerTreePreconditioner::build(h);
+    const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+    const SteinerPreconditioner graph =
+        SteinerPreconditioner::build(g, fd.decomposition);
+    const MultilevelSteinerSolver ml = MultilevelSteinerSolver::build(h);
+    std::printf("%6d %8d %12d %12d %12d\n", side, g.num_vertices(),
+                pcg_iterations(g, tree.as_operator(), false),
+                pcg_iterations(g, graph.as_operator(), false),
+                pcg_iterations(g, ml.as_operator(), true));
+  }
+  std::printf("# the quotient edges of Definition 3.1 are what keep the "
+              "iteration count flat\n");
+
+  std::printf("#\n# TAB-ABL (f): gamma-guided refinement of the Section 3.1 "
+              "clusters\n");
+  std::printf("%6s %8s %10s %10s %12s %12s %12s %12s\n", "side", "n",
+              "gamma_raw", "gamma_ref", "cutfrac_raw", "cutfrac_ref",
+              "ml_it_raw", "ml_it_ref");
+  for (vidx side : {10, 14}) {
+    const Graph g = gen::oct_volume(side, side, side, {.field_orders = 3.0},
+                                    13);
+    const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+    const auto refined =
+        refine_decomposition(g, fd.decomposition, {.gamma_floor = 0.3});
+    const double gamma_raw =
+        evaluate_decomposition(g, fd.decomposition).min_gamma;
+    const double gamma_ref =
+        evaluate_decomposition(g, refined.decomposition).min_gamma;
+    const MultilevelSteinerSolver ml_raw = MultilevelSteinerSolver::build(
+        build_hierarchy(g, {.coarsest_size = 100}));
+    const MultilevelSteinerSolver ml_ref = MultilevelSteinerSolver::build(
+        build_hierarchy(g, {.coarsest_size = 100, .refine = true}));
+    std::printf("%6d %8d %10.4f %10.4f %12.4f %12.4f %12d %12d\n", side,
+                g.num_vertices(), gamma_raw, gamma_ref,
+                cut_weight_fraction(g, fd.decomposition),
+                cut_weight_fraction(g, refined.decomposition),
+                pcg_iterations(g, ml_raw.as_operator(), true),
+                pcg_iterations(g, ml_ref.as_operator(), true));
+  }
+  std::printf("# refinement lowers the cut fraction; its effect on solver "
+              "iterations quantifies the quality/cost trade\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// TAB-T22 / TAB-T23 -- Theorems 2.2 and 2.3: planar / minor-free graphs
+// have [phi, rho] decompositions with phi * rho constant, via a subgraph
+// preconditioner B, lightest-edge path cuts, and per-tree Theorem 2.1
+// decompositions.
+//
+// mode = mst        : B from the maximum-weight spanning tree (Theorem 2.2
+//                     route, with the miniaturization preconditioner
+//                     substituted -- see DESIGN.md);
+// mode = low-stretch: B from the AKPW-flavoured low-stretch tree
+//                     (Theorem 2.3 route).
+//
+// Reported: measured k = lambda_max(A, B), |W|, |C|, rho, and the exact
+// phi of the decomposition measured in B and in A. The theorem's transfer
+// says phi_A should not fall below phi_B divided by O(k).
+#include <cstdio>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/partition/planar.hpp"
+
+int main() {
+  using namespace hicond;
+  struct Case {
+    const char* family;
+    const char* mode;
+    Graph graph;
+    SpanningTreeKind kind;
+  };
+  std::vector<Case> cases;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    cases.push_back({"planar_tri_400", "mst",
+                     gen::random_planar_triangulation(
+                         400, gen::WeightSpec::uniform(1, 4), s),
+                     SpanningTreeKind::max_weight});
+    cases.push_back({"planar_tri_400", "low-stretch",
+                     gen::random_planar_triangulation(
+                         400, gen::WeightSpec::uniform(1, 4), s),
+                     SpanningTreeKind::low_stretch});
+  }
+  cases.push_back({"grid2d_24x24", "mst",
+                   gen::grid2d(24, 24, gen::WeightSpec::uniform(1, 2), 5),
+                   SpanningTreeKind::max_weight});
+  cases.push_back({"grid2d_24x24", "low-stretch",
+                   gen::grid2d(24, 24, gen::WeightSpec::uniform(1, 2), 5),
+                   SpanningTreeKind::low_stretch});
+  cases.push_back({"grid2d_heavy", "mst",
+                   gen::grid2d(24, 24, gen::WeightSpec::lognormal(0, 2), 7),
+                   SpanningTreeKind::max_weight});
+  cases.push_back({"grid2d_heavy", "low-stretch",
+                   gen::grid2d(24, 24, gen::WeightSpec::lognormal(0, 2), 7),
+                   SpanningTreeKind::low_stretch});
+
+  std::printf("# TAB-T22/T23: planar pipeline (Theorems 2.2 / 2.3)\n");
+  std::printf("%-14s %-12s %6s %8s %5s %5s %6s %9s %9s %10s\n", "family",
+              "mode", "n", "k_meas", "|W|", "|C|", "rho", "phi_B", "phi_A",
+              "phiA*rho");
+  for (const auto& c : cases) {
+    PlanarDecompOptions opt;
+    opt.tree_kind = c.kind;
+    const PlanarDecompResult r = planar_decomposition(c.graph, opt);
+    const auto stats_a = evaluate_decomposition(c.graph, r.decomposition);
+    const auto stats_b =
+        evaluate_decomposition(r.subgraph_b, r.decomposition);
+    std::printf("%-14s %-12s %6d %8.2f %5d %5d %6.2f %9.4f %9.4f %10.4f\n",
+                c.family, c.mode, c.graph.num_vertices(), r.measured_k,
+                r.core_size, r.cut_edges, stats_a.reduction_factor,
+                stats_b.min_phi_lower, stats_a.min_phi_lower,
+                stats_a.min_phi_lower * stats_a.reduction_factor);
+  }
+  std::printf("# paper: phi * rho = Theta(1) for planar graphs "
+              "(Theorem 2.2); phi_A >= phi_B / O(k)\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// TAB-T35 / TAB-L34 -- support-theory bounds measured against reality.
+//
+// Section 1: Lemma 3.4 (star complement support): for the matched star S
+//            with leaf weights vol_A(v), the Schur complement B_star obeys
+//            sigma(B_star, A) <= 2 / (gamma phi_A^2) with gamma = 1.
+// Section 2: Theorem 3.5 (Steiner support): for a [phi, rho] decomposition,
+//            sigma(B_S, A) <= 3 (1 + 2 / phi^3); with measured gamma the
+//            (phi, gamma) form 3 (1 + 2/(gamma phi^2)) also applies.
+// All sigmas are exact dense generalized eigenvalues.
+#include <algorithm>
+#include <cstdio>
+
+#include "hicond/graph/closure.hpp"
+#include "hicond/graph/conductance.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/graph/quotient.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "hicond/precond/schur.hpp"
+#include "hicond/precond/support.hpp"
+
+int main() {
+  using namespace hicond;
+
+  std::printf("# TAB-L34: Lemma 3.4 star-complement support (gamma = 1)\n");
+  std::printf("%-22s %5s %8s %10s %12s %8s\n", "graph", "n", "phi_A",
+              "sigma", "bound", "ratio");
+  struct Small {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Small> smalls;
+  smalls.push_back({"complete_10", gen::complete(10)});
+  smalls.push_back(
+      {"grid_4x4", gen::grid2d(4, 4, gen::WeightSpec::uniform(1, 2), 3)});
+  smalls.push_back({"cycle_12", gen::cycle(12)});
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    smalls.push_back({"planar_tri_12",
+                      gen::random_planar_triangulation(
+                          12, gen::WeightSpec::uniform(1, 3), s)});
+  }
+  for (const auto& c : smalls) {
+    const Graph star = matched_star(c.graph);
+    const Graph schur = star_schur_complement(star, c.graph.num_vertices());
+    std::vector<vidx> keep(static_cast<std::size_t>(c.graph.num_vertices()));
+    for (vidx v = 0; v < c.graph.num_vertices(); ++v) {
+      keep[static_cast<std::size_t>(v)] = v;
+    }
+    const Graph b = induced_subgraph(schur, keep);
+    const double sigma = support_sigma_dense(b, c.graph);
+    const double phi = conductance_exact(c.graph);
+    const double bound = star_complement_support_bound(1.0, phi);
+    std::printf("%-22s %5d %8.4f %10.4f %12.4f %8.3f\n", c.name,
+                c.graph.num_vertices(), phi, sigma, bound, sigma / bound);
+  }
+
+  std::printf("#\n# TAB-T35: Theorem 3.5 Steiner support bounds\n");
+  std::printf("%-22s %5s %8s %8s %10s %14s %14s\n", "graph", "n", "phi",
+              "gamma", "sigma", "bound_[phi]", "bound_(p,g)");
+  std::vector<Small> mediums;
+  mediums.push_back(
+      {"grid_5x4", gen::grid2d(5, 4, gen::WeightSpec::uniform(1, 2), 3)});
+  mediums.push_back(
+      {"grid_6x6", gen::grid2d(6, 6, gen::WeightSpec::uniform(1, 2), 5)});
+  mediums.push_back(
+      {"grid3d_3x3x3", gen::grid3d(3, 3, 3, gen::WeightSpec::uniform(1, 2), 7)});
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    mediums.push_back({"planar_tri_20",
+                       gen::random_planar_triangulation(
+                           20, gen::WeightSpec::uniform(1, 2), s)});
+  }
+  for (const auto& c : mediums) {
+    const auto fd = fixed_degree_decomposition(c.graph,
+                                               {.max_cluster_size = 3});
+    const Decomposition& p = fd.decomposition;
+    const double sigma = steiner_support_dense(c.graph, p);
+    // Measured decomposition parameters: phi over closures, gamma over
+    // vertices.
+    double phi = kInfiniteConductance;
+    for (const auto& cluster : cluster_members(p.assignment, p.num_clusters)) {
+      const ClosureGraph cg = closure_graph(c.graph, cluster);
+      phi = std::min(phi, conductance_bounds(cg.graph).lower);
+    }
+    const auto gammas = per_vertex_gamma(c.graph, p);
+    const double gamma =
+        *std::min_element(gammas.begin(), gammas.end());
+    const double bound_phi = steiner_support_bound_phi_rho(phi);
+    const double bound_pg =
+        gamma > 0.0 ? steiner_support_bound(phi, gamma) : -1.0;
+    std::printf("%-22s %5d %8.4f %8.4f %10.4f %14.4f %14.4f\n", c.name,
+                c.graph.num_vertices(), phi, gamma, sigma, bound_phi,
+                bound_pg);
+  }
+  std::printf("# all sigma values must sit below their bounds "
+              "(Theorem 3.5 / Lemma 3.4)\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+// hicond_tool -- command-line driver for the library on graph files.
+//
+//   hicond_tool gen <family> <size> <out.wel> [seed]
+//       families: grid2d grid3d oct planar tree regular
+//   hicond_tool stats <graph.wel>
+//       vertex/edge counts, degree and weight ranges, connectivity
+//   hicond_tool decompose <graph.wel> [k] [out.assignment]
+//       Section 3.1 decomposition + quality report; optionally writes
+//       "vertex cluster" lines
+//   hicond_tool solve <graph.wel> [precond]
+//       solve A x = b (random mean-free b) with precond in
+//       {none, jacobi, steiner, multilevel, subgraph}
+//
+// The .wel format is the library's weighted edge list (see
+// hicond/graph/io.hpp).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/graph/io.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "hicond/partition/hierarchy.hpp"
+#include "hicond/precond/multilevel.hpp"
+#include "hicond/precond/steiner.hpp"
+#include "hicond/precond/subgraph.hpp"
+#include "hicond/util/rng.hpp"
+#include "hicond/util/timer.hpp"
+
+namespace {
+
+using namespace hicond;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hicond_tool gen <family> <size> <out.wel> [seed]\n"
+               "  hicond_tool stats <graph.wel>\n"
+               "  hicond_tool decompose <graph.wel> [k] [out.assignment]\n"
+               "  hicond_tool solve <graph.wel> [precond]\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string family = argv[2];
+  const vidx size = static_cast<vidx>(std::atoi(argv[3]));
+  const std::string path = argv[4];
+  const std::uint64_t seed =
+      argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 1;
+  Graph g;
+  if (family == "grid2d") {
+    g = gen::grid2d(size, size, gen::WeightSpec::uniform(1.0, 2.0), seed);
+  } else if (family == "grid3d") {
+    g = gen::grid3d(size, size, size, gen::WeightSpec::uniform(1.0, 2.0),
+                    seed);
+  } else if (family == "oct") {
+    g = gen::oct_volume(size, size, size, {}, seed);
+  } else if (family == "planar") {
+    g = gen::random_planar_triangulation(size,
+                                         gen::WeightSpec::uniform(1.0, 4.0),
+                                         seed);
+  } else if (family == "tree") {
+    g = gen::random_tree(size, gen::WeightSpec::uniform(1.0, 4.0), seed);
+  } else if (family == "regular") {
+    g = gen::random_regular(size, 4, gen::WeightSpec::uniform(1.0, 2.0), seed);
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 2;
+  }
+  write_graph_file(path, g);
+  std::printf("wrote %s: n=%d m=%lld\n", path.c_str(), g.num_vertices(),
+              static_cast<long long>(g.num_edges()));
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Graph g = read_graph_file(argv[2]);
+  double w_min = 1e300;
+  double w_max = 0.0;
+  for (const auto& e : g.edge_list()) {
+    w_min = std::min(w_min, e.weight);
+    w_max = std::max(w_max, e.weight);
+  }
+  std::printf("vertices        %d\n", g.num_vertices());
+  std::printf("edges           %lld\n", static_cast<long long>(g.num_edges()));
+  std::printf("max degree      %d\n", g.max_degree());
+  std::printf("total volume    %.6g\n", g.total_volume());
+  if (g.num_edges() > 0) {
+    std::printf("weight range    [%.6g, %.6g]\n", w_min, w_max);
+  }
+  std::printf("components      %d\n", num_components(g));
+  std::printf("is forest       %s\n", is_forest(g) ? "yes" : "no");
+  return 0;
+}
+
+int cmd_decompose(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Graph g = read_graph_file(argv[2]);
+  const vidx k = argc > 3 ? static_cast<vidx>(std::atoi(argv[3])) : 4;
+  Timer t;
+  const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = k});
+  const double build_s = t.seconds();
+  const auto stats = evaluate_decomposition(g, fd.decomposition);
+  std::printf("clusters        %d (reduction %.2f) in %s\n",
+              fd.decomposition.num_clusters, stats.reduction_factor,
+              format_duration(build_s).c_str());
+  std::printf("phi             [%.4f, %.4f]%s\n", stats.min_phi_lower,
+              stats.min_phi_upper, stats.phi_exact ? " (exact)" : "");
+  std::printf("gamma (min/avg) %.4f / %.4f\n", stats.min_gamma,
+              average_gamma(g, fd.decomposition));
+  std::printf("cut fraction    %.4f\n", cut_weight_fraction(g, fd.decomposition));
+  std::printf("max cluster     %d, singletons %d\n", stats.max_cluster_size,
+              stats.num_singletons);
+  if (argc > 4) {
+    std::ofstream out(argv[4]);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", argv[4]);
+      return 1;
+    }
+    for (vidx v = 0; v < g.num_vertices(); ++v) {
+      out << v << ' '
+          << fd.decomposition.assignment[static_cast<std::size_t>(v)] << '\n';
+    }
+    std::printf("assignment written to %s\n", argv[4]);
+  }
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Graph g = read_graph_file(argv[2]);
+  const std::string kind = argc > 3 ? argv[3] : "steiner";
+  if (!is_connected(g)) {
+    std::fprintf(stderr, "solve requires a connected graph\n");
+    return 1;
+  }
+  const vidx n = g.num_vertices();
+  Rng rng(7);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  auto a = [&g](std::span<const double> x, std::span<double> y) {
+    g.laplacian_apply(x, y);
+  };
+  const CgOptions opt{.max_iterations = 20000, .rel_tolerance = 1e-8,
+                      .project_constant = true};
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  Timer t;
+  SolveStats stats;
+  if (kind == "none") {
+    stats = cg_solve(a, b, x, opt);
+  } else if (kind == "jacobi") {
+    auto jacobi = [&g](std::span<const double> r, std::span<double> z) {
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        z[i] = g.vol(static_cast<vidx>(i)) > 0.0
+                   ? r[i] / g.vol(static_cast<vidx>(i))
+                   : 0.0;
+      }
+    };
+    stats = pcg_solve(a, jacobi, b, x, opt);
+  } else if (kind == "steiner") {
+    const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+    const SteinerPreconditioner sp =
+        SteinerPreconditioner::build(g, fd.decomposition);
+    stats = pcg_solve(a, sp.as_operator(), b, x, opt);
+  } else if (kind == "multilevel") {
+    const MultilevelSteinerSolver ml = MultilevelSteinerSolver::build(
+        build_hierarchy(g, {.coarsest_size = 200}));
+    stats = flexible_pcg_solve(a, ml.as_operator(), b, x, opt);
+  } else if (kind == "subgraph") {
+    SubgraphPrecondOptions so;
+    so.target_subtrees = std::max<vidx>(2, n / 32);
+    const SubgraphPreconditioner sub = SubgraphPreconditioner::build(g, so);
+    stats = pcg_solve(a, sub.as_operator(), b, x, opt);
+  } else {
+    std::fprintf(stderr, "unknown preconditioner '%s'\n", kind.c_str());
+    return 2;
+  }
+  std::printf("%s: %d iterations in %s, relative residual %.2e%s\n",
+              kind.c_str(), stats.iterations,
+              format_duration(t.seconds()).c_str(),
+              stats.final_relative_residual,
+              stats.converged ? "" : " (NOT converged)");
+  return stats.converged ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
+  if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+  if (std::strcmp(argv[1], "decompose") == 0) return cmd_decompose(argc, argv);
+  if (std::strcmp(argv[1], "solve") == 0) return cmd_solve(argc, argv);
+  return usage();
+}

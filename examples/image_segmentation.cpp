@@ -1,0 +1,121 @@
+// Graph-based segmentation of a synthetic noisy image.
+//
+// The intro of the paper motivates high-conductance clusterings with
+// applications like computer-aided diagnosis: pixels become vertices,
+// similar neighbouring pixels get heavy edges, and clusters of high
+// conductance that are weakly connected to the outside are exactly image
+// segments. This example synthesizes a piecewise-constant image with noise,
+// contracts it recursively with the Section 3.1 clustering until few
+// clusters remain, and prints the recovered segmentation as ASCII art.
+//
+//   ./image_segmentation [side] [noise]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/partition/hierarchy.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace {
+
+using namespace hicond;
+
+/// Piecewise-constant "phantom": three intensity regions + Gaussian noise.
+std::vector<double> synthesize_image(vidx side, double noise,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> img(static_cast<std::size_t>(side) *
+                          static_cast<std::size_t>(side));
+  for (vidx y = 0; y < side; ++y) {
+    for (vidx x = 0; x < side; ++x) {
+      double value = 0.1;  // background
+      // A bright disc and a medium rectangle.
+      const double cx = 0.32 * side;
+      const double cy = 0.36 * side;
+      const double r = 0.18 * side;
+      if ((x - cx) * (x - cx) + (y - cy) * (y - cy) < r * r) value = 0.9;
+      if (x > 0.55 * side && x < 0.9 * side && y > 0.5 * side &&
+          y < 0.85 * side) {
+        value = 0.5;
+      }
+      img[static_cast<std::size_t>(x + side * y)] =
+          value + noise * rng.normal();
+    }
+  }
+  return img;
+}
+
+/// 4-connected similarity graph: w = exp(-(dI)^2 / sigma^2).
+Graph image_graph(const std::vector<double>& img, vidx side, double sigma) {
+  GraphBuilder b(side * side);
+  auto id = [side](vidx x, vidx y) { return x + side * y; };
+  auto weight = [&](vidx p, vidx q) {
+    const double d = img[static_cast<std::size_t>(p)] -
+                     img[static_cast<std::size_t>(q)];
+    return std::exp(-d * d / (sigma * sigma)) + 1e-6;
+  };
+  for (vidx y = 0; y < side; ++y) {
+    for (vidx x = 0; x < side; ++x) {
+      if (x + 1 < side) {
+        b.add_edge(id(x, y), id(x + 1, y), weight(id(x, y), id(x + 1, y)));
+      }
+      if (y + 1 < side) {
+        b.add_edge(id(x, y), id(x, y + 1), weight(id(x, y), id(x, y + 1)));
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vidx side = argc > 1 ? static_cast<vidx>(std::atoi(argv[1])) : 48;
+  const double noise = argc > 2 ? std::atof(argv[2]) : 0.06;
+
+  const std::vector<double> img = synthesize_image(side, noise, 5);
+  const Graph g = image_graph(img, side, 0.15);
+  std::printf("image %dx%d, noise sigma %.2f -> graph with %lld edges\n",
+              side, side, noise, static_cast<long long>(g.num_edges()));
+
+  // Recursive contraction until a handful of segments remain. Each level is
+  // a [phi, rho] decomposition of the previous quotient; their composition
+  // is a laminar segmentation of the pixels.
+  const LaminarHierarchy h = build_hierarchy(
+      g, {.contraction = {.max_cluster_size = 4, .seed = 9},
+          .coarsest_size = 12});
+  const Decomposition segments = h.flatten();
+  std::printf("hierarchy of %d levels -> %d segments\n", h.num_levels(),
+              segments.num_clusters);
+
+  // Report per-segment mean intensity and size.
+  std::vector<double> seg_sum(static_cast<std::size_t>(segments.num_clusters));
+  std::vector<vidx> seg_count(static_cast<std::size_t>(segments.num_clusters));
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    const vidx s = segments.assignment[static_cast<std::size_t>(v)];
+    seg_sum[static_cast<std::size_t>(s)] += img[static_cast<std::size_t>(v)];
+    ++seg_count[static_cast<std::size_t>(s)];
+  }
+  std::printf("\nsegment  size   mean intensity\n");
+  for (vidx s = 0; s < segments.num_clusters; ++s) {
+    std::printf("%7d %6d   %.3f\n", s, seg_count[static_cast<std::size_t>(s)],
+                seg_sum[static_cast<std::size_t>(s)] /
+                    seg_count[static_cast<std::size_t>(s)]);
+  }
+
+  // ASCII rendering (one glyph per segment, subsampled for big images).
+  const char* glyphs = ".#o+*%@=-:~^&";
+  const vidx step = std::max<vidx>(1, side / 48);
+  std::printf("\nsegmentation map (subsampled %dx):\n", step);
+  for (vidx y = 0; y < side; y += step) {
+    for (vidx x = 0; x < side; x += step) {
+      const vidx s =
+          segments.assignment[static_cast<std::size_t>(x + side * y)];
+      std::putchar(glyphs[static_cast<std::size_t>(s) % 13]);
+    }
+    std::putchar('\n');
+  }
+  return 0;
+}

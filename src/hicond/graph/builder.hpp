@@ -1,0 +1,39 @@
+// Incremental construction of CSR graphs from edge streams.
+#pragma once
+
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+/// Accumulates undirected edges and converts them into a CSR Graph.
+/// Parallel edges are merged (weights summed); self-loops and non-positive
+/// weights are rejected.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(vidx n);
+
+  /// Add undirected edge (u, v) with positive weight w.
+  void add_edge(vidx u, vidx v, double w);
+
+  /// Pre-allocate storage for `m` undirected edges.
+  void reserve(std::size_t m) { edges_.reserve(m); }
+
+  [[nodiscard]] vidx num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_buffered_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Produce the CSR graph. The builder can be reused afterwards (it keeps
+  /// its buffered edges; call clear() to start over).
+  [[nodiscard]] Graph build() const;
+
+  void clear() noexcept { edges_.clear(); }
+
+ private:
+  vidx n_;
+  std::vector<WeightedEdge> edges_;
+};
+
+}  // namespace hicond

@@ -1,0 +1,59 @@
+#include "hicond/graph/closure.hpp"
+
+#include "hicond/graph/builder.hpp"
+
+namespace hicond {
+
+ClosureGraph closure_graph(const Graph& g, std::span<const vidx> cluster) {
+  HICOND_CHECK(!cluster.empty(), "closure of empty cluster");
+  std::vector<vidx> map(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const vidx v = cluster[i];
+    HICOND_CHECK(v >= 0 && v < g.num_vertices(), "cluster vertex out of range");
+    HICOND_CHECK(map[static_cast<std::size_t>(v)] == -1,
+                 "duplicate vertex in cluster");
+    map[static_cast<std::size_t>(v)] = static_cast<vidx>(i);
+  }
+  // First pass: count boundary edges to size the vertex set.
+  vidx boundary = 0;
+  for (vidx v : cluster) {
+    for (vidx u : g.neighbors(v)) {
+      if (map[static_cast<std::size_t>(u)] == -1) ++boundary;
+    }
+  }
+  const vidx s = static_cast<vidx>(cluster.size());
+  GraphBuilder b(s + boundary);
+  vidx next_boundary = s;
+  for (vidx v : cluster) {
+    const vidx nv = map[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vidx nu = map[static_cast<std::size_t>(nbrs[i])];
+      if (nu == -1) {
+        b.add_edge(nv, next_boundary++, ws[i]);
+      } else if (nv < nu) {
+        b.add_edge(nv, nu, ws[i]);
+      }
+    }
+  }
+  ClosureGraph result;
+  result.graph = b.build();
+  result.num_cluster_vertices = s;
+  result.cluster.assign(cluster.begin(), cluster.end());
+  return result;
+}
+
+ClosureGraph closure_graph_of_assignment(const Graph& g,
+                                         std::span<const vidx> assignment,
+                                         vidx c) {
+  HICOND_CHECK(assignment.size() == static_cast<std::size_t>(g.num_vertices()),
+               "assignment size mismatch");
+  std::vector<vidx> cluster;
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    if (assignment[static_cast<std::size_t>(v)] == c) cluster.push_back(v);
+  }
+  return closure_graph(g, cluster);
+}
+
+}  // namespace hicond

@@ -1,0 +1,32 @@
+// Closure graphs of vertex clusters (Section 2 of the paper).
+//
+// For a cluster C of G, the closure graph G^o_C is the graph induced by C
+// plus, for every edge (u, v) with u in C and v outside, a freshly introduced
+// degree-1 vertex attached to u with that edge's weight. The defining
+// property of a [phi, rho] decomposition is that every cluster's closure has
+// conductance at least phi.
+#pragma once
+
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+/// A closure graph together with its vertex bookkeeping.
+struct ClosureGraph {
+  Graph graph;                   ///< cluster vertices first, then boundary
+  vidx num_cluster_vertices = 0; ///< closure vertex i < this <=> original
+  std::vector<vidx> cluster;     ///< original ids of the cluster vertices
+};
+
+/// Build the closure graph of the cluster given as a vertex list.
+[[nodiscard]] ClosureGraph closure_graph(const Graph& g,
+                                         std::span<const vidx> cluster);
+
+/// Build the closure graph of cluster `c` of an assignment (values are
+/// cluster ids; -1 means unassigned and is treated as outside every cluster).
+[[nodiscard]] ClosureGraph closure_graph_of_assignment(
+    const Graph& g, std::span<const vidx> assignment, vidx c);
+
+}  // namespace hicond

@@ -1,0 +1,68 @@
+// Conductance of cuts and graphs (Section 2 definitions).
+//
+// sparsity(S) = cap(S, V-S) / min(vol(S), vol(V-S)); the conductance of a
+// graph is the minimum sparsity over all cuts. Exact computation is
+// exponential, so three evaluators are provided:
+//  * conductance_exact      -- brute force (Gray-code incremental), n <= 24;
+//  * conductance_sweep      -- minimum over prefix cuts of a score order
+//                              (an upper bound for any score vector);
+//  * cheeger_lower_bound    -- lambda_2(normalized Laplacian) / 2, a true
+//                              lower bound by the Cheeger inequality.
+// The clusters produced by the paper's decompositions are O(1)-sized, so the
+// [phi, rho] guarantees are validated *exactly* in the tests.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+inline constexpr double kInfiniteConductance =
+    std::numeric_limits<double>::infinity();
+
+/// Sparsity of the cut given by the 0/1 side flags. Returns +infinity when
+/// either side has zero volume (no valid cut).
+[[nodiscard]] double cut_sparsity(const Graph& g, std::span<const char> in_s);
+
+/// Exact conductance by enumerating all 2^(n-1) cuts with Gray-code updates.
+/// Requires 2 <= n <= 24. Graphs with < 2 vertices have no cuts and return
+/// +infinity; disconnected graphs return 0.
+[[nodiscard]] double conductance_exact(const Graph& g);
+
+/// Minimum sparsity over the n-1 prefix cuts of vertices sorted by `score`
+/// ascending. An upper bound on the conductance.
+[[nodiscard]] double conductance_sweep(const Graph& g,
+                                       std::span<const double> score);
+
+/// Sweep cut of an approximate Fiedler vector of the normalized Laplacian
+/// (upper bound on conductance). Uses dense eigensolve for n <= 600 and
+/// deflated power iteration beyond.
+[[nodiscard]] double conductance_spectral_upper(const Graph& g);
+
+/// The best Fiedler sweep cut itself: side flags (1 = inside) and its
+/// sparsity. For disconnected graphs returns a zero-capacity component cut.
+/// Requires n >= 2; both sides are guaranteed non-empty.
+[[nodiscard]] std::vector<char> spectral_sweep_cut(const Graph& g,
+                                                   double* sparsity_out);
+
+/// Second-smallest eigenvalue of the normalized Laplacian. Requires a
+/// connected graph with at least 2 vertices.
+[[nodiscard]] double lambda2_normalized(const Graph& g);
+
+/// Cheeger lower bound: conductance >= lambda_2 / 2.
+[[nodiscard]] double cheeger_lower_bound(const Graph& g);
+
+/// Lower and upper bounds on the conductance; exact (lower == upper) when
+/// n <= `exact_limit`.
+struct ConductanceBounds {
+  double lower = 0.0;
+  double upper = kInfiniteConductance;
+  bool exact = false;
+};
+
+[[nodiscard]] ConductanceBounds conductance_bounds(const Graph& g,
+                                                   vidx exact_limit = 20);
+
+}  // namespace hicond

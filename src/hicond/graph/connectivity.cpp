@@ -1,0 +1,69 @@
+#include "hicond/graph/connectivity.hpp"
+
+#include <deque>
+
+namespace hicond {
+
+std::vector<vidx> connected_components(const Graph& g) {
+  const vidx n = g.num_vertices();
+  std::vector<vidx> comp(static_cast<std::size_t>(n), -1);
+  std::vector<vidx> stack;
+  vidx next_id = 0;
+  for (vidx s = 0; s < n; ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) continue;
+    comp[static_cast<std::size_t>(s)] = next_id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const vidx v = stack.back();
+      stack.pop_back();
+      for (vidx u : g.neighbors(v)) {
+        if (comp[static_cast<std::size_t>(u)] == -1) {
+          comp[static_cast<std::size_t>(u)] = next_id;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return comp;
+}
+
+vidx num_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  vidx k = 0;
+  for (vidx c : comp) k = std::max(k, static_cast<vidx>(c + 1));
+  return k;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() == 0 || num_components(g) == 1;
+}
+
+bool is_forest(const Graph& g) {
+  return g.num_edges() ==
+         static_cast<eidx>(g.num_vertices()) - num_components(g);
+}
+
+bool is_tree(const Graph& g) { return is_connected(g) && is_forest(g); }
+
+std::vector<vidx> bfs_distances(const Graph& g, vidx source) {
+  const vidx n = g.num_vertices();
+  HICOND_CHECK(source >= 0 && source < n, "BFS source out of range");
+  std::vector<vidx> dist(static_cast<std::size_t>(n), -1);
+  std::deque<vidx> queue{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  while (!queue.empty()) {
+    const vidx v = queue.front();
+    queue.pop_front();
+    for (vidx u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] == -1) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace hicond

@@ -1,0 +1,27 @@
+// Connectivity utilities: components, forest/tree predicates, BFS.
+#pragma once
+
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+/// Component id (0..k-1) for each vertex, by BFS order of discovery.
+[[nodiscard]] std::vector<vidx> connected_components(const Graph& g);
+
+/// Number of connected components.
+[[nodiscard]] vidx num_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True when g has no cycles (m == n - #components).
+[[nodiscard]] bool is_forest(const Graph& g);
+
+/// True when g is connected and acyclic.
+[[nodiscard]] bool is_tree(const Graph& g);
+
+/// BFS distances (hop counts) from `source`; -1 for unreachable vertices.
+[[nodiscard]] std::vector<vidx> bfs_distances(const Graph& g, vidx source);
+
+}  // namespace hicond

@@ -1,0 +1,353 @@
+#include "hicond/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "hicond/graph/builder.hpp"
+
+namespace hicond::gen {
+
+double draw_weight(const WeightSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case WeightSpec::Kind::unit:
+      return 1.0;
+    case WeightSpec::Kind::uniform:
+      return rng.uniform(spec.lo, spec.hi);
+    case WeightSpec::Kind::lognormal:
+      return rng.lognormal(spec.mu, spec.sigma);
+  }
+  return 1.0;
+}
+
+Graph path(vidx n, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(n >= 1, "path needs >= 1 vertex");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (vidx i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1, draw_weight(w, rng));
+  return b.build();
+}
+
+Graph cycle(vidx n, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(n >= 3, "cycle needs >= 3 vertices");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (vidx i = 0; i < n; ++i) {
+    b.add_edge(i, static_cast<vidx>((i + 1) % n), draw_weight(w, rng));
+  }
+  return b.build();
+}
+
+Graph star(vidx n, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(n >= 2, "star needs >= 2 vertices");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (vidx i = 1; i < n; ++i) b.add_edge(0, i, draw_weight(w, rng));
+  return b.build();
+}
+
+Graph complete(vidx n, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(n >= 2, "complete graph needs >= 2 vertices");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (vidx i = 0; i < n; ++i) {
+    for (vidx j = i + 1; j < n; ++j) b.add_edge(i, j, draw_weight(w, rng));
+  }
+  return b.build();
+}
+
+Graph spider(vidx legs, vidx leg_len, const WeightSpec& w,
+             std::uint64_t seed) {
+  HICOND_CHECK(legs >= 1 && leg_len >= 1, "spider needs legs and length >= 1");
+  Rng rng(seed);
+  const vidx n = 1 + legs * leg_len;
+  GraphBuilder b(n);
+  for (vidx l = 0; l < legs; ++l) {
+    vidx prev = 0;
+    for (vidx i = 0; i < leg_len; ++i) {
+      const vidx cur = 1 + l * leg_len + i;
+      b.add_edge(prev, cur, draw_weight(w, rng));
+      prev = cur;
+    }
+  }
+  return b.build();
+}
+
+Graph caterpillar(vidx spine, vidx legs, const WeightSpec& w,
+                  std::uint64_t seed) {
+  HICOND_CHECK(spine >= 1 && legs >= 0, "bad caterpillar parameters");
+  Rng rng(seed);
+  const vidx n = spine * (1 + legs);
+  GraphBuilder b(n);
+  for (vidx s = 0; s + 1 < spine; ++s) {
+    b.add_edge(s, s + 1, draw_weight(w, rng));
+  }
+  for (vidx s = 0; s < spine; ++s) {
+    for (vidx l = 0; l < legs; ++l) {
+      b.add_edge(s, spine + s * legs + l, draw_weight(w, rng));
+    }
+  }
+  return b.build();
+}
+
+Graph binary_tree(int levels, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(levels >= 1 && levels < 30, "bad binary tree depth");
+  Rng rng(seed);
+  const vidx n = static_cast<vidx>((1 << levels) - 1);
+  GraphBuilder b(n);
+  for (vidx v = 1; v < n; ++v) {
+    b.add_edge((v - 1) / 2, v, draw_weight(w, rng));
+  }
+  return b.build();
+}
+
+Graph random_tree(vidx n, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(n >= 1, "tree needs >= 1 vertex");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (vidx v = 1; v < n; ++v) {
+    const vidx parent =
+        static_cast<vidx>(rng.uniform_index(static_cast<std::uint64_t>(v)));
+    b.add_edge(parent, v, draw_weight(w, rng));
+  }
+  return b.build();
+}
+
+Graph random_pruefer_tree(vidx n, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(n >= 1, "tree needs >= 1 vertex");
+  Rng rng(seed);
+  if (n == 1) return Graph(1);
+  if (n == 2) {
+    GraphBuilder b(2);
+    b.add_edge(0, 1, draw_weight(w, rng));
+    return b.build();
+  }
+  std::vector<vidx> code(static_cast<std::size_t>(n) - 2);
+  for (auto& c : code) {
+    c = static_cast<vidx>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+  }
+  std::vector<vidx> deg(static_cast<std::size_t>(n), 1);
+  for (vidx c : code) ++deg[static_cast<std::size_t>(c)];
+  GraphBuilder b(n);
+  // Standard linear-time Pruefer decoding with a moving leaf pointer.
+  vidx ptr = 0;
+  while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  vidx leaf = ptr;
+  for (vidx c : code) {
+    b.add_edge(leaf, c, draw_weight(w, rng));
+    if (--deg[static_cast<std::size_t>(c)] == 1 && c < ptr) {
+      leaf = c;
+    } else {
+      ++ptr;
+      while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  b.add_edge(leaf, n - 1, draw_weight(w, rng));
+  return b.build();
+}
+
+Graph grid2d(vidx nx, vidx ny, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(nx >= 1 && ny >= 1, "grid dimensions must be >= 1");
+  Rng rng(seed);
+  GraphBuilder b(nx * ny);
+  b.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * 2);
+  auto id = [nx](vidx x, vidx y) { return x + nx * y; };
+  for (vidx y = 0; y < ny; ++y) {
+    for (vidx x = 0; x < nx; ++x) {
+      if (x + 1 < nx) b.add_edge(id(x, y), id(x + 1, y), draw_weight(w, rng));
+      if (y + 1 < ny) b.add_edge(id(x, y), id(x, y + 1), draw_weight(w, rng));
+    }
+  }
+  return b.build();
+}
+
+Graph grid3d(vidx nx, vidx ny, vidx nz, const WeightSpec& w,
+             std::uint64_t seed) {
+  HICOND_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "grid dimensions must be >= 1");
+  Rng rng(seed);
+  GraphBuilder b(nx * ny * nz);
+  b.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+            static_cast<std::size_t>(nz) * 3);
+  auto id = [nx, ny](vidx x, vidx y, vidx z) { return x + nx * (y + ny * z); };
+  for (vidx z = 0; z < nz; ++z) {
+    for (vidx y = 0; y < ny; ++y) {
+      for (vidx x = 0; x < nx; ++x) {
+        if (x + 1 < nx) {
+          b.add_edge(id(x, y, z), id(x + 1, y, z), draw_weight(w, rng));
+        }
+        if (y + 1 < ny) {
+          b.add_edge(id(x, y, z), id(x, y + 1, z), draw_weight(w, rng));
+        }
+        if (z + 1 < nz) {
+          b.add_edge(id(x, y, z), id(x, y, z + 1), draw_weight(w, rng));
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph torus2d(vidx nx, vidx ny, const WeightSpec& w, std::uint64_t seed) {
+  HICOND_CHECK(nx >= 3 && ny >= 3, "torus dimensions must be >= 3");
+  Rng rng(seed);
+  GraphBuilder b(nx * ny);
+  auto id = [nx](vidx x, vidx y) { return x + nx * y; };
+  for (vidx y = 0; y < ny; ++y) {
+    for (vidx x = 0; x < nx; ++x) {
+      b.add_edge(id(x, y), id(static_cast<vidx>((x + 1) % nx), y),
+                 draw_weight(w, rng));
+      b.add_edge(id(x, y), id(x, static_cast<vidx>((y + 1) % ny)),
+                 draw_weight(w, rng));
+    }
+  }
+  return b.build();
+}
+
+Graph random_planar_triangulation(vidx n, const WeightSpec& w,
+                                  std::uint64_t seed) {
+  HICOND_CHECK(n >= 3, "triangulation needs >= 3 vertices");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  b.add_edge(0, 1, draw_weight(w, rng));
+  b.add_edge(1, 2, draw_weight(w, rng));
+  b.add_edge(0, 2, draw_weight(w, rng));
+  // Face list of the growing triangulation (both the inner faces and the
+  // outer face of the starting triangle behave identically for insertion).
+  struct Face {
+    vidx a, b, c;
+  };
+  std::vector<Face> faces{{0, 1, 2}, {0, 1, 2}};
+  faces.reserve(static_cast<std::size_t>(n) * 2);
+  for (vidx v = 3; v < n; ++v) {
+    const std::size_t f = static_cast<std::size_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(faces.size())));
+    const Face face = faces[f];
+    b.add_edge(face.a, v, draw_weight(w, rng));
+    b.add_edge(face.b, v, draw_weight(w, rng));
+    b.add_edge(face.c, v, draw_weight(w, rng));
+    faces[f] = {face.a, face.b, v};
+    faces.push_back({face.a, face.c, v});
+    faces.push_back({face.b, face.c, v});
+  }
+  return b.build();
+}
+
+Graph random_regular(vidx n, vidx d, const WeightSpec& w,
+                     std::uint64_t seed) {
+  HICOND_CHECK(n > d && d >= 1, "need n > d >= 1");
+  HICOND_CHECK((static_cast<std::int64_t>(n) * d) % 2 == 0,
+               "n * d must be even");
+  Rng rng(seed);
+  // Configuration model with retries: shuffle stubs, pair consecutive ones,
+  // reject self-loops and duplicate pairs, retry leftover stubs a few times.
+  std::vector<vidx> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (vidx v = 0; v < n; ++v) {
+    for (vidx k = 0; k < d; ++k) stubs.push_back(v);
+  }
+  std::vector<WeightedEdge> edges;
+  auto has_pair = [&edges](vidx u, vidx v) {
+    for (const auto& e : edges) {
+      if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) return true;
+    }
+    return false;
+  };
+  for (int attempt = 0; attempt < 40 && stubs.size() >= 2; ++attempt) {
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    std::vector<vidx> leftover;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const vidx u = stubs[i];
+      const vidx v = stubs[i + 1];
+      const bool dup =
+          (n <= 4096) ? has_pair(u, v) : false;  // dup check is O(m); cap it
+      if (u == v || dup) {
+        leftover.push_back(u);
+        leftover.push_back(v);
+      } else {
+        edges.push_back({u, v, draw_weight(w, rng)});
+      }
+    }
+    if (stubs.size() % 2 == 1) leftover.push_back(stubs.back());
+    stubs = std::move(leftover);
+  }
+  // Any stubs still unpaired are dropped: those vertices end at degree d-1,
+  // which is acceptable for the fixed-degree experiments (max degree <= d).
+  return Graph(n, edges);
+}
+
+Graph oct_volume(vidx nx, vidx ny, vidx nz, const OctParams& params,
+                 std::uint64_t seed) {
+  HICOND_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "grid dimensions must be >= 1");
+  HICOND_CHECK(params.field_orders >= 0.0, "field_orders must be >= 0");
+  HICOND_CHECK(params.speckle_sigma >= 0.0, "speckle_sigma must be >= 0");
+  Rng mode_rng(splitmix64(seed));
+  // Smooth field: a sum of a few random low-frequency cosine modes mapped to
+  // [ -1, 1 ], then exponentiated to span `field_orders` orders of magnitude.
+  struct Mode {
+    double kx, ky, kz, phase;
+  };
+  std::vector<Mode> modes(static_cast<std::size_t>(params.field_waves));
+  for (auto& m : modes) {
+    m.kx = mode_rng.uniform(0.5, 2.5);
+    m.ky = mode_rng.uniform(0.5, 2.5);
+    m.kz = mode_rng.uniform(0.5, 2.5);
+    m.phase = mode_rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  auto field = [&](double x, double y, double z) {
+    double s = 0.0;
+    for (const auto& m : modes) {
+      s += std::cos(m.kx * std::numbers::pi * x + m.ky * std::numbers::pi * y +
+                    m.kz * std::numbers::pi * z + m.phase);
+    }
+    if (!modes.empty()) s /= static_cast<double>(modes.size());
+    // s in [-1, 1] -> weight in [10^-orders/2, 10^+orders/2].
+    return std::pow(10.0, 0.5 * params.field_orders * s);
+  };
+  const double inv_nx = 1.0 / static_cast<double>(std::max<vidx>(nx, 2) - 1);
+  const double inv_ny = 1.0 / static_cast<double>(std::max<vidx>(ny, 2) - 1);
+  const double inv_nz = 1.0 / static_cast<double>(std::max<vidx>(nz, 2) - 1);
+  auto id = [nx, ny](vidx x, vidx y, vidx z) { return x + nx * (y + ny * z); };
+  GraphBuilder b(nx * ny * nz);
+  b.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+            static_cast<std::size_t>(nz) * 3);
+  std::uint64_t counter = 0;
+  auto speckle = [&](std::uint64_t c) {
+    if (params.speckle_sigma == 0.0) return 1.0;
+    // Counter-based lognormal noise via two uniforms and Box-Muller.
+    const double u1 = std::max(counter_uniform(seed, 2 * c, 0.0, 1.0),
+                               0x1.0p-53);
+    const double u2 = counter_uniform(seed, 2 * c + 1, 0.0, 1.0);
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * std::numbers::pi * u2);
+    return std::exp(params.speckle_sigma * z);
+  };
+  for (vidx z = 0; z < nz; ++z) {
+    for (vidx y = 0; y < ny; ++y) {
+      for (vidx x = 0; x < nx; ++x) {
+        const double fx = static_cast<double>(x) * inv_nx;
+        const double fy = static_cast<double>(y) * inv_ny;
+        const double fz = static_cast<double>(z) * inv_nz;
+        if (x + 1 < nx) {
+          b.add_edge(id(x, y, z), id(x + 1, y, z),
+                     field(fx + 0.5 * inv_nx, fy, fz) * speckle(counter));
+          ++counter;
+        }
+        if (y + 1 < ny) {
+          b.add_edge(id(x, y, z), id(x, y + 1, z),
+                     field(fx, fy + 0.5 * inv_ny, fz) * speckle(counter));
+          ++counter;
+        }
+        if (z + 1 < nz) {
+          b.add_edge(id(x, y, z), id(x, y, z + 1),
+                     field(fx, fy, fz + 0.5 * inv_nz) * speckle(counter));
+          ++counter;
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace hicond::gen

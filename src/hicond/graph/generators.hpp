@@ -1,0 +1,120 @@
+// Synthetic graph families used throughout the tests, examples and the
+// benchmark harnesses that regenerate the paper's experiments.
+//
+// The paper's own experiments run on weighted regular 2D/3D grids and on
+// graphs derived from 3D optical coherence tomography (OCT) scans with large
+// global and local (noise-driven) weight variation. The OCT data is
+// proprietary, so `oct_volume` synthesizes volumes with those documented
+// characteristics: a smooth multiplicative field spanning several orders of
+// magnitude overlaid with per-edge speckle noise.
+#pragma once
+
+#include <cstdint>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond::gen {
+
+/// How edge weights are drawn.
+struct WeightSpec {
+  enum class Kind {
+    unit,       ///< all weights 1
+    uniform,    ///< U[lo, hi)
+    lognormal,  ///< exp(N(mu, sigma^2))
+  };
+  Kind kind = Kind::unit;
+  double lo = 1.0;      ///< uniform lower bound
+  double hi = 2.0;      ///< uniform upper bound
+  double mu = 0.0;      ///< lognormal location
+  double sigma = 1.0;   ///< lognormal scale
+
+  static WeightSpec unit() { return {}; }
+  static WeightSpec uniform(double lo, double hi) {
+    return {Kind::uniform, lo, hi, 0.0, 1.0};
+  }
+  static WeightSpec lognormal(double mu, double sigma) {
+    return {Kind::lognormal, 1.0, 2.0, mu, sigma};
+  }
+};
+
+/// Draw one weight according to `spec`.
+[[nodiscard]] double draw_weight(const WeightSpec& spec, Rng& rng);
+
+/// Simple path v0 - v1 - ... - v_{n-1}.
+[[nodiscard]] Graph path(vidx n, const WeightSpec& w = {},
+                         std::uint64_t seed = 1);
+
+/// Cycle on n >= 3 vertices.
+[[nodiscard]] Graph cycle(vidx n, const WeightSpec& w = {},
+                          std::uint64_t seed = 1);
+
+/// Star with center 0 and n-1 leaves.
+[[nodiscard]] Graph star(vidx n, const WeightSpec& w = {},
+                         std::uint64_t seed = 1);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(vidx n, const WeightSpec& w = {},
+                             std::uint64_t seed = 1);
+
+/// Spider: center 0 with `legs` paths of `leg_len` vertices each.
+[[nodiscard]] Graph spider(vidx legs, vidx leg_len, const WeightSpec& w = {},
+                           std::uint64_t seed = 1);
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` leaves.
+[[nodiscard]] Graph caterpillar(vidx spine, vidx legs,
+                                const WeightSpec& w = {},
+                                std::uint64_t seed = 1);
+
+/// Complete binary tree with `levels` levels (2^levels - 1 vertices).
+[[nodiscard]] Graph binary_tree(int levels, const WeightSpec& w = {},
+                                std::uint64_t seed = 1);
+
+/// Uniform-attachment random tree: vertex i attaches to a uniformly random
+/// earlier vertex.
+[[nodiscard]] Graph random_tree(vidx n, const WeightSpec& w = {},
+                                std::uint64_t seed = 1);
+
+/// Random tree drawn uniformly from all labelled trees (Pruefer decoding).
+[[nodiscard]] Graph random_pruefer_tree(vidx n, const WeightSpec& w = {},
+                                        std::uint64_t seed = 1);
+
+/// 4-connected nx * ny grid. Vertex (x, y) has index x + nx * y.
+[[nodiscard]] Graph grid2d(vidx nx, vidx ny, const WeightSpec& w = {},
+                           std::uint64_t seed = 1);
+
+/// 6-connected nx * ny * nz grid. Vertex (x, y, z) = x + nx * (y + ny * z).
+[[nodiscard]] Graph grid3d(vidx nx, vidx ny, vidx nz, const WeightSpec& w = {},
+                           std::uint64_t seed = 1);
+
+/// 2D torus (grid with wraparound): every vertex has degree exactly 4.
+[[nodiscard]] Graph torus2d(vidx nx, vidx ny, const WeightSpec& w = {},
+                            std::uint64_t seed = 1);
+
+/// Random maximal planar graph (triangulation): start from a triangle and
+/// repeatedly insert a vertex inside a uniformly random face. n >= 3.
+[[nodiscard]] Graph random_planar_triangulation(vidx n,
+                                                const WeightSpec& w = {},
+                                                std::uint64_t seed = 1);
+
+/// Random d-regular multigraph via the configuration model with rejection of
+/// self-loops / duplicates; falls back to leaving a few vertices at degree
+/// d-1 when pairing stalls. n * d must be even.
+[[nodiscard]] Graph random_regular(vidx n, vidx d, const WeightSpec& w = {},
+                                   std::uint64_t seed = 1);
+
+/// Parameters of the synthetic OCT-like volume (see file comment).
+struct OctParams {
+  double field_orders = 3.0;   ///< orders of magnitude of the smooth field
+  double speckle_sigma = 0.5;  ///< lognormal sigma of per-edge noise
+  int field_waves = 3;         ///< number of smooth cosine modes
+};
+
+/// Weighted 3D grid emulating a Laplacian derived from a noisy OCT scan:
+/// edge weight = smooth_field(midpoint) * speckle, where smooth_field spans
+/// `field_orders` orders of magnitude.
+[[nodiscard]] Graph oct_volume(vidx nx, vidx ny, vidx nz,
+                               const OctParams& params = {},
+                               std::uint64_t seed = 1);
+
+}  // namespace hicond::gen

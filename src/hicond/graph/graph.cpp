@@ -1,0 +1,167 @@
+#include "hicond/graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/util/parallel.hpp"
+
+namespace hicond {
+
+Graph::Graph(vidx n) : n_(n), offsets_(static_cast<std::size_t>(n) + 1, 0) {
+  HICOND_CHECK(n >= 0, "vertex count must be nonnegative");
+  vol_.assign(static_cast<std::size_t>(n), 0.0);
+}
+
+Graph::Graph(vidx n, std::span<const WeightedEdge> edges) {
+  GraphBuilder builder(n);
+  for (const auto& e : edges) builder.add_edge(e.u, e.v, e.weight);
+  *this = builder.build();
+}
+
+vidx Graph::max_degree() const noexcept {
+  vidx best = 0;
+  for (vidx v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+void Graph::finalize_volumes() {
+  vol_.assign(static_cast<std::size_t>(n_), 0.0);
+  parallel_for(static_cast<std::size_t>(n_), [&](std::size_t v) {
+    double s = 0.0;
+    for (eidx a = offsets_[v]; a < offsets_[v + 1]; ++a) {
+      s += weights_[static_cast<std::size_t>(a)];
+    }
+    vol_[v] = s;
+  });
+  total_volume_ = std::accumulate(vol_.begin(), vol_.end(), 0.0);
+}
+
+double Graph::edge_weight(vidx u, vidx v) const {
+  const auto nbrs = neighbors(u);
+  const auto ws = weights(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == v) return ws[i];
+  }
+  return 0.0;
+}
+
+bool Graph::has_edge(vidx u, vidx v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  for (vidx w : neighbors(u)) {
+    if (w == v) return true;
+  }
+  return false;
+}
+
+std::vector<WeightedEdge> Graph::edge_list() const {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges()));
+  for (vidx u = 0; u < n_; ++u) {
+    const auto nbrs = neighbors(u);
+    const auto ws = weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) edges.push_back({u, nbrs[i], ws[i]});
+    }
+  }
+  return edges;
+}
+
+void Graph::laplacian_apply(std::span<const double> x,
+                            std::span<double> y) const {
+  HICOND_CHECK(x.size() == static_cast<std::size_t>(n_), "x size mismatch");
+  HICOND_CHECK(y.size() == static_cast<std::size_t>(n_), "y size mismatch");
+  parallel_for(static_cast<std::size_t>(n_), [&](std::size_t v) {
+    double acc = vol_[v] * x[v];
+    for (eidx a = offsets_[v]; a < offsets_[v + 1]; ++a) {
+      acc -= weights_[static_cast<std::size_t>(a)] *
+             x[static_cast<std::size_t>(targets_[static_cast<std::size_t>(a)])];
+    }
+    y[v] = acc;
+  });
+}
+
+double Graph::laplacian_quadratic(std::span<const double> x) const {
+  HICOND_CHECK(x.size() == static_cast<std::size_t>(n_), "x size mismatch");
+  return parallel_sum(static_cast<std::size_t>(n_), [&](std::size_t v) {
+    double acc = 0.0;
+    for (eidx a = offsets_[v]; a < offsets_[v + 1]; ++a) {
+      const auto u = static_cast<std::size_t>(
+          targets_[static_cast<std::size_t>(a)]);
+      if (u > v) {
+        const double d = x[v] - x[u];
+        acc += weights_[static_cast<std::size_t>(a)] * d * d;
+      }
+    }
+    return acc;
+  });
+}
+
+double cap(const Graph& g, std::span<const char> in_u,
+           std::span<const char> in_w) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  HICOND_CHECK(in_u.size() == n && in_w.size() == n, "flag size mismatch");
+  for (std::size_t v = 0; v < n; ++v) {
+    // Exceptions must not escape an OpenMP region; validate up front.
+    HICOND_CHECK(!(in_u[v] && in_w[v]), "cap() sets must be disjoint");
+  }
+  return parallel_sum(n, [&](std::size_t v) {
+    if (!in_u[v]) return 0.0;
+    double acc = 0.0;
+    const auto nbrs = g.neighbors(static_cast<vidx>(v));
+    const auto ws = g.weights(static_cast<vidx>(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (in_w[static_cast<std::size_t>(nbrs[i])]) acc += ws[i];
+    }
+    return acc;
+  });
+}
+
+double out_weight(const Graph& g, std::span<const char> in_s) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  HICOND_CHECK(in_s.size() == n, "flag size mismatch");
+  return parallel_sum(n, [&](std::size_t v) {
+    if (!in_s[v]) return 0.0;
+    double acc = 0.0;
+    const auto nbrs = g.neighbors(static_cast<vidx>(v));
+    const auto ws = g.weights(static_cast<vidx>(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!in_s[static_cast<std::size_t>(nbrs[i])]) acc += ws[i];
+    }
+    return acc;
+  });
+}
+
+double vol_set(const Graph& g, std::span<const char> in_s) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  HICOND_CHECK(in_s.size() == n, "flag size mismatch");
+  return parallel_sum(n, [&](std::size_t v) {
+    return in_s[v] ? g.vol(static_cast<vidx>(v)) : 0.0;
+  });
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const vidx> vertices,
+                       std::vector<vidx>* old_to_new) {
+  std::vector<vidx> map(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const vidx v = vertices[i];
+    HICOND_CHECK(v >= 0 && v < g.num_vertices(), "vertex out of range");
+    HICOND_CHECK(map[static_cast<std::size_t>(v)] == -1,
+                 "duplicate vertex in induced_subgraph");
+    map[static_cast<std::size_t>(v)] = static_cast<vidx>(i);
+  }
+  std::vector<WeightedEdge> edges;
+  for (vidx v : vertices) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vidx nu = map[static_cast<std::size_t>(nbrs[i])];
+      const vidx nv = map[static_cast<std::size_t>(v)];
+      if (nu != -1 && nv < nu) edges.push_back({nv, nu, ws[i]});
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return Graph(static_cast<vidx>(vertices.size()), edges);
+}
+
+}  // namespace hicond

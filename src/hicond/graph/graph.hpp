@@ -1,0 +1,142 @@
+// Weighted undirected graph in compressed sparse row (CSR) form.
+//
+// This is the central substrate of the library: the paper's decompositions,
+// Steiner preconditioners and spectral results are all stated over weighted
+// graphs G = (V, E, w) and their Laplacians A_G. Both directions of every
+// undirected edge are stored, so iteration over the incident edges of a
+// vertex is a contiguous scan.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hicond/util/common.hpp"
+
+namespace hicond {
+
+/// One endpoint-annotated half-edge as seen from a vertex's adjacency list.
+struct HalfEdge {
+  vidx to;
+  double weight;
+};
+
+/// An undirected weighted edge (u < v is NOT required).
+struct WeightedEdge {
+  vidx u;
+  vidx v;
+  double weight;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// Immutable weighted undirected graph. Self-loops are disallowed; parallel
+/// edges are merged (weights summed) at construction time.
+class Graph {
+ public:
+  /// Empty graph with `n` isolated vertices.
+  explicit Graph(vidx n = 0);
+
+  /// Build from an edge list. Parallel edges are merged, weights must be
+  /// positive, endpoints must be in [0, n) and distinct.
+  Graph(vidx n, std::span<const WeightedEdge> edges);
+
+  [[nodiscard]] vidx num_vertices() const noexcept { return n_; }
+
+  /// Number of undirected edges.
+  [[nodiscard]] eidx num_edges() const noexcept {
+    return static_cast<eidx>(targets_.size()) / 2;
+  }
+
+  /// Number of stored directed arcs (2 * num_edges()).
+  [[nodiscard]] eidx num_arcs() const noexcept {
+    return static_cast<eidx>(targets_.size());
+  }
+
+  [[nodiscard]] vidx degree(vidx v) const {
+    return static_cast<vidx>(offsets_[static_cast<std::size_t>(v) + 1] -
+                             offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Maximum vertex degree (0 for an empty graph).
+  [[nodiscard]] vidx max_degree() const noexcept;
+
+  /// Total weight incident to v: vol(v) = sum of w(u, v) over neighbours u.
+  [[nodiscard]] double vol(vidx v) const {
+    return vol_[static_cast<std::size_t>(v)];
+  }
+
+  /// Sum of vol(v) over all vertices (= 2 * total edge weight).
+  [[nodiscard]] double total_volume() const noexcept { return total_volume_; }
+
+  /// Neighbour targets of v, aligned with weights(v).
+  [[nodiscard]] std::span<const vidx> neighbors(vidx v) const {
+    return {targets_.data() + offsets_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  /// Edge weights incident to v, aligned with neighbors(v).
+  [[nodiscard]] std::span<const double> weights(vidx v) const {
+    return {weights_.data() + offsets_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  /// CSR offset of v's adjacency block; arc indices are in
+  /// [arc_begin(v), arc_begin(v+1)).
+  [[nodiscard]] eidx arc_begin(vidx v) const {
+    return offsets_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] vidx arc_target(eidx arc) const {
+    return targets_[static_cast<std::size_t>(arc)];
+  }
+
+  [[nodiscard]] double arc_weight(eidx arc) const {
+    return weights_[static_cast<std::size_t>(arc)];
+  }
+
+  /// Weight of edge (u, v); 0 when absent. O(deg(u)).
+  [[nodiscard]] double edge_weight(vidx u, vidx v) const;
+
+  /// True when edge (u, v) is present. O(min deg).
+  [[nodiscard]] bool has_edge(vidx u, vidx v) const;
+
+  /// All undirected edges with u < v, in CSR order.
+  [[nodiscard]] std::vector<WeightedEdge> edge_list() const;
+
+  /// y = A_G x where A_G is the graph Laplacian; parallel over vertices.
+  void laplacian_apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Quadratic form x' A_G x = sum over edges of w(u,v) (x_u - x_v)^2.
+  [[nodiscard]] double laplacian_quadratic(std::span<const double> x) const;
+
+ private:
+  friend class GraphBuilder;
+  void finalize_volumes();
+
+  vidx n_ = 0;
+  std::vector<eidx> offsets_;    // size n_ + 1
+  std::vector<vidx> targets_;    // size 2m
+  std::vector<double> weights_;  // size 2m
+  std::vector<double> vol_;      // size n_
+  double total_volume_ = 0.0;
+};
+
+/// cap(U, W) = total weight of edges with one endpoint flagged in `in_u` and
+/// the other flagged in `in_w`. The flag vectors must have size n and be
+/// disjoint.
+[[nodiscard]] double cap(const Graph& g, std::span<const char> in_u,
+                         std::span<const char> in_w);
+
+/// out(S) = total weight leaving the vertex set flagged by `in_s`.
+[[nodiscard]] double out_weight(const Graph& g, std::span<const char> in_s);
+
+/// vol(S) = sum of vol(v) over flagged vertices.
+[[nodiscard]] double vol_set(const Graph& g, std::span<const char> in_s);
+
+/// Induced subgraph on `vertices`; returns the graph and writes the mapping
+/// old-id -> new-id into `old_to_new` (-1 for vertices outside the set).
+[[nodiscard]] Graph induced_subgraph(const Graph& g,
+                                     std::span<const vidx> vertices,
+                                     std::vector<vidx>* old_to_new = nullptr);
+
+}  // namespace hicond

@@ -1,0 +1,149 @@
+#include "hicond/graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "hicond/graph/builder.hpp"
+
+namespace hicond {
+
+void write_graph(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  out.precision(17);
+  for (vidx u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) out << u << ' ' << nbrs[i] << ' ' << ws[i] << '\n';
+    }
+  }
+}
+
+void write_graph_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  HICOND_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_graph(out, g);
+  HICOND_CHECK(out.good(), "write failed: " + path);
+}
+
+Graph read_graph(std::istream& in) {
+  std::string line;
+  auto next_content_line = [&](std::string& out_line) {
+    while (std::getline(in, out_line)) {
+      if (out_line.empty() || out_line[0] == '%' || out_line[0] == '#') {
+        continue;
+      }
+      return true;
+    }
+    return false;
+  };
+  HICOND_CHECK(next_content_line(line), "empty graph stream");
+  std::istringstream header(line);
+  long long n = 0;
+  long long m = 0;
+  HICOND_CHECK(static_cast<bool>(header >> n >> m), "bad graph header");
+  HICOND_CHECK(n >= 0 && m >= 0, "negative counts in header");
+  GraphBuilder b(static_cast<vidx>(n));
+  b.reserve(static_cast<std::size_t>(m));
+  for (long long i = 0; i < m; ++i) {
+    HICOND_CHECK(next_content_line(line), "truncated edge list");
+    std::istringstream edge(line);
+    long long u = 0;
+    long long v = 0;
+    double w = 0.0;
+    HICOND_CHECK(static_cast<bool>(edge >> u >> v >> w), "bad edge line");
+    b.add_edge(static_cast<vidx>(u), static_cast<vidx>(v), w);
+  }
+  return b.build();
+}
+
+Graph read_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  HICOND_CHECK(in.good(), "cannot open file for reading: " + path);
+  return read_graph(in);
+}
+
+void write_metis(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << " 001\n";
+  out.precision(17);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << (nbrs[i] + 1) << ' ' << ws[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  HICOND_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_metis(out, g);
+  HICOND_CHECK(out.good(), "write failed: " + path);
+}
+
+Graph read_metis(std::istream& in) {
+  std::string line;
+  // Comment lines are skipped everywhere; empty lines are only meaningful
+  // as adjacency rows (a vertex with no neighbours), not before the header.
+  auto next_line = [&](std::string& out_line, bool allow_empty) {
+    while (std::getline(in, out_line)) {
+      if (!out_line.empty() && out_line[0] == '%') continue;
+      if (out_line.empty() && !allow_empty) continue;
+      return true;
+    }
+    return false;
+  };
+  auto next_content_line = [&](std::string& out_line) {
+    return next_line(out_line, /*allow_empty=*/true);
+  };
+  HICOND_CHECK(next_line(line, /*allow_empty=*/false), "empty METIS stream");
+  std::istringstream header(line);
+  long long n = 0;
+  long long m = 0;
+  std::string fmt = "0";
+  long long ncon = 0;
+  header >> n >> m;
+  HICOND_CHECK(n >= 0 && m >= 0, "bad METIS header");
+  if (!(header >> fmt)) fmt = "0";
+  if (!(header >> ncon)) ncon = 0;
+  const bool has_edge_weights = !fmt.empty() && fmt.back() == '1';
+  const bool has_vertex_weights =
+      fmt.size() >= 2 && fmt[fmt.size() - 2] == '1';
+  const long long vweights =
+      has_vertex_weights ? std::max<long long>(ncon, 1) : 0;
+
+  GraphBuilder b(static_cast<vidx>(n));
+  b.reserve(static_cast<std::size_t>(m));
+  for (long long v = 0; v < n; ++v) {
+    HICOND_CHECK(next_content_line(line), "truncated METIS adjacency");
+    std::istringstream row(line);
+    for (long long s = 0; s < vweights; ++s) {
+      double skip = 0.0;
+      HICOND_CHECK(static_cast<bool>(row >> skip), "bad vertex weight");
+    }
+    long long u = 0;
+    while (row >> u) {
+      HICOND_CHECK(u >= 1 && u <= n, "METIS neighbour out of range");
+      double w = 1.0;
+      if (has_edge_weights) {
+        HICOND_CHECK(static_cast<bool>(row >> w), "missing edge weight");
+      }
+      // Each undirected edge appears in both adjacency lists; keep one copy.
+      if (v < u - 1) b.add_edge(static_cast<vidx>(v), static_cast<vidx>(u - 1), w);
+    }
+  }
+  Graph g = b.build();
+  HICOND_CHECK(g.num_edges() == m, "METIS edge count mismatch");
+  return g;
+}
+
+Graph read_metis_file(const std::string& path) {
+  std::ifstream in(path);
+  HICOND_CHECK(in.good(), "cannot open file for reading: " + path);
+  return read_metis(in);
+}
+
+}  // namespace hicond

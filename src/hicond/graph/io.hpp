@@ -1,0 +1,35 @@
+// Plain-text graph serialization (weighted edge list format).
+//
+// Format:
+//   line 1:  "n m"           vertex and undirected edge counts
+//   lines:   "u v w"         one edge per line, 0-based endpoints
+// Lines starting with '%' or '#' are comments. This is a superset-compatible
+// subset of common edge-list formats (DIMACS-like, Matrix-Market-adjacent).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+void write_graph(std::ostream& out, const Graph& g);
+void write_graph_file(const std::string& path, const Graph& g);
+
+[[nodiscard]] Graph read_graph(std::istream& in);
+[[nodiscard]] Graph read_graph_file(const std::string& path);
+
+// METIS graph format interop (1-indexed adjacency lists):
+//   header: "n m [fmt [ncon]]" -- supported fmt values: 0/1/00/01/10/11/011
+//   (vertex weights are read and discarded; edge weights read when present).
+// Writing always uses fmt 001 with the weights printed as decimals; strict
+// METIS requires integer edge weights, so integral weights round-trip
+// exactly and fractional ones produce the common floating-point extension.
+void write_metis(std::ostream& out, const Graph& g);
+void write_metis_file(const std::string& path, const Graph& g);
+
+[[nodiscard]] Graph read_metis(std::istream& in);
+[[nodiscard]] Graph read_metis_file(const std::string& path);
+
+}  // namespace hicond

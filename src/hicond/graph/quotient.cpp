@@ -1,0 +1,46 @@
+#include "hicond/graph/quotient.hpp"
+
+#include "hicond/graph/builder.hpp"
+
+namespace hicond {
+
+vidx num_clusters(std::span<const vidx> assignment) {
+  vidx m = 0;
+  for (vidx c : assignment) {
+    HICOND_CHECK(c >= 0, "assignment contains unassigned vertex");
+    m = std::max(m, static_cast<vidx>(c + 1));
+  }
+  return m;
+}
+
+Graph quotient_graph(const Graph& g, std::span<const vidx> assignment) {
+  HICOND_CHECK(assignment.size() == static_cast<std::size_t>(g.num_vertices()),
+               "assignment size mismatch");
+  const vidx m = num_clusters(assignment);
+  GraphBuilder b(m);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    const vidx cv = assignment[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (v < nbrs[i]) {
+        const vidx cu = assignment[static_cast<std::size_t>(nbrs[i])];
+        if (cu != cv) b.add_edge(cv, cu, ws[i]);
+      }
+    }
+  }
+  return b.build();
+}
+
+std::vector<std::vector<vidx>> cluster_members(std::span<const vidx> assignment,
+                                               vidx m) {
+  std::vector<std::vector<vidx>> members(static_cast<std::size_t>(m));
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    const vidx c = assignment[v];
+    HICOND_CHECK(c >= 0 && c < m, "assignment value out of range");
+    members[static_cast<std::size_t>(c)].push_back(static_cast<vidx>(v));
+  }
+  return members;
+}
+
+}  // namespace hicond

@@ -1,0 +1,121 @@
+#include "hicond/la/cg.hpp"
+
+#include <cmath>
+
+#include "hicond/la/vector_ops.hpp"
+
+namespace hicond {
+
+namespace {
+
+/// Shared implementation. `use_precond` selects PCG; `flexible` switches the
+/// beta recurrence from Fletcher-Reeves to Polak-Ribiere.
+SolveStats cg_impl(const LinearOperator& a, const LinearOperator* m_inv,
+                   std::span<const double> b, std::span<double> x,
+                   const CgOptions& opt, bool flexible) {
+  const std::size_t n = b.size();
+  HICOND_CHECK(x.size() == n, "solution size mismatch");
+  SolveStats stats;
+
+  std::vector<double> r(n);
+  std::vector<double> z(n);
+  std::vector<double> p(n);
+  std::vector<double> ap(n);
+  std::vector<double> z_prev;  // flexible PCG keeps the previous z
+
+  auto project = [&](std::span<double> v) {
+    if (opt.project_constant) la::remove_mean(v);
+  };
+
+  // r = b - A x.
+  a(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  project(r);
+
+  std::vector<double> b_proj(b.begin(), b.end());
+  project(b_proj);
+  const double b_norm = la::norm2(b_proj);
+  const double stop = opt.rel_tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  double r_norm = la::norm2(r);
+  if (opt.record_history) stats.residual_history.push_back(r_norm);
+  if (r_norm <= stop) {
+    stats.converged = true;
+    stats.final_relative_residual = b_norm > 0.0 ? r_norm / b_norm : r_norm;
+    return stats;
+  }
+
+  auto apply_precond = [&]() {
+    if (m_inv != nullptr) {
+      (*m_inv)(r, z);
+      project(z);
+    } else {
+      la::copy(r, z);
+    }
+  };
+
+  apply_precond();
+  la::copy(z, p);
+  double rz = la::dot(r, z);
+  if (flexible) z_prev = z;
+
+  for (int it = 1; it <= opt.max_iterations; ++it) {
+    a(p, ap);
+    project(ap);
+    const double p_ap = la::dot(p, ap);
+    if (!(p_ap > 0.0)) {
+      // Indefinite or null direction: stop, report no convergence.
+      break;
+    }
+    const double alpha = rz / p_ap;
+    la::axpy(alpha, p, x);
+    la::axpy(-alpha, ap, r);
+    project(r);
+    r_norm = la::norm2(r);
+    if (opt.record_history) stats.residual_history.push_back(r_norm);
+    stats.iterations = it;
+    if (r_norm <= stop) {
+      stats.converged = true;
+      break;
+    }
+    apply_precond();
+    double beta;
+    const double rz_new = la::dot(r, z);
+    if (flexible) {
+      // Polak-Ribiere: beta = r'(z - z_prev) / rz.
+      double rz_prev_dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) rz_prev_dot += r[i] * z_prev[i];
+      beta = (rz_new - rz_prev_dot) / rz;
+      z_prev = z;
+    } else {
+      beta = rz_new / rz;
+    }
+    rz = rz_new;
+    if (!(std::abs(rz) > 0.0)) break;
+    la::xpby(z, beta, p);
+  }
+  stats.final_relative_residual = b_norm > 0.0 ? r_norm / b_norm : r_norm;
+  return stats;
+}
+
+}  // namespace
+
+SolveStats cg_solve(const LinearOperator& a, std::span<const double> b,
+                    std::span<double> x, const CgOptions& options) {
+  return cg_impl(a, nullptr, b, x, options, /*flexible=*/false);
+}
+
+SolveStats pcg_solve(const LinearOperator& a, const LinearOperator& m_inv,
+                     std::span<const double> b, std::span<double> x,
+                     const CgOptions& options) {
+  return cg_impl(a, &m_inv, b, x, options, /*flexible=*/false);
+}
+
+SolveStats flexible_pcg_solve(const LinearOperator& a,
+                              const LinearOperator& m_inv,
+                              std::span<const double> b, std::span<double> x,
+                              const CgOptions& options) {
+  return cg_impl(a, &m_inv, b, x, options, /*flexible=*/true);
+}
+
+}  // namespace hicond

@@ -1,0 +1,220 @@
+#include "hicond/la/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "hicond/util/parallel.hpp"
+
+namespace hicond {
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  HICOND_CHECK(x.size() == static_cast<std::size_t>(cols), "x size mismatch");
+  HICOND_CHECK(y.size() == static_cast<std::size_t>(rows), "y size mismatch");
+  parallel_for(static_cast<std::size_t>(rows), [&](std::size_t i) {
+    double acc = 0.0;
+    for (eidx k = offsets[i]; k < offsets[i + 1]; ++k) {
+      acc += values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[i] = acc;
+  });
+}
+
+void CsrMatrix::multiply_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  HICOND_CHECK(x.size() == static_cast<std::size_t>(rows), "x size mismatch");
+  HICOND_CHECK(y.size() == static_cast<std::size_t>(cols), "y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (vidx i = 0; i < rows; ++i) {
+    const double xi = x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    for (eidx k = offsets[static_cast<std::size_t>(i)];
+         k < offsets[static_cast<std::size_t>(i) + 1]; ++k) {
+      y[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])] +=
+          values[static_cast<std::size_t>(k)] * xi;
+    }
+  }
+}
+
+double CsrMatrix::at(vidx i, vidx j) const {
+  const auto lo = static_cast<std::size_t>(offsets[static_cast<std::size_t>(i)]);
+  const auto hi =
+      static_cast<std::size_t>(offsets[static_cast<std::size_t>(i) + 1]);
+  const auto begin = col_idx.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto end = col_idx.begin() + static_cast<std::ptrdiff_t>(hi);
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return values[static_cast<std::size_t>(it - col_idx.begin())];
+}
+
+void CsrMatrix::validate() const {
+  HICOND_CHECK(offsets.size() == static_cast<std::size_t>(rows) + 1,
+               "offsets size mismatch");
+  HICOND_CHECK(offsets.front() == 0 &&
+                   offsets.back() == static_cast<eidx>(col_idx.size()),
+               "offsets endpoints wrong");
+  HICOND_CHECK(col_idx.size() == values.size(), "values size mismatch");
+  for (vidx i = 0; i < rows; ++i) {
+    for (eidx k = offsets[static_cast<std::size_t>(i)];
+         k < offsets[static_cast<std::size_t>(i) + 1]; ++k) {
+      const vidx j = col_idx[static_cast<std::size_t>(k)];
+      HICOND_CHECK(j >= 0 && j < cols, "column index out of range");
+      if (k > offsets[static_cast<std::size_t>(i)]) {
+        HICOND_CHECK(col_idx[static_cast<std::size_t>(k - 1)] < j,
+                     "columns not strictly increasing");
+      }
+      HICOND_CHECK(std::isfinite(values[static_cast<std::size_t>(k)]),
+                   "non-finite value");
+    }
+  }
+}
+
+CsrMatrix csr_from_triplets(
+    vidx rows, vidx cols,
+    std::span<const std::tuple<vidx, vidx, double>> triplets) {
+  std::vector<std::tuple<vidx, vidx, double>> sorted(triplets.begin(),
+                                                     triplets.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) != std::get<0>(b) ? std::get<0>(a) < std::get<0>(b)
+                                            : std::get<1>(a) < std::get<1>(b);
+  });
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.offsets.assign(static_cast<std::size_t>(rows) + 1, 0);
+  for (std::size_t i = 0; i < sorted.size();) {
+    const vidx r = std::get<0>(sorted[i]);
+    const vidx c = std::get<1>(sorted[i]);
+    HICOND_CHECK(r >= 0 && r < rows && c >= 0 && c < cols,
+                 "triplet out of range");
+    double v = 0.0;
+    std::size_t j = i;
+    while (j < sorted.size() && std::get<0>(sorted[j]) == r &&
+           std::get<1>(sorted[j]) == c) {
+      v += std::get<2>(sorted[j]);
+      ++j;
+    }
+    m.col_idx.push_back(c);
+    m.values.push_back(v);
+    ++m.offsets[static_cast<std::size_t>(r) + 1];
+    i = j;
+  }
+  for (vidx r = 0; r < rows; ++r) {
+    m.offsets[static_cast<std::size_t>(r) + 1] +=
+        m.offsets[static_cast<std::size_t>(r)];
+  }
+  return m;
+}
+
+CsrMatrix csr_laplacian(const Graph& g) {
+  const vidx n = g.num_vertices();
+  CsrMatrix m;
+  m.rows = n;
+  m.cols = n;
+  m.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (vidx v = 0; v < n; ++v) {
+    m.offsets[static_cast<std::size_t>(v) + 1] =
+        m.offsets[static_cast<std::size_t>(v)] + g.degree(v) + 1;
+  }
+  m.col_idx.resize(static_cast<std::size_t>(m.offsets.back()));
+  m.values.resize(static_cast<std::size_t>(m.offsets.back()));
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t v) {
+    // Neighbours are sorted in the CSR graph; insert the diagonal in order.
+    auto k = static_cast<std::size_t>(m.offsets[v]);
+    const auto nbrs = g.neighbors(static_cast<vidx>(v));
+    const auto ws = g.weights(static_cast<vidx>(v));
+    bool diag_done = false;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!diag_done && static_cast<std::size_t>(nbrs[i]) > v) {
+        m.col_idx[k] = static_cast<vidx>(v);
+        m.values[k] = g.vol(static_cast<vidx>(v));
+        ++k;
+        diag_done = true;
+      }
+      m.col_idx[k] = nbrs[i];
+      m.values[k] = -ws[i];
+      ++k;
+    }
+    if (!diag_done) {
+      m.col_idx[k] = static_cast<vidx>(v);
+      m.values[k] = g.vol(static_cast<vidx>(v));
+    }
+  });
+  return m;
+}
+
+CsrMatrix csr_normalized_laplacian(const Graph& g) {
+  CsrMatrix m = csr_laplacian(g);
+  std::vector<double> inv_sqrt(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    if (g.vol(v) > 0.0) {
+      inv_sqrt[static_cast<std::size_t>(v)] = 1.0 / std::sqrt(g.vol(v));
+    }
+  }
+  parallel_for(static_cast<std::size_t>(m.rows), [&](std::size_t i) {
+    for (eidx k = m.offsets[i]; k < m.offsets[i + 1]; ++k) {
+      const auto j =
+          static_cast<std::size_t>(m.col_idx[static_cast<std::size_t>(k)]);
+      m.values[static_cast<std::size_t>(k)] *= inv_sqrt[i] * inv_sqrt[j];
+    }
+  });
+  return m;
+}
+
+CsrMatrix membership_matrix(std::span<const vidx> assignment, vidx m) {
+  CsrMatrix r;
+  r.rows = static_cast<vidx>(assignment.size());
+  r.cols = m;
+  r.offsets.resize(assignment.size() + 1);
+  r.col_idx.resize(assignment.size());
+  r.values.assign(assignment.size(), 1.0);
+  r.offsets[0] = 0;
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    HICOND_CHECK(assignment[v] >= 0 && assignment[v] < m,
+                 "assignment value out of range");
+    r.col_idx[v] = assignment[v];
+    r.offsets[v + 1] = static_cast<eidx>(v) + 1;
+  }
+  return r;
+}
+
+CsrMatrix csr_transpose(const CsrMatrix& a) {
+  CsrMatrix t;
+  t.rows = a.cols;
+  t.cols = a.rows;
+  t.offsets.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+  for (vidx j : a.col_idx) ++t.offsets[static_cast<std::size_t>(j) + 1];
+  for (vidx c = 0; c < a.cols; ++c) {
+    t.offsets[static_cast<std::size_t>(c) + 1] +=
+        t.offsets[static_cast<std::size_t>(c)];
+  }
+  t.col_idx.resize(a.col_idx.size());
+  t.values.resize(a.values.size());
+  std::vector<eidx> cursor(t.offsets.begin(), t.offsets.end() - 1);
+  for (vidx i = 0; i < a.rows; ++i) {
+    for (eidx k = a.offsets[static_cast<std::size_t>(i)];
+         k < a.offsets[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto j = static_cast<std::size_t>(
+          a.col_idx[static_cast<std::size_t>(k)]);
+      const auto pos = static_cast<std::size_t>(cursor[j]++);
+      t.col_idx[pos] = i;
+      t.values[pos] = a.values[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;
+}
+
+std::vector<double> csr_row_sums(const CsrMatrix& a) {
+  std::vector<double> sums(static_cast<std::size_t>(a.rows), 0.0);
+  parallel_for(static_cast<std::size_t>(a.rows), [&](std::size_t i) {
+    double acc = 0.0;
+    for (eidx k = a.offsets[i]; k < a.offsets[i + 1]; ++k) {
+      acc += a.values[static_cast<std::size_t>(k)];
+    }
+    sums[i] = acc;
+  });
+  return sums;
+}
+
+}  // namespace hicond

@@ -1,0 +1,198 @@
+#include "hicond/la/dense.hpp"
+
+#include <cmath>
+
+namespace hicond {
+
+DenseMatrix DenseMatrix::identity(vidx n) {
+  DenseMatrix m(n, n);
+  for (vidx i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void DenseMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+  HICOND_CHECK(x.size() == static_cast<std::size_t>(cols_), "x size mismatch");
+  HICOND_CHECK(y.size() == static_cast<std::size_t>(rows_), "y size mismatch");
+  for (vidx i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (vidx j = 0; j < cols_; ++j) {
+      acc += (*this)(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (vidx i = 0; i < rows_; ++i) {
+    for (vidx j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+double DenseMatrix::frobenius_distance(const DenseMatrix& other) const {
+  HICOND_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+DenseMatrix operator*(const DenseMatrix& a, const DenseMatrix& b) {
+  HICOND_CHECK(a.cols_ == b.rows_, "inner dimension mismatch");
+  DenseMatrix c(a.rows_, b.cols_);
+  for (vidx i = 0; i < a.rows_; ++i) {
+    for (vidx k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (vidx j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+DenseMatrix operator+(const DenseMatrix& a, const DenseMatrix& b) {
+  HICOND_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_, "shape mismatch");
+  DenseMatrix c = a;
+  for (std::size_t i = 0; i < c.data_.size(); ++i) c.data_[i] += b.data_[i];
+  return c;
+}
+
+DenseMatrix operator-(const DenseMatrix& a, const DenseMatrix& b) {
+  HICOND_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_, "shape mismatch");
+  DenseMatrix c = a;
+  for (std::size_t i = 0; i < c.data_.size(); ++i) c.data_[i] -= b.data_[i];
+  return c;
+}
+
+DenseMatrix& DenseMatrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+DenseMatrix dense_laplacian(const Graph& g) {
+  const vidx n = g.num_vertices();
+  DenseMatrix l(n, n);
+  for (vidx v = 0; v < n; ++v) {
+    l(v, v) = g.vol(v);
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      l(v, nbrs[i]) -= ws[i];
+    }
+  }
+  return l;
+}
+
+DenseMatrix dense_normalized_laplacian(const Graph& g) {
+  const vidx n = g.num_vertices();
+  std::vector<double> inv_sqrt(static_cast<std::size_t>(n), 0.0);
+  for (vidx v = 0; v < n; ++v) {
+    if (g.vol(v) > 0.0) {
+      inv_sqrt[static_cast<std::size_t>(v)] = 1.0 / std::sqrt(g.vol(v));
+    }
+  }
+  DenseMatrix l(n, n);
+  for (vidx v = 0; v < n; ++v) {
+    if (g.vol(v) > 0.0) l(v, v) = 1.0;
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      l(v, nbrs[i]) -= ws[i] * inv_sqrt[static_cast<std::size_t>(v)] *
+                       inv_sqrt[static_cast<std::size_t>(nbrs[i])];
+    }
+  }
+  return l;
+}
+
+DenseMatrix cholesky(DenseMatrix a) {
+  HICOND_CHECK(a.rows() == a.cols(), "cholesky of non-square matrix");
+  const vidx n = a.rows();
+  for (vidx k = 0; k < n; ++k) {
+    double diag = a(k, k);
+    for (vidx j = 0; j < k; ++j) diag -= a(k, j) * a(k, j);
+    if (diag <= 0.0) {
+      throw numeric_error("cholesky: matrix is not positive definite");
+    }
+    const double lkk = std::sqrt(diag);
+    a(k, k) = lkk;
+    for (vidx i = k + 1; i < n; ++i) {
+      double acc = a(i, k);
+      for (vidx j = 0; j < k; ++j) acc -= a(i, j) * a(k, j);
+      a(i, k) = acc / lkk;
+    }
+  }
+  for (vidx i = 0; i < n; ++i) {
+    for (vidx j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  }
+  return a;
+}
+
+std::vector<double> cholesky_solve(const DenseMatrix& l,
+                                   std::span<const double> b) {
+  const vidx n = l.rows();
+  HICOND_CHECK(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  // Forward substitution L y = b.
+  for (vidx i = 0; i < n; ++i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    for (vidx j = 0; j < i; ++j) acc -= l(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc / l(i, i);
+  }
+  // Back substitution L' x = y.
+  for (vidx i = n - 1; i >= 0; --i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    for (vidx j = i + 1; j < n; ++j) {
+      acc -= l(j, i) * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = acc / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> spd_solve(const DenseMatrix& a, std::span<const double> b) {
+  return cholesky_solve(cholesky(a), b);
+}
+
+std::vector<double> laplacian_pseudo_solve_dense(const DenseMatrix& l,
+                                                 std::span<const double> b) {
+  const vidx n = l.rows();
+  HICOND_CHECK(n >= 1, "empty system");
+  HICOND_CHECK(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  if (n == 1) return {0.0};
+  // Ground the last vertex: solve the leading (n-1)x(n-1) principal block.
+  DenseMatrix reduced(n - 1, n - 1);
+  for (vidx i = 0; i + 1 < n; ++i) {
+    for (vidx j = 0; j + 1 < n; ++j) reduced(i, j) = l(i, j);
+  }
+  std::vector<double> rb(b.begin(), b.end() - 1);
+  std::vector<double> xr = spd_solve(reduced, rb);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (vidx i = 0; i + 1 < n; ++i) {
+    x[static_cast<std::size_t>(i)] = xr[static_cast<std::size_t>(i)];
+  }
+  // Re-center onto the subspace orthogonal to the constant vector.
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+  for (double& v : x) v -= mean;
+  return x;
+}
+
+DenseMatrix spd_inverse(const DenseMatrix& a) {
+  const vidx n = a.rows();
+  const DenseMatrix l = cholesky(a);
+  DenseMatrix inv(n, n);
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  for (vidx j = 0; j < n; ++j) {
+    e[static_cast<std::size_t>(j)] = 1.0;
+    const auto col = cholesky_solve(l, e);
+    for (vidx i = 0; i < n; ++i) inv(i, j) = col[static_cast<std::size_t>(i)];
+    e[static_cast<std::size_t>(j)] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace hicond

@@ -1,0 +1,91 @@
+// Small dense linear algebra: matrices, Cholesky, Laplacian pseudo-solves.
+//
+// These routines back the exact verification paths of the library (support
+// numbers, Schur complements, Theorem 4.1 checks) on small and medium
+// problems; the scalable paths use the sparse and iterative modules.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/util/common.hpp"
+
+namespace hicond {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(vidx rows, vidx cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {
+    HICOND_CHECK(rows >= 0 && cols >= 0, "negative dimensions");
+  }
+
+  [[nodiscard]] static DenseMatrix identity(vidx n);
+
+  [[nodiscard]] vidx rows() const noexcept { return rows_; }
+  [[nodiscard]] vidx cols() const noexcept { return cols_; }
+
+  double& operator()(vidx i, vidx j) {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+  double operator()(vidx i, vidx j) const {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+
+  /// y = this * x.
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  /// Frobenius norm of (this - other).
+  [[nodiscard]] double frobenius_distance(const DenseMatrix& other) const;
+
+  friend DenseMatrix operator*(const DenseMatrix& a, const DenseMatrix& b);
+  friend DenseMatrix operator+(const DenseMatrix& a, const DenseMatrix& b);
+  friend DenseMatrix operator-(const DenseMatrix& a, const DenseMatrix& b);
+  DenseMatrix& operator*=(double s);
+
+ private:
+  vidx rows_ = 0;
+  vidx cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dense Laplacian of a graph.
+[[nodiscard]] DenseMatrix dense_laplacian(const Graph& g);
+
+/// Dense normalized Laplacian D^{-1/2} A_G D^{-1/2}; isolated vertices get a
+/// zero row/column.
+[[nodiscard]] DenseMatrix dense_normalized_laplacian(const Graph& g);
+
+/// In-place Cholesky factorization A = L L' of an SPD matrix (lower triangle
+/// returned, strict upper zeroed). Throws numeric_error on non-SPD input.
+[[nodiscard]] DenseMatrix cholesky(DenseMatrix a);
+
+/// Solve L L' x = b given the Cholesky factor L.
+[[nodiscard]] std::vector<double> cholesky_solve(const DenseMatrix& l,
+                                                 std::span<const double> b);
+
+/// Solve A x = b for SPD A (factorize + solve).
+[[nodiscard]] std::vector<double> spd_solve(const DenseMatrix& a,
+                                            std::span<const double> b);
+
+/// Pseudo-solve L x = b for a connected-graph Laplacian L: solves on the
+/// subspace orthogonal to the constant vector by grounding the last vertex,
+/// then re-centers x. b must (approximately) sum to zero.
+[[nodiscard]] std::vector<double> laplacian_pseudo_solve_dense(
+    const DenseMatrix& l, std::span<const double> b);
+
+/// Matrix inverse via Cholesky (SPD only).
+[[nodiscard]] DenseMatrix spd_inverse(const DenseMatrix& a);
+
+}  // namespace hicond

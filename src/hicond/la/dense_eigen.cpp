@@ -1,0 +1,163 @@
+#include "hicond/la/dense_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hicond {
+
+EigenDecomposition symmetric_eigen(DenseMatrix a) {
+  HICOND_CHECK(a.rows() == a.cols(), "eigen of non-square matrix");
+  const vidx n = a.rows();
+  // Symmetrize defensively.
+  for (vidx i = 0; i < n; ++i) {
+    for (vidx j = i + 1; j < n; ++j) {
+      const double s = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+  }
+  DenseMatrix v = DenseMatrix::identity(n);
+  auto off_norm = [&a, n]() {
+    double acc = 0.0;
+    for (vidx i = 0; i < n; ++i) {
+      for (vidx j = i + 1; j < n; ++j) acc += a(i, j) * a(i, j);
+    }
+    return std::sqrt(acc);
+  };
+  double scale = 0.0;
+  for (vidx i = 0; i < n; ++i) scale = std::max(scale, std::abs(a(i, i)));
+  scale = std::max(scale, off_norm());
+  const double tol = std::max(scale, 1.0) * 1e-14;
+  for (int sweep = 0; sweep < 100 && off_norm() > tol; ++sweep) {
+    for (vidx p = 0; p < n; ++p) {
+      for (vidx q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tol * 1e-2) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q of a.
+        for (vidx k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (vidx k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (vidx k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Sort ascending by eigenvalue.
+  std::vector<vidx> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](vidx i, vidx j) { return a(i, i) < a(j, j); });
+  EigenDecomposition result;
+  result.values.resize(static_cast<std::size_t>(n));
+  result.vectors = DenseMatrix(n, n);
+  for (vidx j = 0; j < n; ++j) {
+    const vidx src = order[static_cast<std::size_t>(j)];
+    result.values[static_cast<std::size_t>(j)] = a(src, src);
+    for (vidx i = 0; i < n; ++i) result.vectors(i, j) = v(i, src);
+  }
+  return result;
+}
+
+namespace {
+
+/// x = L^-T y for lower-triangular L (back substitution on each column).
+DenseMatrix solve_lt_transpose(const DenseMatrix& l, const DenseMatrix& y) {
+  const vidx n = l.rows();
+  DenseMatrix x = y;
+  for (vidx col = 0; col < x.cols(); ++col) {
+    for (vidx i = n - 1; i >= 0; --i) {
+      double acc = x(i, col);
+      for (vidx j = i + 1; j < n; ++j) acc -= l(j, i) * x(j, col);
+      x(i, col) = acc / l(i, i);
+    }
+  }
+  return x;
+}
+
+/// x = L^-1 y for lower-triangular L (forward substitution per column).
+DenseMatrix solve_lt(const DenseMatrix& l, const DenseMatrix& y) {
+  const vidx n = l.rows();
+  DenseMatrix x = y;
+  for (vidx col = 0; col < x.cols(); ++col) {
+    for (vidx i = 0; i < n; ++i) {
+      double acc = x(i, col);
+      for (vidx j = 0; j < i; ++j) acc -= l(i, j) * x(j, col);
+      x(i, col) = acc / l(i, i);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+EigenDecomposition generalized_eigen_spd(const DenseMatrix& a,
+                                         const DenseMatrix& b) {
+  HICOND_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  const DenseMatrix l = cholesky(b);
+  // C = L^-1 A L^-T: z = L^-1 A, then C = (L^-1 z')' = L^-1 A L^-T.
+  const DenseMatrix z = solve_lt(l, a);
+  const DenseMatrix c = solve_lt(l, z.transpose()).transpose();
+  EigenDecomposition eig = symmetric_eigen(c);
+  // Lift eigenvectors: x = L^-T y.
+  eig.vectors = solve_lt_transpose(l, eig.vectors);
+  return eig;
+}
+
+DenseMatrix helmert_basis(vidx n) {
+  HICOND_CHECK(n >= 2, "helmert basis needs n >= 2");
+  DenseMatrix u(n, n - 1);
+  for (vidx k = 1; k < n; ++k) {
+    const double kk = static_cast<double>(k);
+    const double norm = 1.0 / std::sqrt(kk * (kk + 1.0));
+    for (vidx i = 0; i < k; ++i) u(i, k - 1) = norm;
+    u(k, k - 1) = -kk * norm;
+  }
+  return u;
+}
+
+EigenDecomposition generalized_eigen_laplacian(const DenseMatrix& a,
+                                               const DenseMatrix& b) {
+  HICOND_CHECK(a.rows() == a.cols() && b.rows() == b.cols() &&
+                   a.rows() == b.rows(),
+               "shape mismatch");
+  const vidx n = a.rows();
+  HICOND_CHECK(n >= 2, "pencil needs n >= 2");
+  const DenseMatrix u = helmert_basis(n);
+  const DenseMatrix ut = u.transpose();
+  const DenseMatrix ar = ut * (a * u);
+  const DenseMatrix br = ut * (b * u);
+  EigenDecomposition eig = generalized_eigen_spd(ar, br);
+  eig.vectors = u * eig.vectors;  // lift back to R^n
+  return eig;
+}
+
+double lambda_max_laplacian_pencil(const DenseMatrix& a, const DenseMatrix& b) {
+  const auto eig = generalized_eigen_laplacian(a, b);
+  return eig.values.back();
+}
+
+double lambda_min_laplacian_pencil(const DenseMatrix& a, const DenseMatrix& b) {
+  const auto eig = generalized_eigen_laplacian(a, b);
+  return eig.values.front();
+}
+
+}  // namespace hicond

@@ -1,0 +1,46 @@
+// Dense symmetric eigensolvers (cyclic Jacobi) and generalized pencil
+// eigenproblems, including the Laplacian pencils with a shared constant
+// null space that the support theory of Sections 3-5 is built on.
+#pragma once
+
+#include "hicond/la/dense.hpp"
+
+namespace hicond {
+
+/// Eigenvalues (ascending) and matching eigenvectors (as matrix columns).
+struct EigenDecomposition {
+  std::vector<double> values;
+  DenseMatrix vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+/// Input is copied; only the symmetric part is read.
+[[nodiscard]] EigenDecomposition symmetric_eigen(DenseMatrix a);
+
+/// Generalized symmetric-definite eigenproblem A x = lambda B x with B SPD.
+/// Solved by congruence: B = L L', C = L^-1 A L^-T, eig(C); eigenvectors are
+/// returned in the original coordinates (B-orthonormal).
+[[nodiscard]] EigenDecomposition generalized_eigen_spd(const DenseMatrix& a,
+                                                       const DenseMatrix& b);
+
+/// Generalized eigenproblem for a pair of connected-graph Laplacians sharing
+/// the constant null space. The pencil is restricted to the orthogonal
+/// complement of the constant vector (Helmert basis), where B is SPD; the
+/// n-1 finite eigenpairs are returned with eigenvectors lifted back to R^n.
+[[nodiscard]] EigenDecomposition generalized_eigen_laplacian(
+    const DenseMatrix& a, const DenseMatrix& b);
+
+/// lambda_max(A, B) over the complement of the constant vector; this equals
+/// the support number sigma(A, B) of Lemma 5.3 for connected Laplacians.
+[[nodiscard]] double lambda_max_laplacian_pencil(const DenseMatrix& a,
+                                                 const DenseMatrix& b);
+
+/// lambda_min(A, B) over the complement of the constant vector.
+[[nodiscard]] double lambda_min_laplacian_pencil(const DenseMatrix& a,
+                                                 const DenseMatrix& b);
+
+/// Orthonormal basis of the complement of the constant vector in R^n as an
+/// n x (n-1) matrix (Helmert contrasts).
+[[nodiscard]] DenseMatrix helmert_basis(vidx n);
+
+}  // namespace hicond

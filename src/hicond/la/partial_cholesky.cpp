@@ -1,0 +1,152 @@
+#include "hicond/la/partial_cholesky.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/la/vector_ops.hpp"
+
+namespace hicond {
+
+PartialCholesky PartialCholesky::eliminate_low_degree(const Graph& g) {
+  const vidx n = g.num_vertices();
+  PartialCholesky pc;
+  pc.n_ = n;
+  // Dynamic adjacency: ordered maps keep neighbour iteration deterministic.
+  std::vector<std::map<vidx, double>> adj(static_cast<std::size_t>(n));
+  for (vidx v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      adj[static_cast<std::size_t>(v)][nbrs[i]] = ws[i];
+    }
+  }
+  std::vector<char> eliminated(static_cast<std::size_t>(n), 0);
+  std::vector<vidx> queue;
+  std::vector<char> queued(static_cast<std::size_t>(n), 0);
+  for (vidx v = 0; v < n; ++v) {
+    if (adj[static_cast<std::size_t>(v)].size() <= 2) {
+      queue.push_back(v);
+      queued[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  vidx live = n;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vidx v = queue[head];
+    if (eliminated[static_cast<std::size_t>(v)]) continue;
+    auto& nv = adj[static_cast<std::size_t>(v)];
+    if (nv.size() > 2) continue;  // degree grew back? (cannot happen, guard)
+    if (live <= 1) break;         // keep at least one vertex as the core
+    Step step;
+    step.v = v;
+    if (nv.size() >= 1) {
+      step.a = nv.begin()->first;
+      step.wa = nv.begin()->second;
+    }
+    if (nv.size() == 2) {
+      step.b = std::next(nv.begin())->first;
+      step.wb = std::next(nv.begin())->second;
+    }
+    // Update the dynamic graph.
+    if (step.a != -1) adj[static_cast<std::size_t>(step.a)].erase(v);
+    if (step.b != -1) adj[static_cast<std::size_t>(step.b)].erase(v);
+    if (step.b != -1) {
+      // Degree-2 elimination adds (or reinforces) edge (a, b).
+      const double w_new = step.wa * step.wb / (step.wa + step.wb);
+      adj[static_cast<std::size_t>(step.a)][step.b] += w_new;
+      adj[static_cast<std::size_t>(step.b)][step.a] += w_new;
+    }
+    eliminated[static_cast<std::size_t>(v)] = 1;
+    nv.clear();
+    --live;
+    pc.steps_.push_back(step);
+    for (vidx u : {step.a, step.b}) {
+      if (u != -1 && !eliminated[static_cast<std::size_t>(u)] &&
+          adj[static_cast<std::size_t>(u)].size() <= 2 &&
+          !queued[static_cast<std::size_t>(u)]) {
+        queue.push_back(u);
+        queued[static_cast<std::size_t>(u)] = 1;
+      }
+      // Allow requeueing later if degree drops again.
+      if (u != -1 && adj[static_cast<std::size_t>(u)].size() > 2) {
+        queued[static_cast<std::size_t>(u)] = 0;
+      }
+    }
+  }
+  // Assemble the core graph.
+  pc.core_index_.assign(static_cast<std::size_t>(n), -1);
+  for (vidx v = 0; v < n; ++v) {
+    if (!eliminated[static_cast<std::size_t>(v)]) {
+      pc.core_index_[static_cast<std::size_t>(v)] =
+          static_cast<vidx>(pc.core_vertices_.size());
+      pc.core_vertices_.push_back(v);
+    }
+  }
+  GraphBuilder b(static_cast<vidx>(pc.core_vertices_.size()));
+  for (vidx v : pc.core_vertices_) {
+    for (const auto& [u, w] : adj[static_cast<std::size_t>(v)]) {
+      const vidx cu = pc.core_index_[static_cast<std::size_t>(u)];
+      const vidx cv = pc.core_index_[static_cast<std::size_t>(v)];
+      HICOND_ASSERT(cu != -1);
+      if (cv < cu) b.add_edge(cv, cu, w);
+    }
+  }
+  pc.core_ = b.build();
+  return pc;
+}
+
+std::vector<double> PartialCholesky::solve(
+    std::span<const double> b,
+    const std::function<std::vector<double>(std::span<const double>)>&
+        core_solver) const {
+  HICOND_CHECK(b.size() == static_cast<std::size_t>(n_), "rhs size mismatch");
+  // Forward pass: push rhs mass of eliminated vertices onto survivors.
+  std::vector<double> work(b.begin(), b.end());
+  for (const Step& s : steps_) {
+    const double bv = work[static_cast<std::size_t>(s.v)];
+    if (s.b != -1) {
+      const double total = s.wa + s.wb;
+      work[static_cast<std::size_t>(s.a)] += s.wa / total * bv;
+      work[static_cast<std::size_t>(s.b)] += s.wb / total * bv;
+    } else if (s.a != -1) {
+      work[static_cast<std::size_t>(s.a)] += bv;
+    }
+  }
+  // Core solve.
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  if (!core_vertices_.empty()) {
+    std::vector<double> core_b;
+    core_b.reserve(core_vertices_.size());
+    for (vidx v : core_vertices_) {
+      core_b.push_back(work[static_cast<std::size_t>(v)]);
+    }
+    const std::vector<double> core_x = core_solver(core_b);
+    HICOND_CHECK(core_x.size() == core_vertices_.size(),
+                 "core solver returned wrong size");
+    for (std::size_t i = 0; i < core_vertices_.size(); ++i) {
+      x[static_cast<std::size_t>(core_vertices_[i])] = core_x[i];
+    }
+  }
+  // Back substitution in reverse elimination order. The rhs seen by vertex v
+  // at its elimination time is work[v]: it accumulated the shares of all
+  // previously eliminated neighbours and receives nothing afterwards.
+  for (std::size_t i = steps_.size(); i-- > 0;) {
+    const Step& s = steps_[i];
+    const double bv = work[static_cast<std::size_t>(s.v)];
+    if (s.b != -1) {
+      x[static_cast<std::size_t>(s.v)] =
+          (s.wa * x[static_cast<std::size_t>(s.a)] +
+           s.wb * x[static_cast<std::size_t>(s.b)] + bv) /
+          (s.wa + s.wb);
+    } else if (s.a != -1) {
+      x[static_cast<std::size_t>(s.v)] =
+          x[static_cast<std::size_t>(s.a)] + bv / s.wa;
+    } else {
+      x[static_cast<std::size_t>(s.v)] = 0.0;  // isolated vertex
+    }
+  }
+  la::remove_mean(x);
+  return x;
+}
+
+}  // namespace hicond

@@ -1,0 +1,65 @@
+// Partial Cholesky elimination of degree-1 and degree-2 vertices.
+//
+// Subgraph preconditioners (tree + a few off-tree edges) are applied by
+// greedily eliminating degree-1 vertices and degree-2 chains, which reduces
+// the system to a small "core" on roughly the off-tree endpoints (Remark 2
+// of the paper discusses exactly this sequential elimination structure).
+// The elimination is recorded so that solves replay it: forward-reduce the
+// rhs, solve the core with any exact solver, back-substitute.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+/// Result of eliminating all degree <= 2 vertices of a graph Laplacian.
+class PartialCholesky {
+ public:
+  /// Eliminate degree-0/1/2 vertices of g until none remain (or the graph is
+  /// exhausted). The input graph is not modified.
+  [[nodiscard]] static PartialCholesky eliminate_low_degree(const Graph& g);
+
+  /// The reduced (core) graph; every vertex has degree >= 3, or the core is
+  /// empty when the input was a forest / chain structure.
+  [[nodiscard]] const Graph& core() const noexcept { return core_; }
+
+  /// Original vertex ids of the core vertices (core vertex i corresponds to
+  /// core_vertices()[i] in the input graph).
+  [[nodiscard]] std::span<const vidx> core_vertices() const noexcept {
+    return core_vertices_;
+  }
+
+  [[nodiscard]] vidx num_eliminated() const noexcept {
+    return static_cast<vidx>(steps_.size());
+  }
+
+  /// Solve L x = b given a pseudo-solver for the core Laplacian. The core
+  /// solver receives the reduced rhs (indexed by core vertex) and must
+  /// return a solution of the core system. The returned x is mean-free when
+  /// the input graph is connected.
+  [[nodiscard]] std::vector<double> solve(
+      std::span<const double> b,
+      const std::function<std::vector<double>(std::span<const double>)>&
+          core_solver) const;
+
+ private:
+  struct Step {
+    vidx v = -1;      ///< eliminated vertex (original id)
+    vidx a = -1;      ///< first neighbour at elimination time (-1 if none)
+    vidx b = -1;      ///< second neighbour (-1 for degree <= 1)
+    double wa = 0.0;  ///< weight to a
+    double wb = 0.0;  ///< weight to b
+  };
+
+  vidx n_ = 0;
+  std::vector<Step> steps_;  ///< in elimination order
+  Graph core_;
+  std::vector<vidx> core_vertices_;
+  std::vector<vidx> core_index_;  ///< original id -> core id (-1 otherwise)
+};
+
+}  // namespace hicond

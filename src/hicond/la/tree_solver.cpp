@@ -1,0 +1,80 @@
+#include "hicond/la/tree_solver.hpp"
+
+#include "hicond/graph/connectivity.hpp"
+
+namespace hicond {
+
+ForestSolver::ForestSolver(const Graph& g) : n_(g.num_vertices()) {
+  HICOND_CHECK(is_forest(g), "ForestSolver requires an acyclic graph");
+  order_.reserve(static_cast<std::size_t>(n_));
+  parent_.assign(static_cast<std::size_t>(n_), -2);  // -2 = unvisited
+  parent_weight_.assign(static_cast<std::size_t>(n_), 0.0);
+  component_start_.push_back(0);
+  std::vector<vidx> stack;
+  for (vidx root = 0; root < n_; ++root) {
+    if (parent_[static_cast<std::size_t>(root)] != -2) continue;
+    parent_[static_cast<std::size_t>(root)] = -1;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const vidx v = stack.back();
+      stack.pop_back();
+      order_.push_back(v);
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (parent_[static_cast<std::size_t>(nbrs[i])] == -2) {
+          parent_[static_cast<std::size_t>(nbrs[i])] = v;
+          parent_weight_[static_cast<std::size_t>(nbrs[i])] = ws[i];
+          stack.push_back(nbrs[i]);
+        }
+      }
+    }
+    component_start_.push_back(static_cast<vidx>(order_.size()));
+  }
+}
+
+std::vector<double> ForestSolver::solve(std::span<const double> b) const {
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  apply(b, x);
+  return x;
+}
+
+void ForestSolver::apply(std::span<const double> b, std::span<double> x) const {
+  HICOND_CHECK(b.size() == static_cast<std::size_t>(n_), "rhs size mismatch");
+  HICOND_CHECK(x.size() == static_cast<std::size_t>(n_), "x size mismatch");
+  // Upward pass: accumulate subtree sums of b (reverse BFS order visits
+  // children before parents).
+  std::vector<double> acc(b.begin(), b.end());
+  for (std::size_t i = order_.size(); i-- > 0;) {
+    const vidx v = order_[i];
+    const vidx p = parent_[static_cast<std::size_t>(v)];
+    if (p >= 0) acc[static_cast<std::size_t>(p)] += acc[static_cast<std::size_t>(v)];
+  }
+  // Downward pass: x_v = x_parent + subtree_sum(v) / w(v, parent).
+  for (const vidx v : order_) {
+    const vidx p = parent_[static_cast<std::size_t>(v)];
+    if (p < 0) {
+      x[static_cast<std::size_t>(v)] = 0.0;
+    } else {
+      x[static_cast<std::size_t>(v)] =
+          x[static_cast<std::size_t>(p)] +
+          acc[static_cast<std::size_t>(v)] /
+              parent_weight_[static_cast<std::size_t>(v)];
+    }
+  }
+  // Mean-free per component.
+  for (std::size_t c = 0; c + 1 < component_start_.size(); ++c) {
+    const vidx lo = component_start_[c];
+    const vidx hi = component_start_[c + 1];
+    double mean = 0.0;
+    for (vidx i = lo; i < hi; ++i) {
+      mean += x[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)])];
+    }
+    mean /= static_cast<double>(hi - lo);
+    for (vidx i = lo; i < hi; ++i) {
+      x[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)])] -= mean;
+    }
+  }
+}
+
+}  // namespace hicond

@@ -1,0 +1,41 @@
+// Exact O(n) solver for forest (tree) Laplacians.
+//
+// Tree Laplacian systems solve by leaf elimination: accumulate the right-hand
+// side toward the roots, then propagate potentials back down. This is the
+// elimination structure Remark 2 of the paper contrasts with -- for Steiner
+// trees all leaves are eliminated in a single independent round, while
+// subgraph preconditioners need the sequential chain treated here.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+/// Pseudo-solver for the Laplacian of a forest. Solutions are mean-free per
+/// connected component; the rhs must sum to zero on every component (up to
+/// roundoff) for the result to be a true solution.
+class ForestSolver {
+ public:
+  explicit ForestSolver(const Graph& g);
+
+  /// Solve L x = b in the pseudo-inverse sense.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  void apply(std::span<const double> b, std::span<double> x) const;
+
+  [[nodiscard]] vidx num_components() const noexcept {
+    return static_cast<vidx>(component_start_.size()) - 1;
+  }
+
+ private:
+  vidx n_ = 0;
+  std::vector<vidx> order_;          // BFS order, roots first per component
+  std::vector<vidx> parent_;         // parent in the rooted forest (-1 root)
+  std::vector<double> parent_weight_;
+  std::vector<vidx> component_start_;  // offsets into order_ per component
+};
+
+}  // namespace hicond

@@ -1,0 +1,139 @@
+#include "hicond/partition/decomposition.hpp"
+
+#include <algorithm>
+
+#include "hicond/graph/closure.hpp"
+#include "hicond/graph/conductance.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/quotient.hpp"
+
+namespace hicond {
+
+void validate_decomposition(const Graph& g, const Decomposition& d) {
+  HICOND_CHECK(d.assignment.size() == static_cast<std::size_t>(g.num_vertices()),
+               "assignment size mismatch");
+  std::vector<char> seen(static_cast<std::size_t>(d.num_clusters), 0);
+  for (vidx c : d.assignment) {
+    HICOND_CHECK(c >= 0 && c < d.num_clusters,
+                 "cluster id out of range (unassigned vertex?)");
+    seen[static_cast<std::size_t>(c)] = 1;
+  }
+  for (vidx c = 0; c < d.num_clusters; ++c) {
+    HICOND_CHECK(seen[static_cast<std::size_t>(c)], "empty cluster id");
+  }
+}
+
+std::vector<double> per_vertex_gamma(const Graph& g, const Decomposition& d) {
+  validate_decomposition(g, d);
+  const vidx n = g.num_vertices();
+  std::vector<double> gamma(static_cast<std::size_t>(n), 0.0);
+  for (vidx v = 0; v < n; ++v) {
+    if (g.vol(v) <= 0.0) {
+      gamma[static_cast<std::size_t>(v)] = 1.0;  // isolated: vacuous
+      continue;
+    }
+    const vidx cv = d.assignment[static_cast<std::size_t>(v)];
+    double internal = 0.0;
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (d.assignment[static_cast<std::size_t>(nbrs[i])] == cv) {
+        internal += ws[i];
+      }
+    }
+    gamma[static_cast<std::size_t>(v)] = internal / g.vol(v);
+  }
+  return gamma;
+}
+
+DecompositionStats evaluate_decomposition(const Graph& g,
+                                          const Decomposition& d,
+                                          vidx exact_limit) {
+  validate_decomposition(g, d);
+  DecompositionStats stats;
+  stats.num_clusters = d.num_clusters;
+  stats.reduction_factor = d.reduction_factor();
+  stats.min_phi_lower = kInfiniteConductance;
+  stats.min_phi_upper = kInfiniteConductance;
+  stats.phi_exact = true;
+  const auto members = cluster_members(d.assignment, d.num_clusters);
+  for (const auto& cluster : members) {
+    stats.max_cluster_size =
+        std::max(stats.max_cluster_size, static_cast<vidx>(cluster.size()));
+    if (cluster.size() == 1) ++stats.num_singletons;
+    const ClosureGraph closure = closure_graph(g, cluster);
+    // A cluster must induce a connected subgraph; check on the closure's
+    // cluster part.
+    const Graph induced = induced_subgraph(g, cluster);
+    if (!is_connected(induced)) ++stats.num_disconnected_clusters;
+    const ConductanceBounds b = conductance_bounds(closure.graph, exact_limit);
+    stats.min_phi_lower = std::min(stats.min_phi_lower, b.lower);
+    stats.min_phi_upper = std::min(stats.min_phi_upper, b.upper);
+    if (!b.exact) stats.phi_exact = false;
+  }
+  stats.mean_cluster_size =
+      d.num_clusters > 0 ? static_cast<double>(g.num_vertices()) /
+                               static_cast<double>(d.num_clusters)
+                         : 0.0;
+  const auto gamma = per_vertex_gamma(g, d);
+  stats.min_gamma = gamma.empty()
+                        ? 0.0
+                        : *std::min_element(gamma.begin(), gamma.end());
+  return stats;
+}
+
+double cut_weight_fraction(const Graph& g, const Decomposition& d) {
+  validate_decomposition(g, d);
+  double crossing = 0.0;
+  double total = 0.0;
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    const vidx cv = d.assignment[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (v < nbrs[i]) {
+        total += ws[i];
+        if (d.assignment[static_cast<std::size_t>(nbrs[i])] != cv) {
+          crossing += ws[i];
+        }
+      }
+    }
+  }
+  return total > 0.0 ? crossing / total : 0.0;
+}
+
+double average_gamma(const Graph& g, const Decomposition& d) {
+  const auto gamma = per_vertex_gamma(g, d);
+  double weighted = 0.0;
+  double total_vol = 0.0;
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    weighted += g.vol(v) * gamma[static_cast<std::size_t>(v)];
+    total_vol += g.vol(v);
+  }
+  return total_vol > 0.0 ? weighted / total_vol : 0.0;
+}
+
+Decomposition singleton_decomposition(const Graph& g) {
+  Decomposition d;
+  d.num_clusters = g.num_vertices();
+  d.assignment.resize(static_cast<std::size_t>(g.num_vertices()));
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    d.assignment[static_cast<std::size_t>(v)] = v;
+  }
+  return d;
+}
+
+Decomposition compose(const Decomposition& d1, const Decomposition& d2) {
+  HICOND_CHECK(d2.assignment.size() == static_cast<std::size_t>(d1.num_clusters),
+               "compose: d2 must partition the clusters of d1");
+  Decomposition out;
+  out.num_clusters = d2.num_clusters;
+  out.assignment.resize(d1.assignment.size());
+  for (std::size_t v = 0; v < d1.assignment.size(); ++v) {
+    out.assignment[v] = d2.assignment[static_cast<std::size_t>(
+        d1.assignment[v])];
+  }
+  return out;
+}
+
+}  // namespace hicond

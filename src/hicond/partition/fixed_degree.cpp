@@ -1,0 +1,123 @@
+#include "hicond/partition/fixed_degree.hpp"
+
+#include <algorithm>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/tree/tree_splitting.hpp"
+#include "hicond/util/parallel.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+
+namespace {
+
+/// Deterministic perturbation factor in (1, 2) for the undirected edge
+/// (u, v): both endpoints compute the same factor regardless of direction.
+double perturbation(std::uint64_t seed, vidx u, vidx v) {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return counter_uniform(seed, (hi << 32) | lo, 1.0, 2.0);
+}
+
+/// Strictly ordered comparison of perturbed edges incident to a vertex:
+/// heavier perturbed weight wins; exact ties (measure zero, but possible
+/// with equal inputs) break on the neighbour id so the choice is a strict
+/// total order and the union of choices is acyclic.
+struct Pick {
+  vidx to = -1;
+  double w_hat = -1.0;
+  double w_orig = 0.0;
+};
+
+}  // namespace
+
+namespace {
+
+/// Pass [1]+[2] returning the picked forest in both weightings: perturbed
+/// (for the unimodal splitting) and original (for preconditioning).
+void heaviest_forest_pair(const Graph& g, std::uint64_t seed, bool perturb,
+                          Graph* perturbed_out, Graph* original_out) {
+  const vidx n = g.num_vertices();
+  std::vector<Pick> pick(static_cast<std::size_t>(n));
+  // Per-vertex max over perturbed incident edges. Fully parallel; the
+  // counter-based perturbation needs no shared state.
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t v) {
+    const auto nbrs = g.neighbors(static_cast<vidx>(v));
+    const auto ws = g.weights(static_cast<vidx>(v));
+    Pick best;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double factor =
+          perturb ? perturbation(seed, static_cast<vidx>(v), nbrs[i]) : 1.0;
+      const double w_hat = ws[i] * factor;
+      if (w_hat > best.w_hat ||
+          (w_hat == best.w_hat && nbrs[i] < best.to)) {
+        best = {nbrs[i], w_hat, ws[i]};
+      }
+    }
+    pick[v] = best;
+  });
+  GraphBuilder b_hat(n);
+  GraphBuilder b_orig(n);
+  for (vidx v = 0; v < n; ++v) {
+    const Pick& p = pick[static_cast<std::size_t>(v)];
+    // Each undirected edge may be picked from both sides; add it once.
+    if (p.to >= 0 && (v < p.to ||
+                      pick[static_cast<std::size_t>(p.to)].to != v)) {
+      b_hat.add_edge(v, p.to, p.w_hat);
+      if (original_out != nullptr) b_orig.add_edge(v, p.to, p.w_orig);
+    }
+  }
+  if (perturbed_out != nullptr) *perturbed_out = b_hat.build();
+  if (original_out != nullptr) *original_out = b_orig.build();
+}
+
+}  // namespace
+
+Graph heaviest_incident_edge_forest(const Graph& g, std::uint64_t seed,
+                                    bool perturb) {
+  Graph forest;
+  heaviest_forest_pair(g, seed, perturb, &forest, nullptr);
+  return forest;
+}
+
+bool is_unimodal_forest(const Graph& forest) {
+  // An edge (u, v) is a local minimum if u has a strictly heavier incident
+  // edge and so does v. Unimodal <=> no local-minimum edge exists.
+  const vidx n = forest.num_vertices();
+  for (vidx v = 0; v < n; ++v) {
+    const auto nbrs = forest.neighbors(v);
+    const auto ws = forest.weights(v);
+    double vmax = 0.0;
+    for (double w : ws) vmax = std::max(vmax, w);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (ws[i] >= vmax) continue;  // heaviest at v: cannot be local min
+      const vidx u = nbrs[i];
+      double umax = 0.0;
+      for (double w : forest.weights(u)) umax = std::max(umax, w);
+      if (ws[i] < umax) return false;  // lighter than both endpoints' max
+    }
+  }
+  return true;
+}
+
+FixedDegreeResult fixed_degree_decomposition(const Graph& g,
+                                             const FixedDegreeOptions& opt) {
+  HICOND_CHECK(opt.max_cluster_size >= 2, "max_cluster_size must be >= 2");
+  FixedDegreeResult result;
+  heaviest_forest_pair(g, opt.seed, opt.perturb, &result.perturbed_forest,
+                       &result.forest);
+  if (!is_forest(result.perturbed_forest)) {
+    // Only reachable with perturb = false and tied weights; fall back to the
+    // perturbed construction to restore the forest guarantee.
+    heaviest_forest_pair(g, opt.seed, /*perturb=*/true,
+                         &result.perturbed_forest, &result.forest);
+  }
+  // Pass [3]: bounded-size splitting on the perturbed weights (heaviest
+  // perturbed edges merge first, preserving the unimodal structure).
+  result.decomposition =
+      split_forest_bounded(result.perturbed_forest, opt.max_cluster_size);
+  return result;
+}
+
+}  // namespace hicond

@@ -1,0 +1,43 @@
+#include "hicond/partition/hierarchy.hpp"
+
+#include "hicond/graph/quotient.hpp"
+
+namespace hicond {
+
+Decomposition LaminarHierarchy::flatten() const {
+  HICOND_CHECK(!levels.empty(), "empty hierarchy");
+  Decomposition acc = levels.front().decomposition;
+  for (std::size_t l = 1; l < levels.size(); ++l) {
+    acc = compose(acc, levels[l].decomposition);
+  }
+  return acc;
+}
+
+LaminarHierarchy build_hierarchy(const Graph& g,
+                                 const HierarchyOptions& opt) {
+  HICOND_CHECK(opt.coarsest_size >= 1, "coarsest_size must be >= 1");
+  LaminarHierarchy h;
+  Graph current = g;
+  FixedDegreeOptions contraction = opt.contraction;
+  for (int level = 0; level < opt.max_levels; ++level) {
+    if (current.num_vertices() <= opt.coarsest_size) break;
+    // Vary the perturbation seed per level so contractions decorrelate.
+    contraction.seed = opt.contraction.seed + static_cast<std::uint64_t>(level);
+    FixedDegreeResult fd = fixed_degree_decomposition(current, contraction);
+    Decomposition level_decomp = std::move(fd.decomposition);
+    if (opt.refine) {
+      level_decomp =
+          refine_decomposition(current, level_decomp, opt.refinement)
+              .decomposition;
+    }
+    const vidx m = level_decomp.num_clusters;
+    if (m >= current.num_vertices()) break;  // no progress (edgeless graph)
+    Graph next = quotient_graph(current, level_decomp.assignment);
+    h.levels.push_back({std::move(current), std::move(level_decomp)});
+    current = std::move(next);
+  }
+  h.coarsest = std::move(current);
+  return h;
+}
+
+}  // namespace hicond

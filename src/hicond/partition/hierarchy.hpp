@@ -1,0 +1,54 @@
+// Recursive (laminar) decompositions and the quotient hierarchy.
+//
+// "The recursive computation of [phi, rho] decompositions leads to a laminar
+// decomposition and a corresponding hierarchy of Steiner preconditioners"
+// (Section 1.1). Each level contracts the previous graph by the fixed-degree
+// decomposition of Section 3.1; the resulting chain of quotients is the
+// backbone of the multilevel Steiner solver (and is the precursor of
+// combinatorial-multigrid hierarchies).
+#pragma once
+
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/partition/decomposition.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "hicond/partition/refinement.hpp"
+
+namespace hicond {
+
+struct HierarchyOptions {
+  FixedDegreeOptions contraction{};
+  vidx coarsest_size = 256;  ///< stop once the graph is this small
+  int max_levels = 40;       ///< hard cap (contraction halves sizes, so ample)
+  /// Run the gamma-guided refinement pass after each level's contraction
+  /// (see partition/refinement.hpp). Off by default to keep the hierarchy
+  /// the paper's plain recursive Section 3.1 construction.
+  bool refine = false;
+  RefinementOptions refinement{};
+};
+
+struct HierarchyLevel {
+  Graph graph;                  ///< the level's graph (level 0 = input)
+  Decomposition decomposition;  ///< clustering of this level's vertices
+};
+
+/// A laminar hierarchy: levels[l].decomposition maps level-l vertices to the
+/// vertices of levels[l+1].graph (or of `coarsest` for the last level).
+struct LaminarHierarchy {
+  std::vector<HierarchyLevel> levels;
+  Graph coarsest;
+
+  [[nodiscard]] int num_levels() const noexcept {
+    return static_cast<int>(levels.size());
+  }
+
+  /// Composite assignment from level-0 vertices to coarsest vertices.
+  [[nodiscard]] Decomposition flatten() const;
+};
+
+/// Build the hierarchy by repeated fixed-degree contraction.
+[[nodiscard]] LaminarHierarchy build_hierarchy(
+    const Graph& g, const HierarchyOptions& options = {});
+
+}  // namespace hicond

@@ -1,0 +1,41 @@
+// Local refinement of decompositions: the quality-control post-pass.
+//
+// The (phi, gamma) guarantees of Theorems 3.5/4.1 degrade through the
+// vertices with the smallest gamma -- vertices most of whose weight leaves
+// their cluster. A cheap greedy pass repairs them: any vertex whose
+// connection to its own cluster is below `gamma_floor` of its volume moves
+// to the neighbouring cluster it is most attached to. This is the move that
+// the combinatorial-multigrid lineage of this paper applies after
+// aggregation; it monotonically increases total internal weight, so it
+// terminates.
+#pragma once
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/partition/decomposition.hpp"
+
+namespace hicond {
+
+struct RefinementOptions {
+  /// Move a vertex when cap(v, cluster(v)) < gamma_floor * vol(v) and some
+  /// other cluster holds a strictly larger share of v's weight.
+  double gamma_floor = 0.3;
+  /// Maximum full sweeps.
+  int max_rounds = 10;
+};
+
+struct RefinementResult {
+  Decomposition decomposition;
+  int rounds = 0;        ///< sweeps actually performed
+  vidx moves = 0;        ///< total vertex moves
+};
+
+/// Greedily reassign weakly attached vertices. Cluster ids are re-compacted
+/// (emptied clusters disappear); clusters may become disconnected only if
+/// they were (moves only ever *remove* weakly attached vertices, but a
+/// removal can split a cluster -- the final pass re-labels connected pieces
+/// so the output always has connected clusters).
+[[nodiscard]] RefinementResult refine_decomposition(
+    const Graph& g, const Decomposition& d,
+    const RefinementOptions& options = {});
+
+}  // namespace hicond

@@ -1,0 +1,72 @@
+#include "hicond/partition/spectral_partition.hpp"
+
+#include <vector>
+
+#include "hicond/graph/conductance.hpp"
+
+namespace hicond {
+
+namespace {
+
+struct Splitter {
+  const Graph& g;
+  const SpectralPartitionOptions& opt;
+  std::vector<vidx> assignment;
+  vidx next_cluster = 0;
+
+  explicit Splitter(const Graph& graph, const SpectralPartitionOptions& o)
+      : g(graph), opt(o),
+        assignment(static_cast<std::size_t>(graph.num_vertices()), -1) {}
+
+  void emit(const std::vector<vidx>& verts) {
+    const vidx id = next_cluster++;
+    for (vidx v : verts) assignment[static_cast<std::size_t>(v)] = id;
+  }
+
+  void split(const std::vector<vidx>& verts, int depth) {
+    if (static_cast<vidx>(verts.size()) <= opt.min_cluster_size ||
+        depth >= opt.max_depth) {
+      emit(verts);
+      return;
+    }
+    const Graph sub = induced_subgraph(g, verts);
+    double sparsity = kInfiniteConductance;
+    const std::vector<char> side = spectral_sweep_cut(sub, &sparsity);
+    if (sparsity >= opt.phi_target) {
+      // No cut sparser than the target exists along the sweep: the cluster
+      // certifies (up to the Cheeger gap) conductance >= phi_target.
+      emit(verts);
+      return;
+    }
+    std::vector<vidx> left;
+    std::vector<vidx> right;
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      (side[i] ? left : right).push_back(verts[i]);
+    }
+    HICOND_ASSERT(!left.empty() && !right.empty());
+    split(left, depth + 1);
+    split(right, depth + 1);
+  }
+};
+
+}  // namespace
+
+Decomposition recursive_spectral_decomposition(
+    const Graph& g, const SpectralPartitionOptions& opt) {
+  HICOND_CHECK(opt.phi_target > 0.0, "phi_target must be positive");
+  HICOND_CHECK(opt.min_cluster_size >= 1, "min_cluster_size must be >= 1");
+  Splitter splitter(g, opt);
+  if (g.num_vertices() > 0) {
+    std::vector<vidx> all(static_cast<std::size_t>(g.num_vertices()));
+    for (vidx v = 0; v < g.num_vertices(); ++v) {
+      all[static_cast<std::size_t>(v)] = v;
+    }
+    splitter.split(all, 0);
+  }
+  Decomposition d;
+  d.assignment = std::move(splitter.assignment);
+  d.num_clusters = splitter.next_cluster;
+  return d;
+}
+
+}  // namespace hicond

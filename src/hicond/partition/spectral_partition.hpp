@@ -1,0 +1,39 @@
+// Recursive spectral bisection: the top-down (phi, gamma_avg) baseline.
+//
+// The paper's introduction contrasts its bottom-up constructions with the
+// recursive two-way approach analysed by [Kannan-Vempala-Vetta]: apply an
+// approximate sparsest-cut algorithm recursively -- if it returns a cut of
+// sparsity sigma * phi^nu whenever one of sparsity phi exists, the recursion
+// yields (up to logs) a ((phi/sigma)^{1/nu}, [(sigma gamma)^nu]_avg)
+// decomposition. We instantiate the two-way algorithm with the Fiedler
+// sweep cut of the normalized Laplacian (Cheeger: sigma * phi^nu =
+// sqrt(2 phi)), which is also the Section 4 bridge between spectra and
+// decompositions.
+//
+// This serves as the *baseline* against the paper's bottom-up Section 3.1
+// construction: far more expensive (an eigensolve per split), but yielding
+// fewer, rounder clusters.
+#pragma once
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/partition/decomposition.hpp"
+
+namespace hicond {
+
+struct SpectralPartitionOptions {
+  /// Stop splitting a cluster once its internal conductance (sweep upper
+  /// bound) is at least this.
+  double phi_target = 0.2;
+  /// Never split clusters at or below this size.
+  vidx min_cluster_size = 8;
+  /// Hard cap on recursion depth (guards adversarial instances).
+  int max_depth = 40;
+};
+
+/// Top-down decomposition by recursive Fiedler sweep cuts. Every cluster
+/// either certifies conductance >= phi_target (via the sweep upper bound's
+/// failure to find a sparser cut) or is at the minimum size.
+[[nodiscard]] Decomposition recursive_spectral_decomposition(
+    const Graph& g, const SpectralPartitionOptions& options = {});
+
+}  // namespace hicond

@@ -1,0 +1,86 @@
+#include "hicond/precond/embedding.hpp"
+
+#include <algorithm>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/tree/rooted_tree.hpp"
+
+namespace hicond {
+
+EmbeddingBound tree_embedding_bound(const Graph& a, const Graph& tree) {
+  HICOND_CHECK(a.num_vertices() == tree.num_vertices(),
+               "tree vertex count mismatch");
+  HICOND_CHECK(is_forest(tree), "embedding target must be a forest");
+  const vidx n = a.num_vertices();
+  const RootedForest rf = RootedForest::build(tree);
+  std::vector<vidx> depth(static_cast<std::size_t>(n), 0);
+  for (vidx v : rf.top_down_order()) {
+    if (!rf.is_root(v)) {
+      depth[static_cast<std::size_t>(v)] =
+          depth[static_cast<std::size_t>(rf.parent(v))] + 1;
+    }
+  }
+  // load[v] accumulates w_A(f) * |p(f)| over routed edges whose path uses
+  // the tree edge (v, parent(v)). We add the contribution on the two
+  // climbing branches of the LCA walk.
+  std::vector<double> load(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> raw_load(static_cast<std::size_t>(n), 0.0);
+  EmbeddingBound result;
+  double dilation_sum = 0.0;
+  eidx routed = 0;
+  for (const auto& f : a.edge_list()) {
+    // First pass: path length (dilation) by climbing to the LCA.
+    vidx u = f.u;
+    vidx v = f.v;
+    vidx len = 0;
+    {
+      vidx x = u;
+      vidx y = v;
+      while (x != y) {
+        if (depth[static_cast<std::size_t>(x)] >=
+            depth[static_cast<std::size_t>(y)]) {
+          x = rf.parent(x);
+        } else {
+          y = rf.parent(y);
+        }
+        HICOND_CHECK(x >= 0 && y >= 0, "tree does not span the graph");
+        ++len;
+      }
+    }
+    if (len == 0) continue;  // self-pair cannot happen; guard anyway
+    result.max_dilation = std::max(result.max_dilation,
+                                   static_cast<double>(len));
+    dilation_sum += static_cast<double>(len);
+    ++routed;
+    // Second pass: deposit the load on every tree edge of the path.
+    const double contribution = f.weight * static_cast<double>(len);
+    vidx x = u;
+    vidx y = v;
+    while (x != y) {
+      if (depth[static_cast<std::size_t>(x)] >=
+          depth[static_cast<std::size_t>(y)]) {
+        load[static_cast<std::size_t>(x)] += contribution;
+        raw_load[static_cast<std::size_t>(x)] += f.weight;
+        x = rf.parent(x);
+      } else {
+        load[static_cast<std::size_t>(y)] += contribution;
+        raw_load[static_cast<std::size_t>(y)] += f.weight;
+        y = rf.parent(y);
+      }
+    }
+  }
+  for (vidx v = 0; v < n; ++v) {
+    if (rf.is_root(v)) continue;
+    const double w = rf.parent_weight(v);
+    if (w <= 0.0) continue;
+    result.support_bound =
+        std::max(result.support_bound, load[static_cast<std::size_t>(v)] / w);
+    result.max_congestion = std::max(
+        result.max_congestion, raw_load[static_cast<std::size_t>(v)] / w);
+  }
+  result.avg_dilation =
+      routed > 0 ? dilation_sum / static_cast<double>(routed) : 0.0;
+  return result;
+}
+
+}  // namespace hicond

@@ -1,0 +1,31 @@
+// Combinatorial support bounds via path embeddings (congestion * dilation).
+//
+// The workhorse inequality behind the splitting Lemma 5.4 and the routing
+// argument in Theorem 3.5's proof: if every edge f of A is routed along a
+// path p(f) in B, then
+//     sigma(A, B) <= max over edges e of B of
+//                    (1 / w_B(e)) * sum_{f : e in p(f)} w_A(f) * |p(f)|,
+// i.e. weighted congestion times dilation, accumulated per supporting edge.
+// For B a spanning tree the routing is unique, which gives a cheap, fully
+// combinatorial upper bound on sigma(A, T) to compare against the exact
+// spectral value.
+#pragma once
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+struct EmbeddingBound {
+  double support_bound = 0.0;   ///< the congestion-dilation bound on sigma(A,B)
+  double max_dilation = 0.0;    ///< longest routing path (in edges)
+  double avg_dilation = 0.0;
+  double max_congestion = 0.0;  ///< max over e of load(e) / w(e), load without
+                                ///< the dilation factor
+};
+
+/// Bound sigma(A, tree) by routing every edge of `a` along its unique tree
+/// path. `tree` must be a spanning forest of a's components.
+[[nodiscard]] EmbeddingBound tree_embedding_bound(const Graph& a,
+                                                  const Graph& tree);
+
+}  // namespace hicond

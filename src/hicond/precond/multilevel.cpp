@@ -1,0 +1,142 @@
+#include "hicond/precond/multilevel.hpp"
+
+#include <algorithm>
+
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/util/parallel.hpp"
+
+namespace hicond {
+
+MultilevelSteinerSolver MultilevelSteinerSolver::build(
+    LaminarHierarchy hierarchy, const MultilevelOptions& options) {
+  HICOND_CHECK(!hierarchy.levels.empty() ||
+                   hierarchy.coarsest.num_vertices() > 0,
+               "empty hierarchy");
+  MultilevelSteinerSolver s;
+  s.state_ = std::make_shared<State>();
+  s.state_->hierarchy = std::move(hierarchy);
+  s.state_->options = options;
+  for (const auto& level : s.state_->hierarchy.levels) {
+    std::vector<double> inv(static_cast<std::size_t>(level.graph.num_vertices()));
+    for (vidx v = 0; v < level.graph.num_vertices(); ++v) {
+      inv[static_cast<std::size_t>(v)] =
+          level.graph.vol(v) > 0.0 ? 1.0 / level.graph.vol(v) : 0.0;
+    }
+    s.state_->inv_diag.push_back(std::move(inv));
+    if (options.smoother == SmootherKind::chebyshev) {
+      s.state_->chebyshev.push_back(std::make_unique<ChebyshevSmoother>(
+          level.graph, options.chebyshev_degree));
+    } else {
+      s.state_->chebyshev.push_back(nullptr);
+    }
+  }
+  if (s.state_->hierarchy.coarsest.num_vertices() > 1) {
+    s.state_->coarsest_solver = std::make_unique<LaplacianDirectSolver>(
+        s.state_->hierarchy.coarsest);
+  }
+  return s;
+}
+
+void MultilevelSteinerSolver::cycle(int level, std::span<const double> r,
+                                    std::span<double> z) const {
+  const State& st = *state_;
+  if (level == st.hierarchy.num_levels()) {
+    if (st.coarsest_solver != nullptr) {
+      st.coarsest_solver->apply(r, z);
+    } else {
+      la::fill(z, 0.0);
+    }
+    return;
+  }
+  const HierarchyLevel& lv =
+      st.hierarchy.levels[static_cast<std::size_t>(level)];
+  const Graph& a = lv.graph;
+  const auto n = static_cast<std::size_t>(a.num_vertices());
+  const auto& inv_diag = st.inv_diag[static_cast<std::size_t>(level)];
+  const auto& assignment = lv.decomposition.assignment;
+  const auto m = static_cast<std::size_t>(lv.decomposition.num_clusters);
+
+  std::vector<double> work(n);
+  std::vector<double> residual(n);
+
+  const ChebyshevSmoother* cheb =
+      st.chebyshev[static_cast<std::size_t>(level)].get();
+  auto smooth_pass = [&](std::span<double> iterate) {
+    for (int s = 0; s < st.options.smoothing_steps; ++s) {
+      if (cheb != nullptr) {
+        cheb->smooth(r, iterate);
+      } else {
+        a.laplacian_apply(iterate, work);
+        parallel_for(n, [&](std::size_t i) {
+          iterate[i] +=
+              st.options.jacobi_weight * inv_diag[i] * (r[i] - work[i]);
+        });
+      }
+    }
+  };
+
+  // Pre-smoothing from z = 0.
+  la::fill(z, 0.0);
+  smooth_pass(z);
+  // Coarse correction on the residual.
+  a.laplacian_apply(z, work);
+  parallel_for(n, [&](std::size_t i) { residual[i] = r[i] - work[i]; });
+  std::vector<double> rc(m, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    rc[static_cast<std::size_t>(assignment[v])] += residual[v];
+  }
+  std::vector<double> zc(m, 0.0);
+  cycle(level + 1, rc, zc);
+  parallel_for(n, [&](std::size_t v) {
+    z[v] += zc[static_cast<std::size_t>(assignment[v])];
+  });
+  // Post-smoothing (symmetric to the pre-smoothing).
+  smooth_pass(z);
+}
+
+void MultilevelSteinerSolver::apply(std::span<const double> r,
+                                    std::span<double> z) const {
+  const State& st = *state_;
+  if (st.hierarchy.num_levels() == 0) {
+    if (st.coarsest_solver != nullptr) {
+      st.coarsest_solver->apply(r, z);
+    } else {
+      la::fill(z, 0.0);
+    }
+    return;
+  }
+  // First cycle from zero initial guess.
+  cycle(0, r, z);
+  // Additional cycles refine on the residual.
+  const Graph& a = st.hierarchy.levels.front().graph;
+  std::vector<double> work(r.size());
+  std::vector<double> correction(r.size());
+  for (int c = 1; c < st.options.cycles; ++c) {
+    a.laplacian_apply(z, work);
+    for (std::size_t i = 0; i < work.size(); ++i) work[i] = r[i] - work[i];
+    cycle(0, work, correction);
+    la::axpy(1.0, correction, z);
+  }
+  la::remove_mean(z);
+}
+
+LinearOperator MultilevelSteinerSolver::as_operator() const {
+  auto self = *this;  // shares state_
+  return [self](std::span<const double> r, std::span<double> z) {
+    self.apply(r, z);
+  };
+}
+
+double MultilevelSteinerSolver::operator_complexity() const {
+  const State& st = *state_;
+  if (st.hierarchy.levels.empty()) return 1.0;
+  double total = 0.0;
+  for (const auto& lv : st.hierarchy.levels) {
+    total += static_cast<double>(lv.graph.num_vertices());
+  }
+  total += static_cast<double>(st.hierarchy.coarsest.num_vertices());
+  return total /
+         static_cast<double>(st.hierarchy.levels.front().graph.num_vertices());
+}
+
+}  // namespace hicond

@@ -1,0 +1,32 @@
+// Schur complements of graph Laplacians (Definition 5.5 and the Steiner
+// Schur complement B = D - V (Q + D_Q)^{-1} V' used by Theorems 3.5/4.1).
+#pragma once
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/la/dense.hpp"
+#include "hicond/partition/decomposition.hpp"
+
+namespace hicond {
+
+/// Closed-form Schur complement of a weighted star with respect to its root
+/// (Definition 5.5): eliminating the root of a star with edge weights d_i
+/// yields the complete graph with weights S_ij = d_i d_j / sum_k d_k.
+/// `star` must be a star centered at `root`; the returned graph keeps the
+/// leaf ids of `star` (root becomes isolated).
+[[nodiscard]] Graph star_schur_complement(const Graph& star, vidx root);
+
+/// Dense Schur complement of the Laplacian of g with respect to eliminating
+/// the vertex set `eliminate` (kept vertices stay in their relative order).
+/// The principal block on `eliminate` must be nonsingular (true when every
+/// component of g touches a kept vertex).
+[[nodiscard]] DenseMatrix schur_complement_dense(
+    const Graph& g, std::span<const vidx> eliminate,
+    std::vector<vidx>* kept_out = nullptr);
+
+/// The Steiner Schur complement B = D - V (Q + D_Q)^{-1} V' of S_P with
+/// respect to its Steiner (root) vertices, computed densely via the
+/// algebraic identity of Theorem 4.1's proof. For analysis on small graphs.
+[[nodiscard]] DenseMatrix steiner_schur_complement_dense(
+    const Graph& a, const Decomposition& p);
+
+}  // namespace hicond

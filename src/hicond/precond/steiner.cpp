@@ -1,0 +1,111 @@
+#include "hicond/precond/steiner.hpp"
+
+#include <algorithm>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/quotient.hpp"
+#include "hicond/util/parallel.hpp"
+
+namespace hicond {
+
+Graph build_steiner_graph(const Graph& a, const Decomposition& p) {
+  validate_decomposition(a, p);
+  const vidx n = a.num_vertices();
+  const vidx m = p.num_clusters;
+  GraphBuilder b(n + m);
+  // Quotient edges between roots.
+  const Graph q = quotient_graph(a, p.assignment);
+  for (const auto& e : q.edge_list()) {
+    b.add_edge(n + e.u, n + e.v, e.weight);
+  }
+  // Stars: leaf u connects to its root with weight vol_A(u).
+  for (vidx v = 0; v < n; ++v) {
+    if (a.vol(v) > 0.0) {
+      b.add_edge(v, n + p.assignment[static_cast<std::size_t>(v)], a.vol(v));
+    }
+  }
+  return b.build();
+}
+
+SteinerPreconditioner SteinerPreconditioner::build(const Graph& a,
+                                                   const Decomposition& p) {
+  validate_decomposition(a, p);
+  SteinerPreconditioner sp;
+  sp.assignment_ = p.assignment;
+  const vidx n = a.num_vertices();
+  sp.inv_diag_.resize(static_cast<std::size_t>(n));
+  sp.vol_.resize(static_cast<std::size_t>(n));
+  for (vidx v = 0; v < n; ++v) {
+    sp.vol_[static_cast<std::size_t>(v)] = a.vol(v);
+    sp.inv_diag_[static_cast<std::size_t>(v)] =
+        a.vol(v) > 0.0 ? 1.0 / a.vol(v) : 0.0;
+  }
+  sp.quotient_ = std::make_shared<Graph>(quotient_graph(a, p.assignment));
+  HICOND_CHECK(sp.quotient_->num_vertices() == p.num_clusters,
+               "quotient size mismatch");
+  HICOND_CHECK(sp.quotient_->num_vertices() == 1 ||
+                   is_connected(*sp.quotient_),
+               "SteinerPreconditioner requires a connected graph "
+               "(the quotient is disconnected)");
+  sp.quotient_solver_ = std::make_shared<LaplacianDirectSolver>(*sp.quotient_);
+  return sp;
+}
+
+void SteinerPreconditioner::apply(std::span<const double> r,
+                                  std::span<double> z) const {
+  const std::size_t n = inv_diag_.size();
+  HICOND_CHECK(r.size() == n && z.size() == n, "size mismatch");
+  const auto m = static_cast<std::size_t>(quotient_->num_vertices());
+  // Restriction: rq = R' r (cluster-wise sums).
+  std::vector<double> rq(m, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    rq[static_cast<std::size_t>(assignment_[v])] += r[v];
+  }
+  // Quotient solve.
+  const std::vector<double> yq = quotient_solver_->solve(rq);
+  // Prolongation + diagonal part.
+  parallel_for(n, [&](std::size_t v) {
+    z[v] = inv_diag_[v] * r[v] +
+           yq[static_cast<std::size_t>(assignment_[v])];
+  });
+}
+
+LinearOperator SteinerPreconditioner::as_operator() const {
+  // Capture shared state by value so the operator is self-contained.
+  auto assignment = assignment_;
+  auto inv_diag = inv_diag_;
+  auto quotient_solver = quotient_solver_;
+  return [assignment, inv_diag, quotient_solver](std::span<const double> r,
+                                                 std::span<double> z) {
+    const std::size_t n = inv_diag.size();
+    std::vector<double> rq(static_cast<std::size_t>(quotient_solver->dim()),
+                           0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      rq[static_cast<std::size_t>(assignment[v])] += r[v];
+    }
+    const std::vector<double> yq = quotient_solver->solve(rq);
+    parallel_for(n, [&](std::size_t v) {
+      z[v] = inv_diag[v] * r[v] +
+             yq[static_cast<std::size_t>(assignment[v])];
+    });
+  };
+}
+
+Graph SteinerPreconditioner::steiner_graph() const {
+  const vidx n = static_cast<vidx>(inv_diag_.size());
+  const vidx m = quotient_->num_vertices();
+  GraphBuilder b(n + m);
+  for (const auto& e : quotient_->edge_list()) {
+    b.add_edge(n + e.u, n + e.v, e.weight);
+  }
+  for (vidx v = 0; v < n; ++v) {
+    if (vol_[static_cast<std::size_t>(v)] > 0.0) {
+      b.add_edge(v, n + assignment_[static_cast<std::size_t>(v)],
+                 vol_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace hicond

@@ -1,0 +1,68 @@
+// Steiner preconditioners from multi-way clusterings (Definition 3.1 and
+// Theorem 3.5).
+//
+// Given a decomposition P = {V_1..V_m} of A, the Steiner graph is
+//   S_P = Q + sum_i T_i
+// where Q is the quotient graph on the cluster roots (w(r_i, r_j) =
+// cap(V_i, V_j)) and T_i is a star from root r_i to the vertices of V_i with
+// leaf weights w(r_i, u) = vol_A(u).
+//
+// Blocked by cluster, with V = D R and D_Q = R' D R:
+//   S_P = [ D    -V        ]
+//         [ -V'   Q + D_Q  ]
+// Eliminating the leaves x = D^{-1}(r + V y) reduces the Gremban-extended
+// solve S_P [x; y] = [r; 0] to the quotient system Q y = R' r, because
+// V' D^{-1} V = D_Q cancels exactly. The preconditioner application is hence
+//   M^{-1} r = D^{-1} r + R Q^+ (R' r)
+// -- one parallel diagonal scale, one cluster-wise sum, one quotient solve,
+// one broadcast (Remark 2's "embarrassingly parallel" elimination).
+#pragma once
+
+#include <memory>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/la/dense.hpp"
+#include "hicond/la/sparse_cholesky.hpp"
+#include "hicond/partition/decomposition.hpp"
+
+namespace hicond {
+
+/// Two-level Steiner preconditioner with an exact (direct) quotient solve.
+class SteinerPreconditioner {
+ public:
+  /// Build from a graph and a decomposition of it. The quotient must be
+  /// connected (it is whenever `a` is connected).
+  [[nodiscard]] static SteinerPreconditioner build(const Graph& a,
+                                                   const Decomposition& p);
+
+  /// z = M^{-1} r = D^{-1} r + R Q^+ R' r.
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  [[nodiscard]] LinearOperator as_operator() const;
+
+  [[nodiscard]] const Graph& quotient() const noexcept { return *quotient_; }
+  [[nodiscard]] vidx num_steiner_vertices() const noexcept {
+    return quotient_->num_vertices();
+  }
+  [[nodiscard]] std::span<const vidx> assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// The explicit (n+m)-vertex Steiner graph S_P: original vertices keep
+  /// their ids, root r_i has id n + i. For support analysis and tests.
+  [[nodiscard]] Graph steiner_graph() const;
+
+ private:
+  std::vector<vidx> assignment_;
+  std::vector<double> inv_diag_;  ///< 1 / vol_A(v), 0 for isolated vertices
+  std::vector<double> vol_;       ///< vol_A(v) (the T_i leaf weights)
+  std::shared_ptr<Graph> quotient_;
+  std::shared_ptr<LaplacianDirectSolver> quotient_solver_;
+};
+
+/// Build the explicit Steiner graph S_P of Definition 3.1 without the solver
+/// machinery (free function for analysis code).
+[[nodiscard]] Graph build_steiner_graph(const Graph& a, const Decomposition& p);
+
+}  // namespace hicond

@@ -1,0 +1,93 @@
+#include "hicond/precond/steiner_tree.hpp"
+
+#include "hicond/graph/builder.hpp"
+
+namespace hicond {
+
+SteinerTreePreconditioner SteinerTreePreconditioner::build(
+    const LaminarHierarchy& hierarchy) {
+  HICOND_CHECK(!hierarchy.levels.empty() ||
+                   hierarchy.coarsest.num_vertices() > 0,
+               "empty hierarchy");
+  const Graph& base = hierarchy.levels.empty()
+                          ? hierarchy.coarsest
+                          : hierarchy.levels.front().graph;
+  const vidx n = base.num_vertices();
+
+  // Node layout: [0, n) = graph vertices; then one block per level of
+  // cluster nodes; the coarsest graph's vertices are the final block.
+  std::vector<vidx> block_offset;  // node id of the first cluster of level l
+  vidx total = n;
+  for (const auto& lv : hierarchy.levels) {
+    block_offset.push_back(total);
+    total += lv.decomposition.num_clusters;
+  }
+  const bool add_root = hierarchy.coarsest.num_vertices() > 1;
+  const vidx root = total;
+  if (add_root) ++total;
+
+  GraphBuilder b(total);
+  // Level 0: vertices attach to their cluster with weight vol_base(v).
+  vidx current_base = 0;  // node id of the current level's vertices
+  for (std::size_t l = 0; l < hierarchy.levels.size(); ++l) {
+    const auto& lv = hierarchy.levels[l];
+    const Graph& g = lv.graph;
+    for (vidx v = 0; v < g.num_vertices(); ++v) {
+      const double w = g.vol(v);
+      HICOND_CHECK(w > 0.0,
+                   "SteinerTreePreconditioner requires a connected graph");
+      const vidx child = current_base + v;
+      const vidx parent =
+          block_offset[l] +
+          lv.decomposition.assignment[static_cast<std::size_t>(v)];
+      b.add_edge(child, parent, w);
+    }
+    current_base = block_offset[l];
+  }
+  // Coarsest nodes attach to the super-root.
+  if (add_root) {
+    for (vidx c = 0; c < hierarchy.coarsest.num_vertices(); ++c) {
+      const double w = hierarchy.coarsest.vol(c);
+      HICOND_CHECK(w > 0.0,
+                   "SteinerTreePreconditioner requires a connected graph");
+      b.add_edge(current_base + c, root, w);
+    }
+  }
+  SteinerTreePreconditioner p;
+  p.n_ = n;
+  p.tree_ = std::make_shared<Graph>(b.build());
+  p.solver_ = std::make_shared<ForestSolver>(*p.tree_);
+  HICOND_CHECK(p.solver_->num_components() == 1,
+               "support tree must be connected");
+  return p;
+}
+
+void SteinerTreePreconditioner::apply(std::span<const double> r,
+                                      std::span<double> z) const {
+  HICOND_CHECK(r.size() == static_cast<std::size_t>(n_), "rhs size mismatch");
+  HICOND_CHECK(z.size() == static_cast<std::size_t>(n_), "z size mismatch");
+  // Project r over the original vertices (symmetric P B_T^+ P application),
+  // pad, solve the tree exactly, truncate, re-center.
+  double r_mean = 0.0;
+  for (double v : r) r_mean += v;
+  r_mean /= static_cast<double>(n_);
+  std::vector<double> padded(
+      static_cast<std::size_t>(tree_->num_vertices()), 0.0);
+  for (std::size_t i = 0; i < r.size(); ++i) padded[i] = r[i] - r_mean;
+  const std::vector<double> full = solver_->solve(padded);
+  double mean = 0.0;
+  for (vidx v = 0; v < n_; ++v) mean += full[static_cast<std::size_t>(v)];
+  mean /= static_cast<double>(n_);
+  for (vidx v = 0; v < n_; ++v) {
+    z[static_cast<std::size_t>(v)] = full[static_cast<std::size_t>(v)] - mean;
+  }
+}
+
+LinearOperator SteinerTreePreconditioner::as_operator() const {
+  auto self = *this;  // shares tree and solver
+  return [self](std::span<const double> r, std::span<double> z) {
+    self.apply(r, z);
+  };
+}
+
+}  // namespace hicond

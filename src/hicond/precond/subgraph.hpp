@@ -1,0 +1,66 @@
+// Subgraph preconditioners: spanning tree + Vaidya-style edge enrichment,
+// applied via partial Cholesky of degree-1/2 vertices plus an exact core
+// solve. This is the baseline family the paper compares Steiner
+// preconditioners against (Figure 6), and the source of the subgraph B that
+// drives the planar decomposition pipeline of Theorem 2.2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/la/partial_cholesky.hpp"
+#include "hicond/la/sparse_cholesky.hpp"
+
+namespace hicond {
+
+enum class SpanningTreeKind {
+  max_weight,   ///< maximum-weight spanning tree (Kruskal)
+  low_stretch,  ///< AKPW-flavoured low-stretch tree
+};
+
+/// Split `tree` into roughly `target_subtrees` subtrees and, for every pair
+/// of adjacent subtrees, add the heaviest non-tree edge of `a` connecting
+/// them (Vaidya's augmentation). Returns tree + extras with a's weights.
+[[nodiscard]] Graph vaidya_augmented_subgraph(const Graph& a,
+                                              const Graph& tree,
+                                              vidx target_subtrees);
+
+struct SubgraphPrecondOptions {
+  SpanningTreeKind tree_kind = SpanningTreeKind::max_weight;
+  /// Number of subtrees for the augmentation; the core left by partial
+  /// Cholesky has on the order of this many vertices. 0 = pure tree.
+  vidx target_subtrees = 0;
+  std::uint64_t seed = 1;
+};
+
+/// B-preconditioner for A: solves B z = r exactly (partial Cholesky down to
+/// the core, sparse LDL' on the core).
+class SubgraphPreconditioner {
+ public:
+  [[nodiscard]] static SubgraphPreconditioner build(
+      const Graph& a, const SubgraphPrecondOptions& options = {});
+
+  /// z = B^+ r (mean-free).
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  /// LinearOperator adapter.
+  [[nodiscard]] LinearOperator as_operator() const;
+
+  [[nodiscard]] const Graph& subgraph() const noexcept { return b_; }
+  [[nodiscard]] vidx core_size() const noexcept {
+    return pc_->core().num_vertices();
+  }
+  /// Number of vertices eliminated sequentially (Remark 2's contrast).
+  [[nodiscard]] vidx eliminated() const noexcept {
+    return pc_->num_eliminated();
+  }
+
+ private:
+  Graph b_;
+  std::shared_ptr<PartialCholesky> pc_;
+  std::shared_ptr<LaplacianDirectSolver> core_solver_;  // null if no core
+};
+
+}  // namespace hicond

@@ -1,0 +1,55 @@
+#include "hicond/solver.hpp"
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/la/vector_ops.hpp"
+
+namespace hicond {
+
+LaplacianSolver::LaplacianSolver(Graph g,
+                                 const LaplacianSolverOptions& options)
+    : options_(options), graph_(std::make_shared<Graph>(std::move(g))) {
+  HICOND_CHECK(graph_->num_vertices() >= 1, "empty graph");
+  HICOND_CHECK(is_connected(*graph_),
+               "LaplacianSolver requires a connected graph");
+  solver_ = std::make_shared<MultilevelSteinerSolver>(
+      MultilevelSteinerSolver::build(
+          build_hierarchy(*graph_, options.hierarchy), options.multilevel));
+}
+
+SolveStats LaplacianSolver::solve(std::span<const double> b,
+                                  std::span<double> x) const {
+  const Graph& g = *graph_;
+  HICOND_CHECK(b.size() == static_cast<std::size_t>(g.num_vertices()),
+               "rhs size mismatch");
+  HICOND_CHECK(x.size() == b.size(), "x size mismatch");
+  auto a = [&g](std::span<const double> in, std::span<double> out) {
+    g.laplacian_apply(in, out);
+  };
+  return flexible_pcg_solve(a, solver_->as_operator(), b, x,
+                            {.max_iterations = options_.max_iterations,
+                             .rel_tolerance = options_.rel_tolerance,
+                             .project_constant = true});
+}
+
+double LaplacianSolver::effective_resistance(vidx u, vidx v) const {
+  const vidx n = graph_->num_vertices();
+  HICOND_CHECK(u >= 0 && u < n && v >= 0 && v < n, "vertex out of range");
+  HICOND_CHECK(u != v, "effective resistance of a vertex with itself is 0");
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  b[static_cast<std::size_t>(u)] = 1.0;
+  b[static_cast<std::size_t>(v)] = -1.0;
+  const std::vector<double> x = solve(b);
+  return x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+}
+
+std::vector<double> LaplacianSolver::solve(std::span<const double> b) const {
+  std::vector<double> x(b.size(), 0.0);
+  const SolveStats stats = solve(b, x);
+  if (!stats.converged) {
+    throw numeric_error("LaplacianSolver: PCG did not converge (residual " +
+                        std::to_string(stats.final_relative_residual) + ")");
+  }
+  return x;
+}
+
+}  // namespace hicond

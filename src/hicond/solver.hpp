@@ -1,0 +1,62 @@
+// Top-level facade: one-call Laplacian solving with the multilevel Steiner
+// preconditioner (the end product of the paper's pipeline, and the
+// combinatorial-multigrid precursor).
+//
+//   Graph g = ...;                       // weighted, connected
+//   LaplacianSolver solver(g);           // builds hierarchy + preconditioner
+//   std::vector<double> x = solver.solve(b);   // A x = b (pseudo-inverse)
+//
+// The setup cost is a few passes over the graph per level (Section 3.1
+// contraction) plus one sparse factorization of the coarsest quotient; each
+// solve is flexible PCG with the V-cycle preconditioner.
+#pragma once
+
+#include <memory>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/partition/hierarchy.hpp"
+#include "hicond/precond/multilevel.hpp"
+
+namespace hicond {
+
+struct LaplacianSolverOptions {
+  HierarchyOptions hierarchy{};
+  MultilevelOptions multilevel{};
+  double rel_tolerance = 1e-8;
+  int max_iterations = 10000;
+};
+
+/// Owns a copy of the graph and the full preconditioner hierarchy.
+class LaplacianSolver {
+ public:
+  explicit LaplacianSolver(Graph g, const LaplacianSolverOptions& options = {});
+
+  /// Solve A x = b in the pseudo-inverse sense (b is projected onto the
+  /// mean-free subspace; the returned x is mean-free). Throws numeric_error
+  /// if the iteration does not reach tolerance.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Non-throwing variant: returns the iteration stats, writes into x
+  /// (which also provides the initial guess).
+  SolveStats solve(std::span<const double> b, std::span<double> x) const;
+
+  /// Effective resistance between two vertices:
+  /// R_eff(u, v) = (e_u - e_v)' L^+ (e_u - e_v), computed with one solve.
+  [[nodiscard]] double effective_resistance(vidx u, vidx v) const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] int num_levels() const noexcept {
+    return solver_->num_levels();
+  }
+  [[nodiscard]] double operator_complexity() const {
+    return solver_->operator_complexity();
+  }
+
+ private:
+  LaplacianSolverOptions options_;
+  std::shared_ptr<Graph> graph_;
+  std::shared_ptr<MultilevelSteinerSolver> solver_;
+};
+
+}  // namespace hicond

@@ -1,0 +1,122 @@
+#include "hicond/spectral/eigensolver.hpp"
+
+#include <cmath>
+
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/spectral/normalized.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+
+EigenPairs lowest_normalized_eigenpairs(const Graph& g, int k,
+                                        const EigensolverOptions& opt) {
+  const vidx n = g.num_vertices();
+  HICOND_CHECK(k >= 1 && k <= n - 1, "k out of range");
+  const int m = std::min<int>(k + opt.block_extra, n - 1);
+  const auto sz = static_cast<std::size_t>(n);
+
+  LaplacianSolverOptions solver_opt = opt.solver;
+  solver_opt.rel_tolerance = std::min(solver_opt.rel_tolerance, 1e-10);
+  const LaplacianSolver solver(g, solver_opt);
+  const LinearOperator a_hat = normalized_laplacian_operator(g);
+  const std::vector<double> null_vec = sqrt_volume_unit_vector(g);
+  std::vector<double> sqrt_vol(sz);
+  for (vidx v = 0; v < n; ++v) {
+    sqrt_vol[static_cast<std::size_t>(v)] = std::sqrt(std::max(g.vol(v), 0.0));
+  }
+
+  auto deflate = [&](std::span<double> x) {
+    la::axpy(-la::dot(null_vec, x), null_vec, x);
+  };
+  // Gram-Schmidt the block in place; re-randomize collapsed columns.
+  Rng rng(opt.seed);
+  std::vector<std::vector<double>> basis(static_cast<std::size_t>(m),
+                                         std::vector<double>(sz));
+  auto orthonormalize = [&]() {
+    for (int j = 0; j < m; ++j) {
+      auto& col = basis[static_cast<std::size_t>(j)];
+      deflate(col);
+      for (int i = 0; i < j; ++i) {
+        la::axpy(-la::dot(basis[static_cast<std::size_t>(i)], col),
+                 basis[static_cast<std::size_t>(i)], col);
+      }
+      double norm = la::norm2(col);
+      if (norm < 1e-12) {
+        for (auto& v : col) v = rng.uniform(-1.0, 1.0);
+        deflate(col);
+        for (int i = 0; i < j; ++i) {
+          la::axpy(-la::dot(basis[static_cast<std::size_t>(i)], col),
+                   basis[static_cast<std::size_t>(i)], col);
+        }
+        norm = la::norm2(col);
+      }
+      la::scale(1.0 / norm, col);
+    }
+  };
+  for (auto& col : basis) {
+    for (auto& v : col) v = rng.uniform(-1.0, 1.0);
+  }
+  orthonormalize();
+
+  EigenPairs result;
+  std::vector<double> work(sz);
+  std::vector<double> tmp(sz);
+  for (int iter = 1; iter <= opt.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Inverse power step per column: x <- D^{1/2} L^+ D^{1/2} x.
+    for (auto& col : basis) {
+      for (std::size_t i = 0; i < sz; ++i) work[i] = sqrt_vol[i] * col[i];
+      la::remove_mean(work);
+      std::vector<double> solved(sz, 0.0);
+      (void)solver.solve(work, solved);
+      for (std::size_t i = 0; i < sz; ++i) col[i] = sqrt_vol[i] * solved[i];
+    }
+    orthonormalize();
+    // Rayleigh-Ritz on the block.
+    DenseMatrix h(m, m);
+    std::vector<std::vector<double>> a_cols(static_cast<std::size_t>(m),
+                                            std::vector<double>(sz));
+    for (int j = 0; j < m; ++j) {
+      a_hat(basis[static_cast<std::size_t>(j)],
+            a_cols[static_cast<std::size_t>(j)]);
+      for (int i = 0; i <= j; ++i) {
+        const double hij = la::dot(basis[static_cast<std::size_t>(i)],
+                                   a_cols[static_cast<std::size_t>(j)]);
+        h(i, j) = hij;
+        h(j, i) = hij;
+      }
+    }
+    const EigenDecomposition ritz = symmetric_eigen(std::move(h));
+    // Rotate the basis: new_j = sum_i basis_i * V(i, j).
+    std::vector<std::vector<double>> rotated(static_cast<std::size_t>(m),
+                                             std::vector<double>(sz, 0.0));
+    for (int j = 0; j < m; ++j) {
+      for (int i = 0; i < m; ++i) {
+        la::axpy(ritz.vectors(i, j), basis[static_cast<std::size_t>(i)],
+                 rotated[static_cast<std::size_t>(j)]);
+      }
+    }
+    basis.swap(rotated);
+    // Residual check on the first k pairs.
+    bool done = true;
+    for (int j = 0; j < k; ++j) {
+      a_hat(basis[static_cast<std::size_t>(j)], tmp);
+      la::axpy(-ritz.values[static_cast<std::size_t>(j)],
+               basis[static_cast<std::size_t>(j)], tmp);
+      if (la::norm2(tmp) > opt.tolerance) {
+        done = false;
+        break;
+      }
+    }
+    if (done || iter == opt.max_iterations) {
+      result.values.assign(ritz.values.begin(),
+                           ritz.values.begin() + k);
+      result.vectors.assign(basis.begin(), basis.begin() + k);
+      result.converged = done;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hicond

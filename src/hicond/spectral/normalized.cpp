@@ -1,0 +1,50 @@
+#include "hicond/spectral/normalized.hpp"
+
+#include <cmath>
+
+#include "hicond/util/parallel.hpp"
+
+namespace hicond {
+
+EigenDecomposition normalized_spectrum(const Graph& g) {
+  return symmetric_eigen(dense_normalized_laplacian(g));
+}
+
+LinearOperator normalized_laplacian_operator(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> inv_sqrt(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const double vol = g.vol(static_cast<vidx>(v));
+    if (vol > 0.0) inv_sqrt[v] = 1.0 / std::sqrt(vol);
+  }
+  // Capture the graph by reference: callers keep it alive (documented for
+  // all operator adapters in this library).
+  return [&g, inv_sqrt, n](std::span<const double> x, std::span<double> y) {
+    HICOND_CHECK(x.size() == n && y.size() == n, "size mismatch");
+    parallel_for(n, [&](std::size_t v) {
+      const auto nbrs = g.neighbors(static_cast<vidx>(v));
+      const auto ws = g.weights(static_cast<vidx>(v));
+      double acc = (inv_sqrt[v] > 0.0 ? x[v] : 0.0);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const auto u = static_cast<std::size_t>(nbrs[i]);
+        acc -= ws[i] * inv_sqrt[v] * inv_sqrt[u] * x[u];
+      }
+      y[v] = acc;
+    });
+  };
+}
+
+std::vector<double> sqrt_volume_unit_vector(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> d(n);
+  double norm_sq = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    d[v] = std::sqrt(std::max(g.vol(static_cast<vidx>(v)), 0.0));
+    norm_sq += g.vol(static_cast<vidx>(v));
+  }
+  const double inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+  for (double& x : d) x *= inv;
+  return d;
+}
+
+}  // namespace hicond

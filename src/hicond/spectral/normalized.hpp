@@ -1,0 +1,22 @@
+// Normalized Laplacian utilities for Section 4.
+#pragma once
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/la/dense_eigen.hpp"
+
+namespace hicond {
+
+/// Full dense eigendecomposition of the normalized Laplacian
+/// A_hat = D^{-1/2} A D^{-1/2} (ascending eigenvalues). For the exact
+/// verification paths; O(n^3).
+[[nodiscard]] EigenDecomposition normalized_spectrum(const Graph& g);
+
+/// Matrix-free operator y = A_hat x.
+[[nodiscard]] LinearOperator normalized_laplacian_operator(const Graph& g);
+
+/// D^{1/2} 1 normalized to unit length: the null vector of A_hat for a
+/// connected graph.
+[[nodiscard]] std::vector<double> sqrt_volume_unit_vector(const Graph& g);
+
+}  // namespace hicond

@@ -1,0 +1,37 @@
+// Random walks and distribution mixtures (Section 4's motivation).
+//
+// P = I - A D^{-1} is the transition matrix of the lazy-free weighted random
+// walk; the probability that a walk from i sits at j after t steps is
+// (P^t e_i)_j. Individual distributions cost a matvec per step; arbitrary
+// mixtures sum_v w_v P^t e_v = P^t w cost the same t matvecs regardless of
+// how many walks are mixed -- the observation that motivates the global
+// spectral portrait of Theorem 4.1.
+#pragma once
+
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/partition/decomposition.hpp"
+
+namespace hicond {
+
+/// One step: y = P x = x - A (D^{-1} x). Columns of P sum to 1, so the total
+/// probability mass of x is conserved.
+void random_walk_step(const Graph& g, std::span<const double> x,
+                      std::span<double> y);
+
+/// P^t e_source.
+[[nodiscard]] std::vector<double> random_walk_distribution(const Graph& g,
+                                                           vidx source, int t);
+
+/// P^t w for an arbitrary mixture w.
+[[nodiscard]] std::vector<double> mixture_walk(const Graph& g,
+                                               std::vector<double> w, int t);
+
+/// Fraction of the walk's probability mass that sits inside the source's
+/// cluster after t steps -- the "trapping" effect of high-conductance,
+/// weakly-connected clusters.
+[[nodiscard]] double trapped_mass(const Graph& g, const Decomposition& p,
+                                  vidx source, int t);
+
+}  // namespace hicond

@@ -1,0 +1,89 @@
+#include "hicond/spectral/sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+
+std::vector<double> approx_effective_resistances(
+    const Graph& g, const ResistanceOptions& opt) {
+  HICOND_CHECK(opt.projections >= 1, "need at least one projection");
+  const auto edges = g.edge_list();
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> r(edges.size(), 0.0);
+  if (edges.empty()) return r;
+  const LaplacianSolver solver(g, opt.solver);
+  Rng rng(opt.seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(opt.projections));
+  std::vector<double> y(n);
+  for (int t = 0; t < opt.projections; ++t) {
+    // y = B' W^{1/2} xi with xi ~ uniform on {-1, +1}^m.
+    std::fill(y.begin(), y.end(), 0.0);
+    for (const auto& e : edges) {
+      const double s = (rng.next_u64() & 1ULL) ? scale : -scale;
+      const double v = s * std::sqrt(e.weight);
+      y[static_cast<std::size_t>(e.u)] += v;
+      y[static_cast<std::size_t>(e.v)] -= v;
+    }
+    // z = L^+ y; accumulate squared potential differences per edge.
+    const std::vector<double> z = solver.solve(y);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const double d = z[static_cast<std::size_t>(edges[i].u)] -
+                       z[static_cast<std::size_t>(edges[i].v)];
+      r[i] += d * d;
+    }
+  }
+  return r;
+}
+
+SparsifyResult spectral_sparsify(const Graph& g, const SparsifyOptions& opt) {
+  HICOND_CHECK(opt.epsilon > 0.0, "epsilon must be positive");
+  HICOND_CHECK(opt.oversample > 0.0, "oversample must be positive");
+  const auto edges = g.edge_list();
+  const vidx n = g.num_vertices();
+  SparsifyResult result;
+  if (edges.empty() || n < 2) {
+    result.sparsifier = g;
+    return result;
+  }
+  const std::vector<double> r = approx_effective_resistances(g, opt.resistance);
+  // Leverage scores and the sampling distribution.
+  std::vector<double> cumulative(edges.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    // Clamp to the theoretical range [0, 1] to tame JL noise.
+    const double leverage =
+        std::min(std::max(edges[i].weight * r[i], 1e-12), 1.0);
+    total += leverage;
+    cumulative[i] = total;
+  }
+  const double q_real = opt.oversample * 8.0 * static_cast<double>(n) *
+                        std::log(std::max<double>(n, 2)) /
+                        (opt.epsilon * opt.epsilon);
+  const eidx q = static_cast<eidx>(std::ceil(q_real));
+  result.samples = q;
+  std::vector<double> weight(edges.size(), 0.0);
+  Rng rng(opt.seed);
+  for (eidx s = 0; s < q; ++s) {
+    const double u = rng.uniform(0.0, total);
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const auto i = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                 static_cast<std::ptrdiff_t>(edges.size()) - 1));
+    const double p =
+        (cumulative[i] - (i > 0 ? cumulative[i - 1] : 0.0)) / total;
+    weight[i] += edges[i].weight / (static_cast<double>(q) * p);
+  }
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (weight[i] > 0.0) b.add_edge(edges[i].u, edges[i].v, weight[i]);
+  }
+  result.sparsifier = b.build();
+  return result;
+}
+
+}  // namespace hicond

@@ -1,0 +1,51 @@
+// Spectral sparsification by effective-resistance sampling
+// (Spielman-Srivastava), powered by this library's own solver stack.
+//
+// The paper situates its decompositions next to the Spielman-Teng
+// sparsification line (Section 1: the local partitioning of [28] is the
+// building block of their nearly-linear-time sparsifier). This module
+// closes that loop: leverage scores w_e * R_eff(e) are approximated with
+// O(log n) Laplacian solves (the Johnson-Lindenstrauss projection of
+// B W^{1/2}, each column solved by the multilevel Steiner solver), and
+// sampling edges proportionally yields a graph with (1 +- eps)-comparable
+// quadratic form and far fewer edges on dense inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/solver.hpp"
+
+namespace hicond {
+
+struct ResistanceOptions {
+  int projections = 24;     ///< JL dimension k (error ~ 1/sqrt(k))
+  std::uint64_t seed = 33;
+  LaplacianSolverOptions solver{};
+};
+
+/// Approximate effective resistance of every edge of g (aligned with
+/// g.edge_list() order) via k random-projection solves. Requires a
+/// connected graph.
+[[nodiscard]] std::vector<double> approx_effective_resistances(
+    const Graph& g, const ResistanceOptions& options = {});
+
+struct SparsifyOptions {
+  double epsilon = 0.5;     ///< target quality (drives the sample count)
+  double oversample = 1.0;  ///< multiplier on the C n log n / eps^2 count
+  ResistanceOptions resistance{};
+  std::uint64_t seed = 77;
+};
+
+struct SparsifyResult {
+  Graph sparsifier;
+  eidx samples = 0;         ///< draws taken (with replacement)
+};
+
+/// Sample q = ceil(oversample * 8 n ln n / eps^2) edges with replacement,
+/// each with probability proportional to its leverage score w_e R_eff(e),
+/// reweighted by w_e / (q p_e). The result's Laplacian approximates g's.
+[[nodiscard]] SparsifyResult spectral_sparsify(
+    const Graph& g, const SparsifyOptions& options = {});
+
+}  // namespace hicond

@@ -1,0 +1,73 @@
+#include "hicond/tree/critical.hpp"
+
+#include <algorithm>
+
+namespace hicond {
+
+std::vector<char> critical_vertices(const RootedForest& forest, int m) {
+  HICOND_CHECK(m >= 2, "criticality parameter must be >= 2");
+  const vidx n = forest.num_vertices();
+  std::vector<char> critical(static_cast<std::size_t>(n), 0);
+  auto bucket = [m](vidx size) {
+    return (static_cast<long long>(size) + m - 1) / m;
+  };
+  for (vidx v = 0; v < n; ++v) {
+    if (forest.is_leaf(v)) continue;
+    bool is_critical = true;
+    for (vidx w : forest.children(v)) {
+      if (bucket(forest.subtree_size(v)) <= bucket(forest.subtree_size(w))) {
+        is_critical = false;
+        break;
+      }
+    }
+    if (is_critical) critical[static_cast<std::size_t>(v)] = 1;
+  }
+  // Roots of non-trivial components anchor the decomposition even when the
+  // ceiling condition ties (e.g. a 3-vertex path); mark them critical.
+  for (vidx r : forest.roots()) {
+    if (!forest.is_leaf(r)) critical[static_cast<std::size_t>(r)] = 1;
+  }
+  return critical;
+}
+
+std::vector<Bridge> bridge_decomposition(const Graph& tree,
+                                         std::span<const char> critical) {
+  const vidx n = tree.num_vertices();
+  HICOND_CHECK(critical.size() == static_cast<std::size_t>(n),
+               "critical flag size mismatch");
+  std::vector<vidx> component(static_cast<std::size_t>(n), -1);
+  std::vector<Bridge> bridges;
+  std::vector<vidx> stack;
+  for (vidx s = 0; s < n; ++s) {
+    if (critical[static_cast<std::size_t>(s)] ||
+        component[static_cast<std::size_t>(s)] != -1) {
+      continue;
+    }
+    const vidx id = static_cast<vidx>(bridges.size());
+    bridges.emplace_back();
+    Bridge& b = bridges.back();
+    component[static_cast<std::size_t>(s)] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const vidx v = stack.back();
+      stack.pop_back();
+      b.interior.push_back(v);
+      for (vidx u : tree.neighbors(v)) {
+        if (critical[static_cast<std::size_t>(u)]) {
+          b.attachments.push_back(u);
+        } else if (component[static_cast<std::size_t>(u)] == -1) {
+          component[static_cast<std::size_t>(u)] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(b.interior.begin(), b.interior.end());
+    std::sort(b.attachments.begin(), b.attachments.end());
+    b.attachments.erase(
+        std::unique(b.attachments.begin(), b.attachments.end()),
+        b.attachments.end());
+  }
+  return bridges;
+}
+
+}  // namespace hicond

@@ -1,0 +1,38 @@
+// 3-critical vertices and 3-bridges (Theorem 2.1 machinery).
+//
+// Following [Reid-Miller, Miller, Modugno] as used by the paper: given a
+// rooted tree, a vertex v with children w_i is m-critical when (i) it is not
+// a leaf and (ii) ceil(|desc(v)|/m) > ceil(|desc(w_i)|/m) for every child.
+// The m-critical vertices are the shared boundaries of edge-disjoint
+// connected subtrees (the m-bridges) whose interior vertices are all
+// non-critical. For m = 3 there are at most 2n/3 critical vertices, and
+// bridge interiors are O(1)-sized, which is what makes the per-bridge local
+// clustering of the tree decomposition constant parallel time.
+#pragma once
+
+#include <vector>
+
+#include "hicond/tree/rooted_tree.hpp"
+
+namespace hicond {
+
+/// Flags of m-critical vertices for the rooted forest (roots are critical
+/// whenever they are internal vertices and satisfy the ceiling condition;
+/// by convention we also mark every root of a component with >= 2 vertices,
+/// which only helps the decomposition's case analysis).
+[[nodiscard]] std::vector<char> critical_vertices(const RootedForest& forest,
+                                                  int m = 3);
+
+/// A bridge: one maximal connected component of non-critical vertices
+/// together with its attachment critical vertices.
+struct Bridge {
+  std::vector<vidx> interior;     ///< non-critical vertices of the component
+  std::vector<vidx> attachments;  ///< adjacent critical vertices (deduped)
+};
+
+/// Decompose the forest into bridges. Edges whose endpoints are both
+/// critical form no bridge (they are boundaries already).
+[[nodiscard]] std::vector<Bridge> bridge_decomposition(
+    const Graph& tree, std::span<const char> critical);
+
+}  // namespace hicond

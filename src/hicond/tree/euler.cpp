@@ -1,0 +1,113 @@
+#include "hicond/tree/euler.hpp"
+
+#include "hicond/util/parallel.hpp"
+
+namespace hicond {
+
+std::vector<vidx> list_ranking(std::span<const vidx> next) {
+  const std::size_t n = next.size();
+  std::vector<vidx> rank(n);
+  std::vector<vidx> jump(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const vidx nx = next[i];
+    HICOND_CHECK(nx == -1 || (nx >= 0 && static_cast<std::size_t>(nx) < n),
+                 "bad successor index");
+    rank[i] = nx == -1 ? 0 : 1;
+    jump[i] = nx;
+  }
+  // Pointer jumping: O(log n) rounds; each round reads the previous
+  // round's arrays only, so the per-round sweep is safely parallel.
+  std::vector<vidx> rank_next(n);
+  std::vector<vidx> jump_next(n);
+  bool active = n > 0;
+  while (active) {
+    active = false;
+    bool any = false;
+    parallel_for(n, [&](std::size_t i) {
+      if (jump[i] == -1) {
+        rank_next[i] = rank[i];
+        jump_next[i] = -1;
+      } else {
+        const auto j = static_cast<std::size_t>(jump[i]);
+        rank_next[i] = rank[i] + rank[j];
+        jump_next[i] = jump[j];
+      }
+    });
+    rank.swap(rank_next);
+    jump.swap(jump_next);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (jump[i] != -1) {
+        any = true;
+        break;
+      }
+    }
+    active = any;
+  }
+  return rank;
+}
+
+EulerTour euler_tour(const RootedForest& forest) {
+  const vidx n = forest.num_vertices();
+  EulerTour tour;
+  tour.edge_of_child.assign(static_cast<std::size_t>(n), -1);
+  vidx num_edges = 0;
+  for (vidx v = 0; v < n; ++v) {
+    if (!forest.is_root(v)) {
+      tour.edge_of_child[static_cast<std::size_t>(v)] = num_edges;
+      tour.child_of_edge.push_back(v);
+      ++num_edges;
+    }
+  }
+  tour.next.assign(static_cast<std::size_t>(num_edges) * 2, -1);
+  auto down = [&tour](vidx child) {
+    return 2 * tour.edge_of_child[static_cast<std::size_t>(child)];
+  };
+  auto up = [&tour](vidx child) {
+    return 2 * tour.edge_of_child[static_cast<std::size_t>(child)] + 1;
+  };
+  // Successor rules (see header): the tour enters a child, walks its
+  // children left to right, and leaves.
+  for (vidx v = 0; v < n; ++v) {
+    const auto children = forest.children(v);
+    if (!forest.is_root(v)) {
+      // Down-arc into v continues to v's first child or bounces back up.
+      tour.next[static_cast<std::size_t>(down(v))] =
+          children.empty() ? up(v) : down(children.front());
+    } else if (!children.empty()) {
+      // Roots: chain their children; the tour of the component starts at
+      // down(children.front()) and ends at up(children.back()).
+    }
+    // After returning from child c, continue with the next sibling or leave.
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const vidx c = children[i];
+      if (i + 1 < children.size()) {
+        tour.next[static_cast<std::size_t>(up(c))] = down(children[i + 1]);
+      } else if (!forest.is_root(v)) {
+        tour.next[static_cast<std::size_t>(up(c))] = up(v);
+      }  // else: end of the component tour (-1).
+    }
+  }
+  tour.rank = list_ranking(tour.next);
+  return tour;
+}
+
+std::vector<vidx> subtree_sizes_from_tour(const RootedForest& forest,
+                                          const EulerTour& tour) {
+  const vidx n = forest.num_vertices();
+  std::vector<vidx> size(static_cast<std::size_t>(n), 0);
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t v) {
+    const vidx e = tour.edge_of_child[v];
+    if (e == -1) {
+      // Root: subtree is the whole component; recovered from the sequential
+      // structure (the tour ranks only index proper subtrees).
+      size[v] = forest.subtree_size(static_cast<vidx>(v));
+    } else {
+      const vidx rd = tour.rank[static_cast<std::size_t>(2 * e)];
+      const vidx ru = tour.rank[static_cast<std::size_t>(2 * e + 1)];
+      size[v] = (rd - ru + 1) / 2;
+    }
+  });
+  return size;
+}
+
+}  // namespace hicond

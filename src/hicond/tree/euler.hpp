@@ -1,0 +1,46 @@
+// Euler tours and list ranking: the parallel tree contraction substrate.
+//
+// Theorem 2.1 computes 3-critical vertices "with linear work in O(log n)
+// parallel time using the parallel tree contraction algorithms" of
+// [Reid-Miller, Miller, Modugno]. The PRAM recipe is: build the Euler tour
+// of the rooted tree (each edge becomes a down-arc and an up-arc), rank the
+// tour with pointer-jumping list ranking, and read subtree sizes off the
+// difference of the ranks of the two arcs of each edge. This module
+// implements that machinery literally -- pointer jumping runs its O(log n)
+// rounds with each round a parallel sweep -- and the tests cross-check it
+// against the sequential RootedForest computation.
+#pragma once
+
+#include <vector>
+
+#include "hicond/tree/rooted_tree.hpp"
+
+namespace hicond {
+
+/// Successor-array list ranking by pointer jumping: given next[i] (-1
+/// terminates a list), returns the number of hops from i to its list tail.
+/// O(n log n) work in O(log n) rounds, each round fully parallel.
+[[nodiscard]] std::vector<vidx> list_ranking(std::span<const vidx> next);
+
+/// Euler tour of a rooted forest. Arc 2e is the down-arc of edge e (parent
+/// to child), arc 2e+1 the up-arc; edges are indexed by child vertex via
+/// `edge_of_child` (-1 for roots).
+struct EulerTour {
+  std::vector<vidx> edge_of_child;  ///< child vertex -> edge index (or -1)
+  std::vector<vidx> child_of_edge;  ///< edge index -> child vertex
+  std::vector<vidx> next;           ///< successor of each arc in the tour
+  std::vector<vidx> rank;           ///< hops from the arc to the tour's end
+
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return next.size(); }
+};
+
+/// Build the Euler tour (and its ranking) for every component of `forest`.
+[[nodiscard]] EulerTour euler_tour(const RootedForest& forest);
+
+/// Subtree sizes recovered from the Euler tour ranks:
+/// size(child) = (rank(down) - rank(up) + 1) / 2. Roots get their component
+/// size. Must agree with RootedForest::subtree_size.
+[[nodiscard]] std::vector<vidx> subtree_sizes_from_tour(
+    const RootedForest& forest, const EulerTour& tour);
+
+}  // namespace hicond

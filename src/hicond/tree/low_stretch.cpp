@@ -1,0 +1,197 @@
+#include "hicond/tree/low_stretch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/tree/rooted_tree.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(vidx n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  vidx find(vidx v) {
+    while (parent_[static_cast<std::size_t>(v)] != v) {
+      parent_[static_cast<std::size_t>(v)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(v)])];
+      v = parent_[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+  bool unite(vidx a, vidx b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[static_cast<std::size_t>(b)] = a;
+    return true;
+  }
+
+ private:
+  std::vector<vidx> parent_;
+};
+
+}  // namespace
+
+Graph low_stretch_tree_akpw(const Graph& g, const LowStretchOptions& opt) {
+  HICOND_CHECK(opt.class_ratio > 1.0, "class_ratio must exceed 1");
+  HICOND_CHECK(opt.bfs_radius >= 1, "bfs_radius must be >= 1");
+  const vidx n = g.num_vertices();
+  std::vector<WeightedEdge> edges = g.edge_list();
+  if (edges.empty()) return Graph(n);
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    return a.weight > b.weight;
+  });
+  const double w_max = edges.front().weight;
+
+  UnionFind uf(n);
+  GraphBuilder tree(n);
+  Rng rng(opt.seed);
+
+  // Per-class bounded-radius cluster growing (the AKPW recipe): contract
+  // the components formed so far, take the class's edges as a graph over
+  // components, and grow BFS balls of radius `bfs_radius` from randomly
+  // ordered centers; the BFS edges (one original edge per contracted edge)
+  // enter the spanning tree.
+  std::vector<vidx> comp_index(static_cast<std::size_t>(n), -1);
+  std::vector<vidx> comp_epoch(static_cast<std::size_t>(n), -1);
+  vidx epoch = 0;
+  std::size_t pos = 0;
+  double threshold = w_max / opt.class_ratio;
+  while (pos < edges.size()) {
+    // Current class: edges with weight in (threshold, previous threshold].
+    std::size_t end = pos;
+    while (end < edges.size() && edges[end].weight > threshold) ++end;
+    threshold /= opt.class_ratio;
+    if (end == pos) continue;
+
+    // Dense component ids for this class (lazy epoch-stamped map).
+    ++epoch;
+    std::vector<vidx> nodes;  // component roots seen in this class
+    auto comp_of = [&](vidx v) {
+      const vidx root = uf.find(v);
+      if (comp_epoch[static_cast<std::size_t>(root)] != epoch) {
+        comp_epoch[static_cast<std::size_t>(root)] = epoch;
+        comp_index[static_cast<std::size_t>(root)] =
+            static_cast<vidx>(nodes.size());
+        nodes.push_back(root);
+      }
+      return comp_index[static_cast<std::size_t>(root)];
+    };
+    // Contracted adjacency over the class edges. Per contracted edge we keep
+    // one representative original edge (the heaviest encountered).
+    struct CArc {
+      vidx to;
+      std::size_t edge;  // index into `edges`
+    };
+    std::vector<std::vector<CArc>> adj;
+    for (std::size_t i = pos; i < end; ++i) {
+      const vidx cu = comp_of(edges[i].u);
+      const vidx cv = comp_of(edges[i].v);
+      if (cu == cv) continue;
+      if (static_cast<std::size_t>(std::max(cu, cv)) >= adj.size()) {
+        adj.resize(static_cast<std::size_t>(std::max(cu, cv)) + 1);
+      }
+      adj[static_cast<std::size_t>(cu)].push_back({cv, i});
+      adj[static_cast<std::size_t>(cv)].push_back({cu, i});
+    }
+    if (adj.empty()) {
+      pos = end;
+      continue;
+    }
+    adj.resize(nodes.size());
+    // Random center order; BFS balls of bounded radius claim components.
+    std::vector<vidx> order(nodes.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::vector<vidx> claimed(nodes.size(), 0);
+    std::vector<vidx> depth(nodes.size(), 0);
+    std::vector<vidx> queue;
+    for (vidx center : order) {
+      if (claimed[static_cast<std::size_t>(center)]) continue;
+      claimed[static_cast<std::size_t>(center)] = 1;
+      depth[static_cast<std::size_t>(center)] = 0;
+      queue.clear();
+      queue.push_back(center);
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const vidx c = queue[head];
+        if (depth[static_cast<std::size_t>(c)] >= opt.bfs_radius) continue;
+        for (const CArc& arc : adj[static_cast<std::size_t>(c)]) {
+          if (claimed[static_cast<std::size_t>(arc.to)]) continue;
+          claimed[static_cast<std::size_t>(arc.to)] = 1;
+          depth[static_cast<std::size_t>(arc.to)] =
+              depth[static_cast<std::size_t>(c)] + 1;
+          const auto& e = edges[arc.edge];
+          uf.unite(e.u, e.v);
+          tree.add_edge(e.u, e.v, e.weight);
+          queue.push_back(arc.to);
+        }
+      }
+    }
+    pos = end;
+  }
+  // Any class edges between components that stayed separate (radius cap)
+  // are retried implicitly by later (lighter) classes; finish with a final
+  // pass so the result always spans whatever the input connects.
+  for (const auto& e : edges) {
+    if (uf.find(e.u) != uf.find(e.v)) {
+      uf.unite(e.u, e.v);
+      tree.add_edge(e.u, e.v, e.weight);
+    }
+  }
+  return tree.build();
+}
+
+double average_stretch(const Graph& g, const Graph& tree) {
+  HICOND_CHECK(g.num_vertices() == tree.num_vertices(),
+               "tree vertex count mismatch");
+  HICOND_CHECK(is_forest(tree), "stretch against a non-forest");
+  const RootedForest rf = RootedForest::build(tree);
+  // Depth per vertex for LCA by climbing.
+  const vidx n = g.num_vertices();
+  std::vector<vidx> depth(static_cast<std::size_t>(n), 0);
+  std::vector<double> resistance_to_root(static_cast<std::size_t>(n), 0.0);
+  for (vidx v : rf.top_down_order()) {
+    const vidx p = rf.parent(v);
+    if (p >= 0) {
+      depth[static_cast<std::size_t>(v)] = depth[static_cast<std::size_t>(p)] + 1;
+      resistance_to_root[static_cast<std::size_t>(v)] =
+          resistance_to_root[static_cast<std::size_t>(p)] +
+          1.0 / rf.parent_weight(v);
+    }
+  }
+  auto lca = [&](vidx u, vidx v) {
+    while (u != v) {
+      if (depth[static_cast<std::size_t>(u)] >=
+          depth[static_cast<std::size_t>(v)]) {
+        u = rf.parent(u);
+      } else {
+        v = rf.parent(v);
+      }
+      HICOND_CHECK(u >= 0 && v >= 0, "tree does not span the graph");
+    }
+    return u;
+  };
+  double total = 0.0;
+  eidx count = 0;
+  for (const auto& e : g.edge_list()) {
+    const vidx a = lca(e.u, e.v);
+    const double path_resistance =
+        resistance_to_root[static_cast<std::size_t>(e.u)] +
+        resistance_to_root[static_cast<std::size_t>(e.v)] -
+        2.0 * resistance_to_root[static_cast<std::size_t>(a)];
+    total += e.weight * path_resistance;
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace hicond

@@ -1,0 +1,33 @@
+// Low-stretch spanning trees (AKPW-flavoured) and stretch measurement.
+//
+// Theorem 2.3 runs the planar pipeline on a preconditioner built from the
+// low-stretch trees of [Elkin-Emek-Spielman-Teng]; we provide a simplified
+// AKPW-style construction (weight-class rounds of bounded-radius BFS
+// clustering) plus an exact average-stretch evaluator so its quality against
+// the maximum-weight spanning tree is measurable rather than assumed.
+#pragma once
+
+#include <cstdint>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+struct LowStretchOptions {
+  double class_ratio = 2.0;  ///< geometric width of edge weight classes
+  int bfs_radius = 3;        ///< cluster radius per class (in hops)
+  std::uint64_t seed = 1;    ///< randomizes the cluster-growth order
+};
+
+/// Spanning forest biased toward low stretch: edges are processed in
+/// geometric weight classes (heaviest first); within a class, clusters of
+/// bounded radius are grown over the current contracted graph and their BFS
+/// edges enter the tree.
+[[nodiscard]] Graph low_stretch_tree_akpw(const Graph& g,
+                                          const LowStretchOptions& options = {});
+
+/// Stretch of edge (u,v,w) wrt `tree`: w * sum over tree-path edges of 1/w_f.
+/// Returns the average over all edges of g. `tree` must span g's components.
+[[nodiscard]] double average_stretch(const Graph& g, const Graph& tree);
+
+}  // namespace hicond

@@ -1,0 +1,106 @@
+#include "hicond/tree/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/util/parallel.hpp"
+
+namespace hicond {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(vidx n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  vidx find(vidx v) {
+    while (parent_[static_cast<std::size_t>(v)] != v) {
+      parent_[static_cast<std::size_t>(v)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(v)])];
+      v = parent_[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+  bool unite(vidx a, vidx b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[static_cast<std::size_t>(b)] = a;
+    return true;
+  }
+
+ private:
+  std::vector<vidx> parent_;
+};
+
+/// Strict total order on edges: heavier first, ties by ids. Using a strict
+/// order makes both algorithms produce the same forest on distinct weights.
+bool heavier(const WeightedEdge& a, const WeightedEdge& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+}  // namespace
+
+Graph max_spanning_forest_kruskal(const Graph& g) {
+  const vidx n = g.num_vertices();
+  std::vector<WeightedEdge> edges = g.edge_list();
+  std::sort(edges.begin(), edges.end(), heavier);
+  UnionFind uf(n);
+  GraphBuilder b(n);
+  for (const auto& e : edges) {
+    if (uf.unite(e.u, e.v)) b.add_edge(e.u, e.v, e.weight);
+  }
+  return b.build();
+}
+
+Graph max_spanning_forest_boruvka(const Graph& g) {
+  const vidx n = g.num_vertices();
+  UnionFind uf(n);
+  GraphBuilder builder(n);
+  // best[c] = heaviest edge leaving component c this round.
+  std::vector<WeightedEdge> best(static_cast<std::size_t>(n));
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (auto& e : best) e = {-1, -1, -1.0};
+    // Selection: every vertex offers its incident edges to its component.
+    // (Parallelizable with per-component reductions; sequential per round
+    // here, rounds are O(log n).)
+    for (vidx v = 0; v < n; ++v) {
+      const vidx cv = uf.find(v);
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (uf.find(nbrs[i]) == cv) continue;
+        const WeightedEdge cand{std::min(v, nbrs[i]), std::max(v, nbrs[i]),
+                                ws[i]};
+        auto& slot = best[static_cast<std::size_t>(cv)];
+        if (slot.u == -1 || heavier(cand, slot)) slot = cand;
+      }
+    }
+    for (vidx c = 0; c < n; ++c) {
+      const auto& e = best[static_cast<std::size_t>(c)];
+      if (e.u == -1) continue;
+      if (uf.unite(e.u, e.v)) {
+        builder.add_edge(e.u, e.v, e.weight);
+        merged = true;
+      }
+    }
+  }
+  return builder.build();
+}
+
+double total_edge_weight(const Graph& g) {
+  return parallel_sum(static_cast<std::size_t>(g.num_vertices()),
+                      [&](std::size_t v) {
+                        return g.vol(static_cast<vidx>(v));
+                      }) /
+         2.0;
+}
+
+}  // namespace hicond

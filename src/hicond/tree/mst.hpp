@@ -1,0 +1,26 @@
+// Maximum-weight spanning forests: Kruskal (sequential, sort-based) and
+// Boruvka (round-based, parallelizable).
+//
+// The maximum-weight spanning tree is the classical base of subgraph
+// preconditioners [Joshi/Vaidya] and the baseline of the paper's Remark 1
+// timing comparison (there against the Boost Graph Library implementation;
+// here against our own Kruskal/Boruvka, see DESIGN.md substitutions).
+#pragma once
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+/// Maximum-weight spanning forest via Kruskal (sort all edges descending,
+/// union-find). Deterministic tie-break on endpoint ids.
+[[nodiscard]] Graph max_spanning_forest_kruskal(const Graph& g);
+
+/// Maximum-weight spanning forest via Boruvka rounds: each component picks
+/// its heaviest outgoing edge, components merge, repeat. The per-round edge
+/// selection is parallel over vertices.
+[[nodiscard]] Graph max_spanning_forest_boruvka(const Graph& g);
+
+/// Total edge weight of a graph (sum over undirected edges).
+[[nodiscard]] double total_edge_weight(const Graph& g);
+
+}  // namespace hicond

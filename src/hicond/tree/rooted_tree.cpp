@@ -1,0 +1,72 @@
+#include "hicond/tree/rooted_tree.hpp"
+
+#include "hicond/graph/connectivity.hpp"
+
+namespace hicond {
+
+RootedForest RootedForest::build(const Graph& g, vidx preferred_root) {
+  HICOND_CHECK(is_forest(g), "RootedForest requires an acyclic graph");
+  const vidx n = g.num_vertices();
+  RootedForest f;
+  f.parent_.assign(static_cast<std::size_t>(n), -2);  // -2 = unvisited
+  f.parent_weight_.assign(static_cast<std::size_t>(n), 0.0);
+  f.order_.reserve(static_cast<std::size_t>(n));
+
+  auto bfs_from = [&](vidx root) {
+    f.parent_[static_cast<std::size_t>(root)] = -1;
+    f.roots_.push_back(root);
+    const std::size_t start = f.order_.size();
+    f.order_.push_back(root);
+    for (std::size_t head = start; head < f.order_.size(); ++head) {
+      const vidx v = f.order_[head];
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (f.parent_[static_cast<std::size_t>(nbrs[i])] == -2) {
+          f.parent_[static_cast<std::size_t>(nbrs[i])] = v;
+          f.parent_weight_[static_cast<std::size_t>(nbrs[i])] = ws[i];
+          f.order_.push_back(nbrs[i]);
+        }
+      }
+    }
+  };
+
+  if (preferred_root >= 0 && preferred_root < n) bfs_from(preferred_root);
+  for (vidx v = 0; v < n; ++v) {
+    if (f.parent_[static_cast<std::size_t>(v)] == -2) bfs_from(v);
+  }
+
+  // Subtree sizes by reverse BFS order.
+  f.subtree_size_.assign(static_cast<std::size_t>(n), 1);
+  for (std::size_t i = f.order_.size(); i-- > 0;) {
+    const vidx v = f.order_[i];
+    const vidx p = f.parent_[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      f.subtree_size_[static_cast<std::size_t>(p)] +=
+          f.subtree_size_[static_cast<std::size_t>(v)];
+    }
+  }
+
+  // Child lists (CSR).
+  f.child_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (vidx v = 0; v < n; ++v) {
+    const vidx p = f.parent_[static_cast<std::size_t>(v)];
+    if (p >= 0) ++f.child_offsets_[static_cast<std::size_t>(p) + 1];
+  }
+  for (vidx v = 0; v < n; ++v) {
+    f.child_offsets_[static_cast<std::size_t>(v) + 1] +=
+        f.child_offsets_[static_cast<std::size_t>(v)];
+  }
+  f.children_.resize(static_cast<std::size_t>(n) - f.roots_.size());
+  std::vector<eidx> cursor(f.child_offsets_.begin(), f.child_offsets_.end() - 1);
+  for (vidx v = 0; v < n; ++v) {
+    const vidx p = f.parent_[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      f.children_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(p)]++)] =
+          v;
+    }
+  }
+  return f;
+}
+
+}  // namespace hicond

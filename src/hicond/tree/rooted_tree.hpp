@@ -1,0 +1,74 @@
+// Rooted representation of trees and forests: parents, orders, subtree
+// sizes, child lists. This is the substrate for the 3-critical vertex
+// machinery of parallel tree contraction (Theorem 2.1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond {
+
+/// A forest rooted at one root per component. Vertices keep their original
+/// graph ids.
+class RootedForest {
+ public:
+  /// Root every component of the (acyclic) graph g. If `preferred_root` is a
+  /// valid vertex it becomes the root of its component; other components are
+  /// rooted at their smallest-id vertex.
+  [[nodiscard]] static RootedForest build(const Graph& g,
+                                          vidx preferred_root = -1);
+
+  [[nodiscard]] vidx num_vertices() const noexcept {
+    return static_cast<vidx>(parent_.size());
+  }
+
+  [[nodiscard]] vidx parent(vidx v) const {
+    return parent_[static_cast<std::size_t>(v)];
+  }
+
+  /// Weight of the edge to the parent; 0 for roots.
+  [[nodiscard]] double parent_weight(vidx v) const {
+    return parent_weight_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] bool is_root(vidx v) const { return parent(v) == -1; }
+
+  /// Number of vertices in the subtree rooted at v (including v).
+  [[nodiscard]] vidx subtree_size(vidx v) const {
+    return subtree_size_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] std::span<const vidx> children(vidx v) const {
+    const auto lo = static_cast<std::size_t>(
+        child_offsets_[static_cast<std::size_t>(v)]);
+    const auto hi = static_cast<std::size_t>(
+        child_offsets_[static_cast<std::size_t>(v) + 1]);
+    return {children_.data() + lo, hi - lo};
+  }
+
+  [[nodiscard]] vidx num_children(vidx v) const {
+    return static_cast<vidx>(children(v).size());
+  }
+
+  [[nodiscard]] bool is_leaf(vidx v) const { return num_children(v) == 0; }
+
+  /// Vertices in BFS order from the roots (parents before children).
+  [[nodiscard]] std::span<const vidx> top_down_order() const noexcept {
+    return order_;
+  }
+
+  [[nodiscard]] std::span<const vidx> roots() const noexcept { return roots_; }
+
+ private:
+  std::vector<vidx> parent_;
+  std::vector<double> parent_weight_;
+  std::vector<vidx> subtree_size_;
+  std::vector<eidx> child_offsets_;
+  std::vector<vidx> children_;
+  std::vector<vidx> order_;
+  std::vector<vidx> roots_;
+};
+
+}  // namespace hicond

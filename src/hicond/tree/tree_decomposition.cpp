@@ -1,0 +1,313 @@
+#include "hicond/tree/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "hicond/graph/closure.hpp"
+#include "hicond/graph/conductance.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/tree/critical.hpp"
+#include "hicond/tree/rooted_tree.hpp"
+
+namespace hicond {
+
+namespace {
+
+/// Mutable state of the clustering under construction.
+struct Builder {
+  const Graph& g;
+  const TreeDecompOptions& opts;
+  std::vector<vidx> assignment;
+  vidx next_cluster = 0;
+
+  explicit Builder(const Graph& graph, const TreeDecompOptions& o)
+      : g(graph), opts(o),
+        assignment(static_cast<std::size_t>(graph.num_vertices()), -1) {}
+
+  vidx emit_cluster(std::span<const vidx> verts) {
+    const vidx id = next_cluster++;
+    for (vidx v : verts) assignment[static_cast<std::size_t>(v)] = id;
+    return id;
+  }
+
+  void attach(vidx u, vidx critical_vertex) {
+    const vidx c = assignment[static_cast<std::size_t>(critical_vertex)];
+    HICOND_ASSERT(c >= 0);
+    assignment[static_cast<std::size_t>(u)] = c;
+  }
+
+  /// Exact (or conservatively lower-bounded) closure conductance of a
+  /// candidate cluster.
+  double closure_phi(std::span<const vidx> verts) const {
+    const ClosureGraph c = closure_graph(g, verts);
+    if (c.graph.num_vertices() <= opts.exact_limit) {
+      return conductance_exact(c.graph);
+    }
+    return cheeger_lower_bound(c.graph);
+  }
+
+  /// The heaviest edge from u to a critical vertex; returns (-1, 0) when u
+  /// has no critical neighbour.
+  std::pair<vidx, double> heaviest_critical_neighbor(
+      vidx u, std::span<const char> critical) const {
+    vidx best = -1;
+    double best_w = 0.0;
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (critical[static_cast<std::size_t>(nbrs[i])] && ws[i] > best_w) {
+        best = nbrs[i];
+        best_w = ws[i];
+      }
+    }
+    return {best, best_w};
+  }
+
+  /// Sparsity of the cut that isolates {u, its future pendants} inside the
+  /// cluster of the critical vertex it attaches to: cap = w(u, c), side
+  /// volume = w(u, c) + 2 * (vol(u) - w(u, c)).
+  double attach_sparsity(vidx u, double edge_to_critical) const {
+    const double pendant = g.vol(u) - edge_to_critical;
+    return edge_to_critical / (edge_to_critical + 2.0 * pendant);
+  }
+};
+
+/// External (non-interior) incident weight of u, i.e. weight to critical
+/// attachments of the bridge.
+double external_weight(const Graph& g, vidx u,
+                       std::span<const char> in_interior) {
+  double w = 0.0;
+  const auto nbrs = g.neighbors(u);
+  const auto ws = g.weights(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (!in_interior[static_cast<std::size_t>(nbrs[i])]) w += ws[i];
+  }
+  return w;
+}
+
+void handle_single(Builder& b, vidx u, std::span<const char> critical) {
+  const auto [c, w] = b.heaviest_critical_neighbor(u, critical);
+  if (c >= 0) {
+    b.attach(u, c);
+  } else {
+    // Isolated vertex (its own component): unavoidable singleton.
+    const std::array<vidx, 1> self{u};
+    b.emit_cluster(self);
+  }
+}
+
+void handle_pair(Builder& b, vidx u1, vidx u2, std::span<const char> critical,
+                 std::span<const char> in_interior) {
+  const double w = b.g.edge_weight(u1, u2);
+  HICOND_ASSERT(w > 0.0);
+  const double b1 = external_weight(b.g, u1, in_interior);
+  const double b2 = external_weight(b.g, u2, in_interior);
+  if (w >= b.opts.pair_slack * std::min(b1, b2)) {
+    const std::array<vidx, 2> pair{u1, u2};
+    b.emit_cluster(pair);
+    return;
+  }
+  // Both boundary weights positive here, so both have critical neighbours.
+  handle_single(b, u1, critical);
+  handle_single(b, u2, critical);
+}
+
+/// Candidate resolution for a 3-vertex bridge interior: enumerate every
+/// feasible split into connected clusters (size >= 2) and attachments,
+/// score by the minimum of exact closure conductances and attachment
+/// sparsities, and apply the best.
+void handle_triple(Builder& b, std::span<const vidx> interior,
+                   std::span<const char> critical) {
+  struct Candidate {
+    std::vector<std::vector<vidx>> clusters;
+    std::vector<vidx> attachments;
+    double score = -1.0;
+    int parts = 0;
+  };
+  std::vector<Candidate> candidates;
+
+  auto adjacent = [&](vidx a, vidx c) { return b.g.has_edge(a, c); };
+  const vidx u0 = interior[0];
+  const vidx u1 = interior[1];
+  const vidx u2 = interior[2];
+
+  // Whole-interior cluster.
+  candidates.push_back({{{u0, u1, u2}}, {}, -1.0, 1});
+  // Pair + attached single, for every adjacent pair.
+  const std::array<std::array<vidx, 3>, 3> splits = {
+      {{u0, u1, u2}, {u0, u2, u1}, {u1, u2, u0}}};
+  for (const auto& s : splits) {
+    if (adjacent(s[0], s[1])) {
+      candidates.push_back({{{s[0], s[1]}}, {s[2]}, -1.0, 2});
+    }
+  }
+  // All three attached.
+  candidates.push_back({{}, {u0, u1, u2}, -1.0, 3});
+
+  Candidate* best = nullptr;
+  for (auto& cand : candidates) {
+    double score = kInfiniteConductance;
+    bool feasible = true;
+    for (vidx u : cand.attachments) {
+      const auto [c, w] = b.heaviest_critical_neighbor(u, critical);
+      if (c < 0) {
+        feasible = false;
+        break;
+      }
+      score = std::min(score, b.attach_sparsity(u, w));
+    }
+    if (!feasible) continue;
+    for (const auto& cluster : cand.clusters) {
+      score = std::min(score, b.closure_phi(cluster));
+    }
+    cand.score = score;
+    if (best == nullptr || cand.score > best->score ||
+        (cand.score == best->score && cand.parts < best->parts)) {
+      best = &cand;
+    }
+  }
+  HICOND_ASSERT(best != nullptr);
+  for (const auto& cluster : best->clusters) b.emit_cluster(cluster);
+  for (vidx u : best->attachments) {
+    const auto [c, w] = b.heaviest_critical_neighbor(u, critical);
+    (void)w;
+    b.attach(u, c);
+  }
+}
+
+/// Generic fallback for unexpectedly large bridge interiors: bottom-up
+/// packing of the interior subtree into clusters of size >= 2, with a single
+/// possible leftover attached to a critical neighbour (or merged into an
+/// adjacent cluster).
+void handle_large(Builder& b, std::span<const vidx> interior,
+                  std::span<const char> critical) {
+  std::vector<vidx> old_to_new;
+  const Graph sub = induced_subgraph(b.g, interior, &old_to_new);
+  const RootedForest rf = RootedForest::build(sub);
+  const auto order = rf.top_down_order();
+  std::vector<char> clustered(interior.size(), 0);
+  // Reverse BFS: children first. pending(v) = v plus unclustered children.
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const vidx lv = order[i];
+    std::vector<vidx> pending{interior[static_cast<std::size_t>(lv)]};
+    for (vidx lc : rf.children(lv)) {
+      if (!clustered[static_cast<std::size_t>(lc)]) {
+        pending.push_back(interior[static_cast<std::size_t>(lc)]);
+      }
+    }
+    if (pending.size() >= 2) {
+      b.emit_cluster(pending);
+      clustered[static_cast<std::size_t>(lv)] = 1;
+      for (vidx lc : rf.children(lv)) clustered[static_cast<std::size_t>(lc)] = 1;
+    }
+    // else: leave lv pending for its parent.
+  }
+  // Leftover roots (pending singletons).
+  for (vidx lr : rf.roots()) {
+    if (clustered[static_cast<std::size_t>(lr)]) continue;
+    const vidx u = interior[static_cast<std::size_t>(lr)];
+    const auto [c, w] = b.heaviest_critical_neighbor(u, critical);
+    (void)w;
+    if (c >= 0) {
+      b.attach(u, c);
+    } else {
+      // Merge into the adjacent cluster with the heaviest edge.
+      vidx target = -1;
+      double best_w = -1.0;
+      const auto nbrs = b.g.neighbors(u);
+      const auto ws = b.g.weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vidx cl =
+            b.assignment[static_cast<std::size_t>(nbrs[i])];
+        if (cl >= 0 && ws[i] > best_w) {
+          best_w = ws[i];
+          target = cl;
+        }
+      }
+      if (target >= 0) {
+        b.assignment[static_cast<std::size_t>(u)] = target;
+      } else {
+        const std::array<vidx, 1> self{u};
+        b.emit_cluster(self);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Decomposition tree_decomposition(const Graph& forest,
+                                 const TreeDecompOptions& options) {
+  HICOND_CHECK(is_forest(forest), "tree_decomposition requires a forest");
+  const vidx n = forest.num_vertices();
+  Decomposition result;
+  result.assignment.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return result;
+
+  Builder b(forest, options);
+  const std::vector<vidx> comp = connected_components(forest);
+  const vidx num_comp = 1 + *std::max_element(comp.begin(), comp.end());
+  std::vector<vidx> comp_size(static_cast<std::size_t>(num_comp), 0);
+  for (vidx c : comp) ++comp_size[static_cast<std::size_t>(c)];
+
+  // Small components (<= 3 vertices) are single clusters, as in the paper.
+  std::vector<std::vector<vidx>> small(static_cast<std::size_t>(num_comp));
+  for (vidx v = 0; v < n; ++v) {
+    if (comp_size[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])] <=
+        3) {
+      small[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    }
+  }
+  for (const auto& cluster : small) {
+    if (!cluster.empty()) b.emit_cluster(cluster);
+  }
+
+  const RootedForest rf = RootedForest::build(forest);
+  std::vector<char> critical = critical_vertices(rf, 3);
+  // Restrict to large components; small ones are done.
+  for (vidx v = 0; v < n; ++v) {
+    if (comp_size[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])] <=
+        3) {
+      critical[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+  // One cluster per critical vertex.
+  for (vidx v = 0; v < n; ++v) {
+    if (critical[static_cast<std::size_t>(v)]) {
+      const std::array<vidx, 1> self{v};
+      b.emit_cluster(self);
+    }
+  }
+
+  std::vector<char> in_interior(static_cast<std::size_t>(n), 0);
+  const auto bridges = bridge_decomposition(forest, critical);
+  for (const Bridge& bridge : bridges) {
+    const auto& interior = bridge.interior;
+    if (b.assignment[static_cast<std::size_t>(interior.front())] != -1) {
+      continue;  // part of a small component, already clustered
+    }
+    for (vidx v : interior) in_interior[static_cast<std::size_t>(v)] = 1;
+    switch (interior.size()) {
+      case 1:
+        handle_single(b, interior[0], critical);
+        break;
+      case 2:
+        handle_pair(b, interior[0], interior[1], critical, in_interior);
+        break;
+      case 3:
+        handle_triple(b, interior, critical);
+        break;
+      default:
+        handle_large(b, interior, critical);
+        break;
+    }
+    for (vidx v : interior) in_interior[static_cast<std::size_t>(v)] = 0;
+  }
+
+  result.assignment = std::move(b.assignment);
+  result.num_clusters = b.next_cluster;
+  return result;
+}
+
+}  // namespace hicond

@@ -1,0 +1,99 @@
+#include "hicond/tree/tree_splitting.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hicond/graph/connectivity.hpp"
+
+namespace hicond {
+
+namespace {
+
+/// Union-find with cluster sizes.
+class UnionFind {
+ public:
+  explicit UnionFind(vidx n) : parent_(static_cast<std::size_t>(n)),
+                               size_(static_cast<std::size_t>(n), 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  vidx find(vidx v) {
+    while (parent_[static_cast<std::size_t>(v)] != v) {
+      parent_[static_cast<std::size_t>(v)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(v)])];
+      v = parent_[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+
+  vidx size(vidx v) { return size_[static_cast<std::size_t>(find(v))]; }
+
+  bool unite(vidx a, vidx b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[static_cast<std::size_t>(a)] <
+        size_[static_cast<std::size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+    return true;
+  }
+
+ private:
+  std::vector<vidx> parent_;
+  std::vector<vidx> size_;
+};
+
+}  // namespace
+
+Decomposition split_forest_bounded(const Graph& forest,
+                                   vidx max_cluster_size) {
+  HICOND_CHECK(is_forest(forest), "split_forest_bounded requires a forest");
+  HICOND_CHECK(max_cluster_size >= 2, "cluster size cap must be >= 2");
+  const vidx n = forest.num_vertices();
+  std::vector<WeightedEdge> edges = forest.edge_list();
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.u != b.u ? a.u < b.u : a.v < b.v;  // deterministic tie-break
+  });
+  UnionFind uf(n);
+  for (const auto& e : edges) {
+    if (uf.size(e.u) + uf.size(e.v) <= max_cluster_size) uf.unite(e.u, e.v);
+  }
+  // Absorb stranded singletons into the neighbouring cluster with the
+  // heaviest connecting edge (may push that cluster one past the cap).
+  for (vidx v = 0; v < n; ++v) {
+    if (uf.size(v) > 1) continue;
+    vidx target = -1;
+    double best = -1.0;
+    const auto nbrs = forest.neighbors(v);
+    const auto ws = forest.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (ws[i] > best) {
+        best = ws[i];
+        target = nbrs[i];
+      }
+    }
+    if (target >= 0) uf.unite(v, target);
+  }
+  // Dense cluster ids.
+  Decomposition d;
+  d.assignment.assign(static_cast<std::size_t>(n), -1);
+  std::vector<vidx> id_of_root(static_cast<std::size_t>(n), -1);
+  vidx next = 0;
+  for (vidx v = 0; v < n; ++v) {
+    const vidx r = uf.find(v);
+    if (id_of_root[static_cast<std::size_t>(r)] == -1) {
+      id_of_root[static_cast<std::size_t>(r)] = next++;
+    }
+    d.assignment[static_cast<std::size_t>(v)] =
+        id_of_root[static_cast<std::size_t>(r)];
+  }
+  d.num_clusters = next;
+  return d;
+}
+
+}  // namespace hicond

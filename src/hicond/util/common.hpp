@@ -1,0 +1,53 @@
+// Core type aliases and error-handling helpers shared by every hicond module.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hicond {
+
+/// Vertex / cluster index type. 32-bit indices keep CSR structures compact;
+/// graphs up to ~2 billion vertices are out of scope for this library.
+using vidx = std::int32_t;
+
+/// Edge / nonzero offset type. 64-bit because the number of directed arcs can
+/// exceed 2^31 well before the vertex count does.
+using eidx = std::int64_t;
+
+/// Thrown on malformed user input (negative weights, ragged CSR, ...).
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a numeric routine cannot proceed (singular pivot, ...).
+class numeric_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  throw invalid_argument_error(std::string("hicond check failed: ") + expr +
+                               " at " + file + ":" + std::to_string(line) +
+                               (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace hicond
+
+/// Always-on precondition check for public API boundaries.
+#define HICOND_CHECK(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::hicond::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                            (msg));                      \
+    }                                                                    \
+  } while (false)
+
+/// Internal invariant check; compiled out in release-with-NDEBUG builds is
+/// deliberately NOT done -- the cost is negligible next to the algorithms and
+/// the checks double as executable documentation.
+#define HICOND_ASSERT(expr) HICOND_CHECK(expr, "internal invariant")

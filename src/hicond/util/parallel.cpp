@@ -1,0 +1,52 @@
+#include "hicond/util/parallel.hpp"
+
+#include <omp.h>
+
+namespace hicond {
+
+int num_threads() noexcept { return omp_get_max_threads(); }
+
+eidx exclusive_scan_inplace(std::vector<eidx>& values) {
+  const std::size_t n = values.size();
+  const int threads = num_threads();
+  if (n == 0) return 0;
+  if (threads <= 1 || n < 4096) {
+    eidx run = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const eidx v = values[i];
+      values[i] = run;
+      run += v;
+    }
+    return run;
+  }
+  // Two-pass blocked scan: per-block sums, scan of block sums, local scans.
+  std::vector<eidx> block_sum(static_cast<std::size_t>(threads) + 1, 0);
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    const std::size_t lo = n * static_cast<std::size_t>(tid) /
+                           static_cast<std::size_t>(threads);
+    const std::size_t hi = n * (static_cast<std::size_t>(tid) + 1) /
+                           static_cast<std::size_t>(threads);
+    eidx local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += values[i];
+    block_sum[static_cast<std::size_t>(tid) + 1] = local;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int t = 0; t < threads; ++t) {
+        block_sum[static_cast<std::size_t>(t) + 1] +=
+            block_sum[static_cast<std::size_t>(t)];
+      }
+    }
+    eidx run = block_sum[static_cast<std::size_t>(tid)];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const eidx v = values[i];
+      values[i] = run;
+      run += v;
+    }
+  }
+  return block_sum.back();
+}
+
+}  // namespace hicond

@@ -1,0 +1,55 @@
+// Shared-memory parallel primitives built on OpenMP.
+//
+// The algorithms in this library are described in the paper in the PRAM
+// model (linear work, O(log n) depth). We realize them on shared memory with
+// OpenMP; every primitive here is deterministic: results are identical for
+// any thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hicond/util/common.hpp"
+
+namespace hicond {
+
+/// Number of OpenMP threads the library will use.
+[[nodiscard]] int num_threads() noexcept;
+
+/// Exclusive prefix sum of `values` (in place): out[i] = sum of values[0..i).
+/// Returns the total sum. Work O(n), depth O(n/p + p).
+eidx exclusive_scan_inplace(std::vector<eidx>& values);
+
+/// Parallel for over [0, n) with a static schedule.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(i);
+  }
+}
+
+/// Parallel sum-reduction of fn(i) over [0, n).
+template <typename Fn>
+double parallel_sum(std::size_t n, Fn&& fn) {
+  double total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::size_t i = 0; i < n; ++i) {
+    total += fn(i);
+  }
+  return total;
+}
+
+/// Parallel max-reduction of fn(i) over [0, n). Returns `init` when n == 0.
+template <typename Fn>
+double parallel_max(std::size_t n, double init, Fn&& fn) {
+  double best = init;
+#pragma omp parallel for schedule(static) reduction(max : best)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = fn(i);
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+}  // namespace hicond

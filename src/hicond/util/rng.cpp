@@ -1,0 +1,90 @@
+#include "hicond/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hicond {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t counter_u64(std::uint64_t seed, std::uint64_t counter) noexcept {
+  // Two rounds of the finalizer over a seed/counter combination; one round
+  // already avalanches, the second decorrelates nearby (seed, counter) pairs.
+  return splitmix64(splitmix64(seed ^ 0x2545f4914f6cdd1dULL) + counter);
+}
+
+double u64_to_unit_double(std::uint64_t x) noexcept {
+  // Use the top 53 bits: the largest mantissa a double can hold exactly.
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+double counter_uniform(std::uint64_t seed, std::uint64_t counter, double lo,
+                       double hi) noexcept {
+  return lo + (hi - lo) * u64_to_unit_double(counter_u64(seed, counter));
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Seed the four xoshiro words from splitmix64, per the reference seeding.
+  std::uint64_t s = seed;
+  for (auto& w : s_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    w = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept { return u64_to_unit_double(next_u64()); }
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Rejection-free multiply-shift; bias is < 2^-64 * n, negligible here.
+  __uint128_t wide = static_cast<__uint128_t>(next_u64()) * n;
+  return static_cast<std::uint64_t>(wide >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  double u2 = uniform();
+  // Guard against log(0).
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * normal());
+}
+
+}  // namespace hicond

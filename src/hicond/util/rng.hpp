@@ -1,0 +1,66 @@
+// Deterministic random number generation.
+//
+// Two flavours are provided:
+//  * Rng        -- sequential xoshiro256** stream, for generators and tests.
+//  * counter_u64 -- a stateless counter-based hash (splitmix64 finalizer);
+//    given (seed, counter) it returns a reproducible value independent of
+//    evaluation order, which makes randomized *parallel* passes (e.g. the
+//    Section 3.1 per-edge perturbation) deterministic for any thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "hicond/util/common.hpp"
+
+namespace hicond {
+
+/// splitmix64 finalizer: bijective 64-bit mix with good avalanche behaviour.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// Stateless counter-based generator: hash of (seed, counter).
+[[nodiscard]] std::uint64_t counter_u64(std::uint64_t seed,
+                                        std::uint64_t counter) noexcept;
+
+/// Map a 64-bit word to a double uniform in [0, 1).
+[[nodiscard]] double u64_to_unit_double(std::uint64_t x) noexcept;
+
+/// Counter-based uniform double in [lo, hi).
+[[nodiscard]] double counter_uniform(std::uint64_t seed, std::uint64_t counter,
+                                     double lo, double hi) noexcept;
+
+/// xoshiro256** sequential pseudo-random generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit word.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair, caches one).
+  double normal() noexcept;
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace hicond

@@ -1,0 +1,47 @@
+#include "hicond/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hicond/util/common.hpp"
+
+namespace hicond {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double p) {
+  HICOND_CHECK(!values.empty(), "percentile of empty sample");
+  HICOND_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double geometric_mean(std::span<const double> values) {
+  HICOND_CHECK(!values.empty(), "geometric mean of empty sample");
+  double log_sum = 0.0;
+  for (double v : values) {
+    HICOND_CHECK(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace hicond

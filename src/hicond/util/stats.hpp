@@ -1,0 +1,37 @@
+// Small statistics helpers used by validation reports and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hicond {
+
+/// Streaming min/max/mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// p-th percentile (p in [0,100]) by linear interpolation on a copy.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Geometric mean; requires all values > 0.
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+}  // namespace hicond

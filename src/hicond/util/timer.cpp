@@ -1,0 +1,26 @@
+#include "hicond/util/timer.hpp"
+
+#include <cstdio>
+
+namespace hicond {
+
+double Timer::seconds() const noexcept {
+  const auto now = clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace hicond

@@ -1,0 +1,44 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace hicond {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Time a callable, returning (result of repeated best-of-k timing) seconds.
+/// Runs `fn` exactly `repeats` times and returns the minimum wall time.
+template <typename Fn>
+double time_best_of(int repeats, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// Human-readable duration, e.g. "12.3 ms".
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace hicond

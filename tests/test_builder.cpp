@@ -1,0 +1,66 @@
+#include "hicond/graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hicond {
+namespace {
+
+TEST(Builder, EmptyBuild) {
+  GraphBuilder b(4);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Builder, ReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  const Graph g1 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1);
+  b.add_edge(1, 2, 2.0);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g2.num_edges(), 2);
+  b.clear();
+  const Graph g3 = b.build();
+  EXPECT_EQ(g3.num_edges(), 0);
+}
+
+TEST(Builder, MergesDuplicateEdges) {
+  GraphBuilder b(2);
+  for (int i = 0; i < 5; ++i) b.add_edge(0, 1, 1.5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 7.5);
+}
+
+TEST(Builder, RejectsInvalid) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 0, 1.0), invalid_argument_error);
+  EXPECT_THROW(b.add_edge(-1, 1, 1.0), invalid_argument_error);
+  EXPECT_THROW(b.add_edge(0, 3, 1.0), invalid_argument_error);
+  EXPECT_THROW(b.add_edge(0, 1, -2.0), invalid_argument_error);
+  EXPECT_THROW(GraphBuilder(-1), invalid_argument_error);
+}
+
+TEST(Builder, LargeGraphOffsetsConsistent) {
+  const vidx n = 1000;
+  GraphBuilder b(n);
+  for (vidx v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1, 1.0 + v);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), n - 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(n - 1), 1);
+  for (vidx v = 1; v + 1 < n; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(500, 501), 501.0);
+}
+
+TEST(Builder, CountsBufferedEdges) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.num_buffered_edges(), 0u);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  EXPECT_EQ(b.num_buffered_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace hicond

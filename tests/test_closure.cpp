@@ -1,0 +1,68 @@
+#include "hicond/graph/closure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(Closure, InteriorClusterHasPendantsPerBoundaryEdge) {
+  const Graph g = gen::grid2d(3, 3);  // center vertex 4 has 4 neighbours
+  const std::vector<vidx> cluster{4};
+  const ClosureGraph c = closure_graph(g, cluster);
+  EXPECT_EQ(c.num_cluster_vertices, 1);
+  EXPECT_EQ(c.graph.num_vertices(), 5);  // center + 4 pendants
+  EXPECT_EQ(c.graph.num_edges(), 4);
+  EXPECT_EQ(c.graph.degree(0), 4);
+  for (vidx v = 1; v < 5; ++v) EXPECT_EQ(c.graph.degree(v), 1);
+}
+
+TEST(Closure, WholeGraphClusterHasNoPendants) {
+  const Graph g = gen::cycle(5);
+  std::vector<vidx> all{0, 1, 2, 3, 4};
+  const ClosureGraph c = closure_graph(g, all);
+  EXPECT_EQ(c.graph.num_vertices(), 5);
+  EXPECT_EQ(c.graph.num_edges(), 5);
+}
+
+TEST(Closure, PendantWeightsMatchBoundaryEdges) {
+  std::vector<WeightedEdge> edges{{0, 1, 2.0}, {1, 2, 3.0}, {2, 3, 4.0}};
+  const Graph g(4, edges);
+  const std::vector<vidx> cluster{1, 2};
+  const ClosureGraph c = closure_graph(g, cluster);
+  // Cluster vertices 0,1 (= original 1,2) plus two pendants.
+  EXPECT_EQ(c.graph.num_vertices(), 4);
+  EXPECT_DOUBLE_EQ(c.graph.edge_weight(0, 1), 3.0);  // internal
+  // vol of the renamed vertex equals its original vol.
+  EXPECT_DOUBLE_EQ(c.graph.vol(0), g.vol(1));
+  EXPECT_DOUBLE_EQ(c.graph.vol(1), g.vol(2));
+}
+
+TEST(Closure, VolumePreservedForClusterVertices) {
+  const Graph g = gen::grid3d(3, 3, 3, gen::WeightSpec::uniform(1.0, 4.0), 5);
+  const std::vector<vidx> cluster{0, 1, 3, 9};
+  const ClosureGraph c = closure_graph(g, cluster);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.graph.vol(static_cast<vidx>(i)), g.vol(cluster[i]));
+  }
+}
+
+TEST(Closure, FromAssignment) {
+  const Graph g = gen::path(6);
+  std::vector<vidx> assignment{0, 0, 1, 1, 2, 2};
+  const ClosureGraph c = closure_graph_of_assignment(g, assignment, 1);
+  EXPECT_EQ(c.cluster, (std::vector<vidx>{2, 3}));
+  EXPECT_EQ(c.graph.num_vertices(), 4);  // 2 cluster + 2 pendants
+}
+
+TEST(Closure, RejectsEmptyAndDuplicates) {
+  const Graph g = gen::path(4);
+  const std::vector<vidx> empty;
+  EXPECT_THROW((void)closure_graph(g, empty), invalid_argument_error);
+  const std::vector<vidx> dup{1, 1};
+  EXPECT_THROW((void)closure_graph(g, dup), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,62 @@
+#include "hicond/graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(Connectivity, SingleComponentGrid) {
+  const Graph g = gen::grid2d(5, 5);
+  EXPECT_EQ(num_components(g), 1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, DisjointUnion) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}, {2, 3, 1.0}};
+  const Graph g(5, edges);  // vertex 4 isolated
+  const auto comp = connected_components(g);
+  EXPECT_EQ(num_components(g), 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Connectivity, EmptyGraphIsConnected) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+}
+
+TEST(Connectivity, ForestPredicates) {
+  EXPECT_TRUE(is_forest(gen::random_tree(100)));
+  EXPECT_TRUE(is_tree(gen::random_tree(100)));
+  EXPECT_FALSE(is_forest(gen::cycle(5)));
+  EXPECT_FALSE(is_tree(gen::cycle(5)));
+  std::vector<WeightedEdge> two_trees{{0, 1, 1.0}, {2, 3, 1.0}};
+  const Graph f(4, two_trees);
+  EXPECT_TRUE(is_forest(f));
+  EXPECT_FALSE(is_tree(f));
+}
+
+TEST(Connectivity, BfsDistancesOnPath) {
+  const Graph g = gen::path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (vidx v = 0; v < 6; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Connectivity, BfsUnreachableIsMinusOne) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}};
+  const Graph g(3, edges);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(Connectivity, BfsRejectsBadSource) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW((void)bfs_distances(g, 5), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,117 @@
+#include "hicond/tree/critical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+vidx count_critical(const std::vector<char>& flags) {
+  vidx c = 0;
+  for (char f : flags) c += f;
+  return c;
+}
+
+TEST(Critical, StarCenterIsCritical) {
+  const Graph g = gen::star(8);
+  const RootedForest f = RootedForest::build(g, 0);
+  const auto critical = critical_vertices(f);
+  EXPECT_TRUE(critical[0]);
+  for (vidx v = 1; v < 8; ++v) EXPECT_FALSE(critical[static_cast<std::size_t>(v)]);
+}
+
+TEST(Critical, PathHasPeriodicCriticals) {
+  // Rooted path: subtree sizes n, n-1, ..., 1. Critical where the ceiling
+  // strictly drops: sizes congruent to 1 mod 3 (except leaves).
+  const Graph g = gen::path(10);
+  const RootedForest f = RootedForest::build(g, 0);
+  const auto critical = critical_vertices(f);
+  // Vertex v has subtree size 10 - v; critical iff (10-v) % 3 == 1, v < 9.
+  for (vidx v = 0; v < 9; ++v) {
+    const bool expected = ((10 - v) % 3 == 1) || v == 0;  // root marked too
+    EXPECT_EQ(static_cast<bool>(critical[static_cast<std::size_t>(v)]),
+              expected)
+        << "v=" << v;
+  }
+  EXPECT_FALSE(critical[9]);  // leaf
+}
+
+TEST(Critical, CountIsAtMostTwoThirds) {
+  // Paper: the number of 3-critical vertices is at most 2n/3 (+ the root we
+  // force). Validate across many random trees.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Graph g = gen::random_tree(120, gen::WeightSpec::unit(), seed);
+    const RootedForest f = RootedForest::build(g);
+    const auto critical = critical_vertices(f);
+    EXPECT_LE(count_critical(critical), 2 * 120 / 3 + 1) << "seed " << seed;
+  }
+}
+
+TEST(Critical, LeavesAreNeverCritical) {
+  const Graph g = gen::random_tree(80, gen::WeightSpec::unit(), 3);
+  const RootedForest f = RootedForest::build(g);
+  const auto critical = critical_vertices(f);
+  for (vidx v = 0; v < 80; ++v) {
+    if (f.is_leaf(v)) EXPECT_FALSE(critical[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Critical, RejectsBadParameter) {
+  const Graph g = gen::path(4);
+  const RootedForest f = RootedForest::build(g);
+  EXPECT_THROW((void)critical_vertices(f, 1), invalid_argument_error);
+}
+
+TEST(Bridges, PartitionNonCriticalVertices) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = gen::random_tree(100, gen::WeightSpec::unit(), seed);
+    const RootedForest f = RootedForest::build(g);
+    const auto critical = critical_vertices(f);
+    const auto bridges = bridge_decomposition(g, critical);
+    std::vector<int> covered(100, 0);
+    for (const auto& b : bridges) {
+      for (vidx v : b.interior) {
+        EXPECT_FALSE(critical[static_cast<std::size_t>(v)]);
+        ++covered[static_cast<std::size_t>(v)];
+      }
+      for (vidx a : b.attachments) {
+        EXPECT_TRUE(critical[static_cast<std::size_t>(a)]);
+      }
+    }
+    for (vidx v = 0; v < 100; ++v) {
+      EXPECT_EQ(covered[static_cast<std::size_t>(v)],
+                critical[static_cast<std::size_t>(v)] ? 0 : 1);
+    }
+  }
+}
+
+TEST(Bridges, InteriorsAreSmall) {
+  // The 3-bridge structure keeps interiors O(1); empirically they stay <= 3
+  // on random trees (the generic fallback handles anything larger).
+  vidx max_interior = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const Graph g = gen::random_tree(150, gen::WeightSpec::unit(), seed);
+    const RootedForest f = RootedForest::build(g);
+    const auto bridges = bridge_decomposition(g, critical_vertices(f));
+    for (const auto& b : bridges) {
+      max_interior = std::max(max_interior,
+                              static_cast<vidx>(b.interior.size()));
+    }
+  }
+  EXPECT_LE(max_interior, 4);
+}
+
+TEST(Bridges, StarBridgesAreSingletons) {
+  const Graph g = gen::star(9);
+  const RootedForest f = RootedForest::build(g, 0);
+  const auto bridges = bridge_decomposition(g, critical_vertices(f));
+  EXPECT_EQ(bridges.size(), 8u);
+  for (const auto& b : bridges) {
+    EXPECT_EQ(b.interior.size(), 1u);
+    EXPECT_EQ(b.attachments, std::vector<vidx>{0});
+  }
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,107 @@
+#include "hicond/la/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/dense.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(CsrFromTriplets, SortsAndMergesDuplicates) {
+  std::vector<std::tuple<vidx, vidx, double>> t{
+      {1, 0, 2.0}, {0, 1, 1.0}, {0, 1, 3.0}, {1, 1, 5.0}};
+  const CsrMatrix m = csr_from_triplets(2, 2, t);
+  m.validate();
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(CsrFromTriplets, RejectsOutOfRange) {
+  std::vector<std::tuple<vidx, vidx, double>> t{{0, 5, 1.0}};
+  EXPECT_THROW((void)csr_from_triplets(2, 2, t), invalid_argument_error);
+}
+
+TEST(CsrLaplacian, MatchesDense) {
+  const Graph g = gen::grid2d(4, 3, gen::WeightSpec::uniform(0.5, 3.0), 6);
+  const CsrMatrix sp = csr_laplacian(g);
+  sp.validate();
+  const DenseMatrix d = dense_laplacian(g);
+  for (vidx i = 0; i < g.num_vertices(); ++i) {
+    for (vidx j = 0; j < g.num_vertices(); ++j) {
+      EXPECT_NEAR(sp.at(i, j), d(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(CsrLaplacian, MultiplyMatchesGraphApply) {
+  const Graph g = gen::grid3d(3, 3, 2, gen::WeightSpec::uniform(1.0, 2.0), 2);
+  const CsrMatrix sp = csr_laplacian(g);
+  std::vector<double> x(18);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.3 * static_cast<double>(i) - 2.0;
+  std::vector<double> y1(18);
+  std::vector<double> y2(18);
+  sp.multiply(x, y1);
+  g.laplacian_apply(x, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-10);
+}
+
+TEST(CsrNormalizedLaplacian, MatchesDense) {
+  const Graph g = gen::star(6, gen::WeightSpec::uniform(1.0, 4.0), 8);
+  const CsrMatrix sp = csr_normalized_laplacian(g);
+  const DenseMatrix d = dense_normalized_laplacian(g);
+  for (vidx i = 0; i < 6; ++i) {
+    for (vidx j = 0; j < 6; ++j) EXPECT_NEAR(sp.at(i, j), d(i, j), 1e-12);
+  }
+}
+
+TEST(MembershipMatrix, OneHotRows) {
+  std::vector<vidx> assignment{1, 0, 2, 1};
+  const CsrMatrix r = membership_matrix(assignment, 3);
+  r.validate();
+  EXPECT_EQ(r.rows, 4);
+  EXPECT_EQ(r.cols, 3);
+  EXPECT_EQ(r.nnz(), 4);
+  EXPECT_DOUBLE_EQ(r.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.at(2, 2), 1.0);
+}
+
+TEST(MembershipMatrix, TransposeActsAsClusterSum) {
+  std::vector<vidx> assignment{0, 1, 0, 1, 0};
+  const CsrMatrix r = membership_matrix(assignment, 2);
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> sums(2);
+  r.multiply_transpose(x, sums);
+  EXPECT_DOUBLE_EQ(sums[0], 9.0);
+  EXPECT_DOUBLE_EQ(sums[1], 6.0);
+}
+
+TEST(CsrTranspose, InvolutionAndCorrectness) {
+  std::vector<std::tuple<vidx, vidx, double>> t{
+      {0, 2, 1.0}, {1, 0, 2.0}, {2, 1, 3.0}, {0, 0, 4.0}};
+  const CsrMatrix m = csr_from_triplets(3, 3, t);
+  const CsrMatrix mt = csr_transpose(m);
+  mt.validate();
+  for (vidx i = 0; i < 3; ++i) {
+    for (vidx j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(mt.at(j, i), m.at(i, j));
+  }
+  const CsrMatrix mtt = csr_transpose(mt);
+  for (vidx i = 0; i < 3; ++i) {
+    for (vidx j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(mtt.at(i, j), m.at(i, j));
+  }
+}
+
+TEST(CsrRowSums, LaplacianRowsSumToZero) {
+  const Graph g = gen::random_tree(30, gen::WeightSpec::uniform(1.0, 9.0), 4);
+  const auto sums = csr_row_sums(csr_laplacian(g));
+  for (double s : sums) EXPECT_NEAR(s, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hicond

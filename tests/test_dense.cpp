@@ -1,0 +1,146 @@
+#include "hicond/la/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(DenseMatrix, IdentityAndMatvec) {
+  const DenseMatrix id = DenseMatrix::identity(3);
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  id.matvec(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(DenseMatrix, MultiplyKnownValues) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  DenseMatrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const DenseMatrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(DenseMatrix, TransposeInvolution) {
+  DenseMatrix a(2, 3);
+  a(0, 1) = 5.0;
+  a(1, 2) = -3.0;
+  const DenseMatrix att = a.transpose().transpose();
+  EXPECT_DOUBLE_EQ(a.frobenius_distance(att), 0.0);
+}
+
+TEST(DenseMatrix, AddSubScale) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 2.0;
+  DenseMatrix b = a;
+  b *= 3.0;
+  const DenseMatrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 4.0);
+  const DenseMatrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+}
+
+TEST(DenseLaplacian, RowSumsZero) {
+  const Graph g = gen::grid2d(3, 3, gen::WeightSpec::uniform(1.0, 2.0), 1);
+  const DenseMatrix l = dense_laplacian(g);
+  for (vidx i = 0; i < 9; ++i) {
+    double row = 0.0;
+    for (vidx j = 0; j < 9; ++j) row += l(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-12);
+  }
+}
+
+TEST(DenseLaplacian, MatchesGraphApply) {
+  const Graph g = gen::random_planar_triangulation(
+      12, gen::WeightSpec::uniform(0.5, 3.0), 2);
+  const DenseMatrix l = dense_laplacian(g);
+  std::vector<double> x(12);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(1.0 + 2.0 * i);
+  std::vector<double> y_dense(12);
+  std::vector<double> y_graph(12);
+  l.matvec(x, y_dense);
+  g.laplacian_apply(x, y_graph);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y_dense[i], y_graph[i], 1e-10);
+  }
+}
+
+TEST(DenseNormalizedLaplacian, UnitDiagonal) {
+  const Graph g = gen::grid2d(3, 3, gen::WeightSpec::uniform(1.0, 4.0), 5);
+  const DenseMatrix l = dense_normalized_laplacian(g);
+  for (vidx i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(l(i, i), 1.0);
+}
+
+TEST(Cholesky, ReconstructsSpdMatrix) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 2; a(0, 2) = 0;
+  a(1, 0) = 2; a(1, 1) = 5; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 3;
+  const DenseMatrix l = cholesky(a);
+  const DenseMatrix llt = l * l.transpose();
+  EXPECT_LT(a.frobenius_distance(llt), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW((void)cholesky(a), numeric_error);
+}
+
+TEST(SpdSolve, RecoversKnownSolution) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 2;
+  const std::vector<double> x_true{1.0, -2.0, 3.0};
+  std::vector<double> b(3);
+  a.matvec(x_true, b);
+  const auto x = spd_solve(a, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-12);
+}
+
+TEST(SpdInverse, MultipliesToIdentity) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 5; a(0, 1) = 1; a(0, 2) = 1;
+  a(1, 0) = 1; a(1, 1) = 4; a(1, 2) = 1;
+  a(2, 0) = 1; a(2, 1) = 1; a(2, 2) = 3;
+  const DenseMatrix inv = spd_inverse(a);
+  const DenseMatrix prod = a * inv;
+  EXPECT_LT(prod.frobenius_distance(DenseMatrix::identity(3)), 1e-12);
+}
+
+TEST(LaplacianPseudoSolve, SolvesMeanFreeSystem) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  const DenseMatrix l = dense_laplacian(g);
+  std::vector<double> x_true(16);
+  for (std::size_t i = 0; i < 16; ++i) x_true[i] = std::cos(0.7 * i);
+  double mean = 0.0;
+  for (double v : x_true) mean += v;
+  for (double& v : x_true) v -= mean / 16.0;
+  std::vector<double> b(16);
+  l.matvec(x_true, b);
+  const auto x = laplacian_pseudo_solve_dense(l, b);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(LaplacianPseudoSolve, SingleVertex) {
+  DenseMatrix l(1, 1);
+  const std::vector<double> b{0.0};
+  EXPECT_EQ(laplacian_pseudo_solve_dense(l, b), std::vector<double>{0.0});
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,162 @@
+#include "hicond/la/dense_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const auto eig = symmetric_eigen(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, TwoByTwoKnown) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 2;
+  const auto eig = symmetric_eigen(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, PathLaplacianSpectrum) {
+  // Unit path Laplacian eigenvalues: 2 - 2 cos(pi k / n), k = 0..n-1.
+  const vidx n = 8;
+  const Graph g = gen::path(n);
+  const auto eig = symmetric_eigen(dense_laplacian(g));
+  for (vidx k = 0; k < n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(std::numbers::pi * k / static_cast<double>(n));
+    EXPECT_NEAR(eig.values[static_cast<std::size_t>(k)], expected, 1e-9);
+  }
+}
+
+TEST(SymmetricEigen, EigenvectorsSatisfyDefinition) {
+  const Graph g =
+      gen::random_planar_triangulation(10, gen::WeightSpec::uniform(1, 3), 4);
+  DenseMatrix a = dense_laplacian(g);
+  const auto eig = symmetric_eigen(a);
+  const vidx n = a.rows();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> ax(static_cast<std::size_t>(n));
+  for (vidx j = 0; j < n; ++j) {
+    for (vidx i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = eig.vectors(i, j);
+    }
+    a.matvec(x, ax);
+    for (vidx i = 0; i < n; ++i) {
+      EXPECT_NEAR(ax[static_cast<std::size_t>(i)],
+                  eig.values[static_cast<std::size_t>(j)] *
+                      x[static_cast<std::size_t>(i)],
+                  1e-8);
+    }
+  }
+}
+
+TEST(SymmetricEigen, EigenvectorsOrthonormal) {
+  const Graph g = gen::grid2d(3, 4, gen::WeightSpec::uniform(0.5, 2.0), 7);
+  const auto eig = symmetric_eigen(dense_laplacian(g));
+  const vidx n = 12;
+  for (vidx a = 0; a < n; ++a) {
+    for (vidx b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (vidx i = 0; i < n; ++i) dot += eig.vectors(i, a) * eig.vectors(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(HelmertBasis, OrthonormalAndMeanFree) {
+  const vidx n = 7;
+  const DenseMatrix u = helmert_basis(n);
+  for (vidx a = 0; a < n - 1; ++a) {
+    double col_sum = 0.0;
+    for (vidx i = 0; i < n; ++i) col_sum += u(i, a);
+    EXPECT_NEAR(col_sum, 0.0, 1e-12);
+    for (vidx b = a; b < n - 1; ++b) {
+      double dot = 0.0;
+      for (vidx i = 0; i < n; ++i) dot += u(i, a) * u(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(GeneralizedEigenSpd, MatchesDirectComputation) {
+  // A = diag(1, 4), B = diag(1, 2): eigenvalues 1 and 2.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 4.0;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 1.0;
+  b(1, 1) = 2.0;
+  const auto eig = generalized_eigen_spd(a, b);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+}
+
+TEST(GeneralizedEigenSpd, EigenvectorsAreBOrthonormal) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1;
+  a(1, 1) = 3; a(1, 2) = 1; a(2, 1) = 1;
+  a(2, 2) = 4;
+  DenseMatrix b(3, 3);
+  b(0, 0) = 2; b(1, 1) = 1; b(2, 2) = 3;
+  const auto eig = generalized_eigen_spd(a, b);
+  for (vidx p = 0; p < 3; ++p) {
+    for (vidx q = p; q < 3; ++q) {
+      double dot = 0.0;
+      for (vidx i = 0; i < 3; ++i) {
+        dot += eig.vectors(i, p) * b(i, i) * eig.vectors(i, q);
+      }
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(LaplacianPencil, SelfPencilIsIdentityspectrum) {
+  const Graph g = gen::grid2d(3, 3, gen::WeightSpec::uniform(1.0, 2.0), 9);
+  const DenseMatrix l = dense_laplacian(g);
+  EXPECT_NEAR(lambda_max_laplacian_pencil(l, l), 1.0, 1e-10);
+  EXPECT_NEAR(lambda_min_laplacian_pencil(l, l), 1.0, 1e-10);
+}
+
+TEST(LaplacianPencil, ScalingBehaves) {
+  const Graph g = gen::random_planar_triangulation(
+      9, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  const DenseMatrix l = dense_laplacian(g);
+  DenseMatrix l2 = l;
+  l2 *= 0.5;
+  EXPECT_NEAR(lambda_max_laplacian_pencil(l, l2), 2.0, 1e-9);
+  EXPECT_NEAR(lambda_min_laplacian_pencil(l, l2), 2.0, 1e-9);
+}
+
+TEST(LaplacianPencil, SubgraphSupportsGraph) {
+  // B = spanning subgraph of A  =>  x'Bx <= x'Ax  =>  lambda_min(A,B) >= 1.
+  const Graph a = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  // Drop some edges to build B but keep it connected: take a path skeleton.
+  std::vector<WeightedEdge> b_edges;
+  for (const auto& e : a.edge_list()) {
+    if (e.v == e.u + 1 || e.v == e.u + 4) {
+      // keep grid rows plus the column connecting first elements
+      if (e.v == e.u + 1 || e.u % 4 == 0) b_edges.push_back(e);
+    }
+  }
+  const Graph b(16, b_edges);
+  const double lmin =
+      lambda_min_laplacian_pencil(dense_laplacian(a), dense_laplacian(b));
+  EXPECT_GE(lmin, 1.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,163 @@
+// Targeted edge-case tests for paths not exercised by the main suites:
+// malformed sparse matrices, degenerate graphs, extreme values, and
+// multi-component behaviour of the pipeline stages.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "hicond/graph/conductance.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/graph/io.hpp"
+#include "hicond/la/csr.hpp"
+#include "hicond/la/spgemm.hpp"
+#include "hicond/partition/planar.hpp"
+#include "hicond/tree/low_stretch.hpp"
+#include "hicond/tree/mst.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(CsrValidate, CatchesStructuralCorruption) {
+  const Graph g = gen::path(4);
+  {
+    CsrMatrix m = csr_laplacian(g);
+    m.offsets.back() += 1;  // wrong end pointer
+    EXPECT_THROW(m.validate(), invalid_argument_error);
+  }
+  {
+    CsrMatrix m = csr_laplacian(g);
+    m.col_idx[1] = 99;  // out of range column
+    EXPECT_THROW(m.validate(), invalid_argument_error);
+  }
+  {
+    CsrMatrix m = csr_laplacian(g);
+    std::swap(m.col_idx[0], m.col_idx[1]);  // unsorted row
+    EXPECT_THROW(m.validate(), invalid_argument_error);
+  }
+  {
+    CsrMatrix m = csr_laplacian(g);
+    m.values[0] = std::nan("");
+    EXPECT_THROW(m.validate(), invalid_argument_error);
+  }
+}
+
+TEST(CsrMatrix, EmptyRowsMultiplyCleanly) {
+  // Matrix with empty first and last rows.
+  std::vector<std::tuple<vidx, vidx, double>> t{{1, 0, 2.0}, {1, 2, 3.0}};
+  const CsrMatrix m = csr_from_triplets(3, 3, t);
+  m.validate();
+  std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y(3, -1.0);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(Spgemm, ZeroMatrixProduct) {
+  const CsrMatrix zero = csr_from_triplets(3, 3, {});
+  const CsrMatrix l = csr_laplacian(gen::path(3));
+  const CsrMatrix p = spgemm(zero, l);
+  p.validate();
+  EXPECT_EQ(p.nnz(), 0);
+}
+
+TEST(ConductanceSweep, ConstantScoresStillValid) {
+  const Graph g = gen::grid2d(3, 3);
+  std::vector<double> score(9, 1.0);  // all ties: arbitrary but legal order
+  const double s = conductance_sweep(g, score);
+  EXPECT_GT(s, 0.0);
+  EXPECT_GE(s + 1e-12, conductance_exact(g));
+}
+
+TEST(GraphIo, ExtremeWeightsRoundTrip) {
+  std::vector<WeightedEdge> edges{{0, 1, 1e-300}, {1, 2, 1e300},
+                                  {2, 3, 1.0000000000000002}};
+  const Graph g(4, edges);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph back = read_graph(ss);
+  EXPECT_EQ(back.edge_list(), g.edge_list());
+}
+
+TEST(LowStretch, DisconnectedInputGivesSpanningForest) {
+  std::vector<WeightedEdge> edges;
+  // Two triangles, no connection.
+  for (vidx base : {0, 3}) {
+    edges.push_back({base, static_cast<vidx>(base + 1), 1.0});
+    edges.push_back({static_cast<vidx>(base + 1), static_cast<vidx>(base + 2),
+                     2.0});
+    edges.push_back({base, static_cast<vidx>(base + 2), 3.0});
+  }
+  const Graph g(6, edges);
+  const Graph t = low_stretch_tree_akpw(g);
+  EXPECT_TRUE(is_forest(t));
+  EXPECT_EQ(num_components(t), num_components(g));
+  EXPECT_EQ(t.num_edges(), 4);
+}
+
+TEST(Mst, SingleVertexAndEmptyGraphs) {
+  EXPECT_EQ(max_spanning_forest_kruskal(Graph(1)).num_edges(), 0);
+  EXPECT_EQ(max_spanning_forest_boruvka(Graph(0)).num_vertices(), 0);
+}
+
+TEST(CutToForest, MultipleComponentsEachHandled) {
+  // Component A: theta graph (needs cuts); component B: a tree (untouched).
+  std::vector<WeightedEdge> edges{
+      {0, 2, 1.0}, {2, 1, 2.0}, {0, 3, 3.0}, {3, 1, 4.0}, {0, 4, 5.0},
+      {4, 1, 6.0},                    // theta on {0..4}
+      {5, 6, 1.0}, {6, 7, 1.0},       // path component
+  };
+  const Graph g(8, edges);
+  vidx cuts = 0;
+  const Graph f = cut_to_forest(g, nullptr, &cuts);
+  EXPECT_TRUE(is_forest(f));
+  EXPECT_EQ(cuts, 3);
+  EXPECT_TRUE(f.has_edge(5, 6));
+  EXPECT_TRUE(f.has_edge(6, 7));
+}
+
+TEST(PlanarDecomposition, DisconnectedGraphStillDecomposes) {
+  std::vector<WeightedEdge> edges;
+  const Graph a = gen::grid2d(5, 5, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  auto base = a.edge_list();
+  // Shift a copy by 25 to form a second component.
+  for (const auto& e : base) {
+    edges.push_back(e);
+    edges.push_back({static_cast<vidx>(e.u + 25),
+                     static_cast<vidx>(e.v + 25), e.weight});
+  }
+  const Graph g(50, edges);
+  PlanarDecompOptions opt;
+  opt.measure_k = false;
+  const auto result = planar_decomposition(g, opt);
+  validate_decomposition(g, result.decomposition);
+}
+
+TEST(ConductanceExact, TwoIsolatedVerticesDegenerate) {
+  const Graph g(2);
+  // No edges: total volume 0; every cut has zero capacity AND zero volume.
+  EXPECT_DOUBLE_EQ(conductance_exact(g), 0.0);
+}
+
+TEST(EvaluateDecomposition, ExactLimitControlsCertification) {
+  const Graph g = gen::grid2d(6, 6, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  Decomposition d;
+  d.num_clusters = 2;
+  d.assignment.resize(36);
+  for (vidx v = 0; v < 36; ++v) d.assignment[static_cast<std::size_t>(v)] = v / 18;
+  const auto tight = evaluate_decomposition(g, d, /*exact_limit=*/4);
+  const auto wide = evaluate_decomposition(g, d, /*exact_limit=*/24);
+  EXPECT_FALSE(tight.phi_exact);
+  // With a closure of 18 + 6 pendants = 24 vertices the wide limit is exact.
+  EXPECT_TRUE(wide.phi_exact);
+  // Tolerances account for the Gray-code accumulation roundoff in the exact
+  // enumerator (millions of incremental updates).
+  EXPECT_LE(tight.min_phi_lower, wide.min_phi_lower + 1e-9);
+  EXPECT_GE(tight.min_phi_upper + 1e-9, wide.min_phi_upper);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,85 @@
+#include "hicond/precond/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/precond/support.hpp"
+#include "hicond/tree/low_stretch.hpp"
+#include "hicond/tree/mst.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(Embedding, TreeIntoItselfIsExactlyOne) {
+  const Graph t = gen::random_tree(50, gen::WeightSpec::uniform(1.0, 4.0), 3);
+  const EmbeddingBound b = tree_embedding_bound(t, t);
+  EXPECT_DOUBLE_EQ(b.support_bound, 1.0);
+  EXPECT_DOUBLE_EQ(b.max_dilation, 1.0);
+  EXPECT_DOUBLE_EQ(b.avg_dilation, 1.0);
+}
+
+TEST(Embedding, CycleIntoPathKnownValue) {
+  // Unit cycle of n, tree = path: the chord routes over n-1 edges with
+  // weight 1, every tree edge also carries itself; the worst tree edge has
+  // load 1*1 + 1*(n-1) => bound = n.
+  const vidx n = 10;
+  const Graph g = gen::cycle(n);
+  std::vector<WeightedEdge> path_edges;
+  for (const auto& e : g.edge_list()) {
+    if (!(e.u == 0 && e.v == n - 1)) path_edges.push_back(e);
+  }
+  const Graph t(n, path_edges);
+  const EmbeddingBound b = tree_embedding_bound(g, t);
+  EXPECT_DOUBLE_EQ(b.max_dilation, static_cast<double>(n - 1));
+  EXPECT_DOUBLE_EQ(b.support_bound, static_cast<double>(n));
+}
+
+TEST(Embedding, UpperBoundsExactSupport) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph a = gen::random_planar_triangulation(
+        30, gen::WeightSpec::uniform(1.0, 3.0), seed);
+    const Graph t = max_spanning_forest_kruskal(a);
+    const double sigma = support_sigma_dense(a, t);
+    const EmbeddingBound b = tree_embedding_bound(a, t);
+    EXPECT_GE(b.support_bound + 1e-9, sigma) << "seed " << seed;
+    // The bound should not be absurdly loose on these instances.
+    EXPECT_LT(b.support_bound, sigma * 60.0) << "seed " << seed;
+  }
+}
+
+TEST(Embedding, GridsWithBothTreeKinds) {
+  const Graph a = gen::grid2d(8, 8, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  const double sigma_mst =
+      support_sigma_dense(a, max_spanning_forest_kruskal(a));
+  const EmbeddingBound mst_bound =
+      tree_embedding_bound(a, max_spanning_forest_kruskal(a));
+  EXPECT_GE(mst_bound.support_bound + 1e-9, sigma_mst);
+  const Graph ls = low_stretch_tree_akpw(a, {.seed = 5});
+  const double sigma_ls = support_sigma_dense(a, ls);
+  const EmbeddingBound ls_bound = tree_embedding_bound(a, ls);
+  EXPECT_GE(ls_bound.support_bound + 1e-9, sigma_ls);
+}
+
+TEST(Embedding, CongestionDilationDecomposition) {
+  // max congestion and max dilation individually lower-bound the product
+  // bound only loosely; sanity: bound <= max_cong * max_dil * ... at least
+  // bound >= max_congestion (since every routed edge has dilation >= 1).
+  const Graph a = gen::grid2d(6, 6, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  const Graph t = max_spanning_forest_kruskal(a);
+  const EmbeddingBound b = tree_embedding_bound(a, t);
+  EXPECT_GE(b.support_bound + 1e-12, b.max_congestion);
+  EXPECT_GE(b.max_dilation, b.avg_dilation);
+  EXPECT_GE(b.avg_dilation, 1.0);
+}
+
+TEST(Embedding, RejectsNonSpanningTarget) {
+  const Graph a = gen::grid2d(3, 3);
+  std::vector<WeightedEdge> partial{{0, 1, 1.0}, {1, 2, 1.0}};
+  const Graph t(9, partial);
+  EXPECT_THROW((void)tree_embedding_bound(a, t), invalid_argument_error);
+  EXPECT_THROW((void)tree_embedding_bound(a, gen::cycle(9)),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

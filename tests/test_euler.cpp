@@ -1,0 +1,92 @@
+#include "hicond/tree/euler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(ListRanking, SingleChain) {
+  // 0 -> 1 -> 2 -> 3 -> end.
+  std::vector<vidx> next{1, 2, 3, -1};
+  const auto rank = list_ranking(next);
+  EXPECT_EQ(rank, (std::vector<vidx>{3, 2, 1, 0}));
+}
+
+TEST(ListRanking, MultipleListsAndSingletons) {
+  std::vector<vidx> next{-1, 0, 1, -1, 3};
+  const auto rank = list_ranking(next);
+  EXPECT_EQ(rank[0], 0);
+  EXPECT_EQ(rank[1], 1);
+  EXPECT_EQ(rank[2], 2);
+  EXPECT_EQ(rank[3], 0);
+  EXPECT_EQ(rank[4], 1);
+}
+
+TEST(ListRanking, EmptyAndBadInput) {
+  std::vector<vidx> empty;
+  EXPECT_TRUE(list_ranking(empty).empty());
+  std::vector<vidx> bad{5};
+  EXPECT_THROW((void)list_ranking(bad), invalid_argument_error);
+}
+
+TEST(ListRanking, LongChainMatchesClosedForm) {
+  const std::size_t n = 100000;
+  std::vector<vidx> next(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) next[i] = static_cast<vidx>(i + 1);
+  next[n - 1] = -1;
+  const auto rank = list_ranking(next);
+  for (std::size_t i = 0; i < n; i += 9999) {
+    EXPECT_EQ(rank[i], static_cast<vidx>(n - 1 - i));
+  }
+}
+
+TEST(EulerTour, PathTourStructure) {
+  const Graph g = gen::path(4);
+  const RootedForest f = RootedForest::build(g, 0);
+  const EulerTour tour = euler_tour(f);
+  EXPECT_EQ(tour.num_arcs(), 6u);  // 3 edges * 2
+  // The tour is one list of all arcs: the maximum rank is num_arcs - 1.
+  vidx max_rank = 0;
+  for (vidx r : tour.rank) max_rank = std::max(max_rank, r);
+  EXPECT_EQ(max_rank, 5);
+}
+
+TEST(EulerTour, SubtreeSizesMatchSequential) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = gen::random_tree(500, gen::WeightSpec::unit(), seed);
+    const RootedForest f = RootedForest::build(g);
+    const EulerTour tour = euler_tour(f);
+    const auto sizes = subtree_sizes_from_tour(f, tour);
+    for (vidx v = 0; v < 500; ++v) {
+      EXPECT_EQ(sizes[static_cast<std::size_t>(v)], f.subtree_size(v))
+          << "seed " << seed << " v " << v;
+    }
+  }
+}
+
+TEST(EulerTour, WorksOnForests) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}, {0, 2, 1.0}, {3, 4, 1.0}};
+  const Graph g(6, edges);  // star{0,1,2}, edge{3,4}, isolated 5
+  const RootedForest f = RootedForest::build(g);
+  const EulerTour tour = euler_tour(f);
+  EXPECT_EQ(tour.num_arcs(), 6u);  // 3 edges * 2
+  const auto sizes = subtree_sizes_from_tour(f, tour);
+  for (vidx v = 0; v < 6; ++v) {
+    EXPECT_EQ(sizes[static_cast<std::size_t>(v)], f.subtree_size(v));
+  }
+}
+
+TEST(EulerTour, StarAndCaterpillar) {
+  for (const Graph& g : {gen::star(30), gen::caterpillar(10, 3)}) {
+    const RootedForest f = RootedForest::build(g);
+    const auto sizes = subtree_sizes_from_tour(f, euler_tour(f));
+    for (vidx v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(sizes[static_cast<std::size_t>(v)], f.subtree_size(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,177 @@
+#include "hicond/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/connectivity.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = gen::path(6);
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = gen::cycle(7);
+  EXPECT_EQ(g.num_edges(), 7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_forest(g));
+  for (vidx v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = gen::star(9);
+  EXPECT_EQ(g.degree(0), 8);
+  EXPECT_TRUE(is_tree(g));
+  for (vidx v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_EQ(g.max_degree(), 5);
+}
+
+TEST(Generators, SpiderShape) {
+  const Graph g = gen::spider(4, 3);
+  EXPECT_EQ(g.num_vertices(), 13);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 4);
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = gen::caterpillar(5, 2);
+  EXPECT_EQ(g.num_vertices(), 15);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const Graph g = gen::binary_tree(4);
+  EXPECT_EQ(g.num_vertices(), 15);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = gen::random_tree(200, gen::WeightSpec::unit(), seed);
+    EXPECT_TRUE(is_tree(g));
+  }
+}
+
+TEST(Generators, PrueferTreeIsTree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g =
+        gen::random_pruefer_tree(150, gen::WeightSpec::unit(), seed);
+    EXPECT_TRUE(is_tree(g)) << "seed " << seed;
+  }
+}
+
+TEST(Generators, PrueferSmallCases) {
+  EXPECT_EQ(gen::random_pruefer_tree(1).num_vertices(), 1);
+  EXPECT_TRUE(is_tree(gen::random_pruefer_tree(2)));
+  EXPECT_TRUE(is_tree(gen::random_pruefer_tree(3)));
+}
+
+TEST(Generators, Grid2dShape) {
+  const Graph g = gen::grid2d(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 3 * 5 + 4 * 4);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Generators, Grid3dShape) {
+  const Graph g = gen::grid3d(3, 4, 5);
+  EXPECT_EQ(g.num_vertices(), 60);
+  EXPECT_EQ(g.num_edges(), 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 6);
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = gen::torus2d(5, 6);
+  EXPECT_EQ(g.num_vertices(), 30);
+  for (vidx v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, PlanarTriangulationEdgeCount) {
+  // A maximal planar graph on n >= 3 vertices has exactly 3n - 6 edges.
+  for (vidx n : {3, 10, 50, 200}) {
+    const Graph g = gen::random_planar_triangulation(n);
+    EXPECT_EQ(g.num_edges(), 3 * static_cast<eidx>(n) - 6) << "n=" << n;
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomRegularDegreeBounds) {
+  const vidx d = 4;
+  const Graph g = gen::random_regular(50, d, gen::WeightSpec::unit(), 3);
+  EXPECT_LE(g.max_degree(), d);
+  // Most vertices should reach exactly d.
+  vidx full = 0;
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) == d) ++full;
+  }
+  EXPECT_GE(full, 45);
+}
+
+TEST(Generators, WeightSpecsRespectRanges) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = gen::draw_weight(gen::WeightSpec::uniform(2.0, 3.0), rng);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    EXPECT_DOUBLE_EQ(gen::draw_weight(gen::WeightSpec::unit(), rng), 1.0);
+    EXPECT_GT(gen::draw_weight(gen::WeightSpec::lognormal(0.0, 1.0), rng),
+              0.0);
+  }
+}
+
+TEST(Generators, DeterministicInSeed) {
+  const Graph a = gen::grid2d(6, 6, gen::WeightSpec::uniform(1.0, 2.0), 42);
+  const Graph b = gen::grid2d(6, 6, gen::WeightSpec::uniform(1.0, 2.0), 42);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  const Graph c = gen::grid2d(6, 6, gen::WeightSpec::uniform(1.0, 2.0), 43);
+  EXPECT_NE(a.edge_list(), c.edge_list());
+}
+
+TEST(Generators, OctVolumeHasLargeWeightVariation) {
+  const Graph g = gen::oct_volume(8, 8, 8, {.field_orders = 3.0}, 7);
+  EXPECT_TRUE(is_connected(g));
+  double w_min = 1e300;
+  double w_max = 0.0;
+  for (const auto& e : g.edge_list()) {
+    w_min = std::min(w_min, e.weight);
+    w_max = std::max(w_max, e.weight);
+  }
+  // Should span at least ~2 orders of magnitude on an 8^3 volume.
+  EXPECT_GT(w_max / w_min, 100.0);
+}
+
+TEST(Generators, OctVolumeSpeckleChangesWeights) {
+  const Graph smooth =
+      gen::oct_volume(6, 6, 6, {.field_orders = 1.0, .speckle_sigma = 0.0}, 3);
+  const Graph noisy =
+      gen::oct_volume(6, 6, 6, {.field_orders = 1.0, .speckle_sigma = 0.8}, 3);
+  EXPECT_EQ(smooth.num_edges(), noisy.num_edges());
+  EXPECT_NE(smooth.edge_list(), noisy.edge_list());
+}
+
+TEST(Generators, RejectsBadParameters) {
+  EXPECT_THROW((void)gen::path(0), invalid_argument_error);
+  EXPECT_THROW((void)gen::cycle(2), invalid_argument_error);
+  EXPECT_THROW((void)gen::grid2d(0, 3), invalid_argument_error);
+  EXPECT_THROW((void)gen::random_regular(4, 4), invalid_argument_error);
+  EXPECT_THROW((void)gen::random_regular(5, 3), invalid_argument_error);
+  EXPECT_THROW((void)gen::random_planar_triangulation(2),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

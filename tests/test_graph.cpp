@@ -1,0 +1,178 @@
+#include "hicond/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+Graph triangle() {
+  const std::vector<WeightedEdge> edges{{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}};
+  return Graph(3, edges);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.total_volume(), 0.0);
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_arcs(), 6);
+  EXPECT_DOUBLE_EQ(g.vol(0), 4.0);
+  EXPECT_DOUBLE_EQ(g.vol(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.vol(2), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_volume(), 12.0);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Graph, EdgeWeightLookup) {
+  const Graph g = triangle();
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 3.0);
+}
+
+TEST(Graph, HasEdge) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1.0}};
+  const Graph g(3, edges);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(Graph, ParallelEdgesMerge) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1.0}, {1, 0, 2.5}};
+  const Graph g(2, edges);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 3.5);
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  const Graph g = triangle();
+  const auto edges = g.edge_list();
+  ASSERT_EQ(edges.size(), 3u);
+  const Graph g2(3, edges);
+  for (vidx u = 0; u < 3; ++u) {
+    for (vidx v = 0; v < 3; ++v) {
+      EXPECT_DOUBLE_EQ(g.edge_weight(u, v), g2.edge_weight(u, v));
+    }
+  }
+}
+
+TEST(Graph, NeighborsSortedAndAligned) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    ASSERT_EQ(nbrs.size(), ws.size());
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(g.edge_weight(v, nbrs[i]), ws[i]);
+    }
+  }
+}
+
+TEST(Graph, LaplacianApplyKillsConstants) {
+  const Graph g = gen::grid2d(5, 5, gen::WeightSpec::uniform(0.5, 3.0), 7);
+  std::vector<double> x(25, 4.2);
+  std::vector<double> y(25);
+  g.laplacian_apply(x, y);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Graph, LaplacianApplyMatchesQuadraticForm) {
+  const Graph g = gen::grid3d(3, 3, 3, gen::WeightSpec::uniform(1.0, 5.0), 9);
+  std::vector<double> x(27);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>((i * 7) % 11) - 5.0;
+  }
+  std::vector<double> y(27);
+  g.laplacian_apply(x, y);
+  double xty = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) xty += x[i] * y[i];
+  EXPECT_NEAR(xty, g.laplacian_quadratic(x), 1e-9);
+}
+
+TEST(Graph, QuadraticFormOfEdgeIndicator) {
+  const Graph g = triangle();
+  // x = e_0: x' L x = vol(0).
+  std::vector<double> x{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(g.laplacian_quadratic(x), 4.0);
+}
+
+TEST(GraphSetOps, CapVolOut) {
+  const Graph g = triangle();
+  std::vector<char> s{1, 0, 0};
+  std::vector<char> t{0, 1, 0};
+  EXPECT_DOUBLE_EQ(cap(g, s, t), 1.0);
+  EXPECT_DOUBLE_EQ(out_weight(g, s), 4.0);
+  EXPECT_DOUBLE_EQ(vol_set(g, s), 4.0);
+  std::vector<char> st{1, 1, 0};
+  EXPECT_DOUBLE_EQ(out_weight(g, st), 5.0);
+  EXPECT_DOUBLE_EQ(vol_set(g, st), 7.0);
+}
+
+TEST(GraphSetOps, CapRejectsOverlap) {
+  const Graph g = triangle();
+  std::vector<char> s{1, 1, 0};
+  std::vector<char> t{0, 1, 1};
+  EXPECT_THROW((void)cap(g, s, t), invalid_argument_error);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const Graph g = gen::grid2d(3, 3, gen::WeightSpec::unit(), 1);
+  const std::vector<vidx> verts{0, 1, 3, 4};  // top-left 2x2 block
+  std::vector<vidx> map;
+  const Graph sub = induced_subgraph(g, verts, &map);
+  EXPECT_EQ(sub.num_vertices(), 4);
+  EXPECT_EQ(sub.num_edges(), 4);  // the 2x2 square
+  EXPECT_EQ(map[0], 0);
+  EXPECT_EQ(map[4], 3);
+  EXPECT_EQ(map[8], -1);
+}
+
+TEST(InducedSubgraph, RejectsDuplicates) {
+  const Graph g = triangle();
+  const std::vector<vidx> verts{0, 0};
+  EXPECT_THROW((void)induced_subgraph(g, verts), invalid_argument_error);
+}
+
+TEST(Graph, ArcAccessorsConsistentWithAdjacency) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    const eidx base = g.arc_begin(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(g.arc_target(base + static_cast<eidx>(i)), nbrs[i]);
+      EXPECT_DOUBLE_EQ(g.arc_weight(base + static_cast<eidx>(i)), ws[i]);
+    }
+  }
+}
+
+TEST(GraphValidation, RejectsBadEdges) {
+  std::vector<WeightedEdge> self{{0, 0, 1.0}};
+  EXPECT_THROW(Graph(2, self), invalid_argument_error);
+  std::vector<WeightedEdge> range{{0, 5, 1.0}};
+  EXPECT_THROW(Graph(2, range), invalid_argument_error);
+  std::vector<WeightedEdge> nonpos{{0, 1, 0.0}};
+  EXPECT_THROW(Graph(2, nonpos), invalid_argument_error);
+  std::vector<WeightedEdge> neg{{0, 1, -1.0}};
+  EXPECT_THROW(Graph(2, neg), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,170 @@
+// End-to-end integration tests: decomposition -> Steiner preconditioner ->
+// PCG solve, mirroring the paper's Section 3.2 pipeline on small inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/la/lanczos.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "hicond/partition/hierarchy.hpp"
+#include "hicond/partition/planar.hpp"
+#include "hicond/precond/multilevel.hpp"
+#include "hicond/precond/steiner.hpp"
+#include "hicond/precond/subgraph.hpp"
+#include "hicond/precond/support.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+std::vector<double> mean_free_rhs(vidx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  return b;
+}
+
+struct SolveOutcome {
+  int iterations = 0;
+  double residual = 0.0;
+};
+
+SolveOutcome solve_with(const Graph& g, const LinearOperator& precond,
+                        std::uint64_t seed) {
+  const vidx n = g.num_vertices();
+  auto a = [&g](std::span<const double> x, std::span<double> y) {
+    g.laplacian_apply(x, y);
+  };
+  const auto b = mean_free_rhs(n, seed);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const auto stats = pcg_solve(a, precond, b, x,
+                               {.max_iterations = 2000, .rel_tolerance = 1e-9,
+                                .project_constant = true});
+  EXPECT_TRUE(stats.converged);
+  std::vector<double> check(static_cast<std::size_t>(n));
+  g.laplacian_apply(x, check);
+  double err = 0.0;
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    err = std::max(err, std::abs(check[i] - b[i]));
+  }
+  return {stats.iterations, err};
+}
+
+TEST(Integration, SteinerPcgSolvesWeightedGrid) {
+  const Graph g = gen::grid2d(15, 15, gen::WeightSpec::uniform(1.0, 5.0), 3);
+  const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+  const SteinerPreconditioner sp =
+      SteinerPreconditioner::build(g, fd.decomposition);
+  const auto outcome = solve_with(g, sp.as_operator(), 1);
+  EXPECT_LT(outcome.residual, 1e-6);
+  EXPECT_LT(outcome.iterations, 120);
+}
+
+TEST(Integration, SteinerPcgSolvesOctVolume) {
+  const Graph g = gen::oct_volume(7, 7, 7, {.field_orders = 3.0}, 5);
+  const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+  const SteinerPreconditioner sp =
+      SteinerPreconditioner::build(g, fd.decomposition);
+  const auto outcome = solve_with(g, sp.as_operator(), 2);
+  EXPECT_LT(outcome.residual, 1e-5);
+}
+
+TEST(Integration, SteinerBeatsJacobiOnLargeVariation) {
+  const Graph g = gen::oct_volume(8, 8, 4, {.field_orders = 3.0}, 7);
+  const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+  const SteinerPreconditioner sp =
+      SteinerPreconditioner::build(g, fd.decomposition);
+  auto jacobi = [&g](std::span<const double> r, std::span<double> z) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      z[i] = g.vol(static_cast<vidx>(i)) > 0.0
+                 ? r[i] / g.vol(static_cast<vidx>(i))
+                 : 0.0;
+    }
+  };
+  const auto steiner = solve_with(g, sp.as_operator(), 3);
+  const auto diag = solve_with(g, jacobi, 3);
+  EXPECT_LT(steiner.iterations, diag.iterations);
+}
+
+TEST(Integration, ConditionNumberIndependentOfSizeForFixedDegree) {
+  // Section 3.1's headline: the Steiner preconditioner from the 3-pass
+  // clustering has *constant* condition number on fixed-degree graphs.
+  // Check kappa barely grows from an 8x8 to a 24x24 grid.
+  double kappas[2];
+  int idx = 0;
+  for (vidx side : {8, 24}) {
+    const Graph g =
+        gen::grid2d(side, side, gen::WeightSpec::uniform(1.0, 2.0), 9);
+    const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+    const SteinerPreconditioner sp =
+        SteinerPreconditioner::build(g, fd.decomposition);
+    auto a = [&g](std::span<const double> x, std::span<double> y) {
+      g.laplacian_apply(x, y);
+    };
+    const double kappa = condition_number_estimate(
+        a, sp.as_operator(), g.num_vertices(), 40, 11);
+    kappas[idx++] = kappa;
+  }
+  EXPECT_LT(kappas[1], kappas[0] * 3.0);
+}
+
+TEST(Integration, PlanarPipelineFeedsSteinerPreconditioner) {
+  const Graph g = gen::random_planar_triangulation(
+      300, gen::WeightSpec::uniform(1.0, 3.0), 11);
+  PlanarDecompOptions opt;
+  opt.measure_k = false;
+  const auto planar = planar_decomposition(g, opt);
+  const SteinerPreconditioner sp =
+      SteinerPreconditioner::build(g, planar.decomposition);
+  const auto outcome = solve_with(g, sp.as_operator(), 4);
+  EXPECT_LT(outcome.residual, 1e-6);
+}
+
+TEST(Integration, MultilevelVsTwoLevelBothSolve) {
+  const Graph g = gen::grid2d(18, 18, gen::WeightSpec::uniform(1.0, 2.0), 13);
+  const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+  const SteinerPreconditioner two_level =
+      SteinerPreconditioner::build(g, fd.decomposition);
+  const MultilevelSteinerSolver ml =
+      MultilevelSteinerSolver::build(build_hierarchy(g, {.coarsest_size = 32}));
+  const auto a = [&g](std::span<const double> x, std::span<double> y) {
+    g.laplacian_apply(x, y);
+  };
+  const auto b = mean_free_rhs(324, 5);
+  for (const LinearOperator& m : {two_level.as_operator(), ml.as_operator()}) {
+    std::vector<double> x(324, 0.0);
+    const auto stats = flexible_pcg_solve(
+        a, m, b, x,
+        {.max_iterations = 600, .rel_tolerance = 1e-9,
+         .project_constant = true});
+    EXPECT_TRUE(stats.converged);
+  }
+}
+
+TEST(Integration, SteinerVsSubgraphShapeOfFigure6) {
+  // The Figure 6 claim in miniature: at (generously) matched reduction
+  // factors the Steiner preconditioner converges in fewer PCG iterations
+  // than the subgraph preconditioner on an OCT-like weighted grid. Note the
+  // comparison still favours the subgraph side: its core (reduced system)
+  // is about twice the size of the Steiner quotient here.
+  const Graph g = gen::oct_volume(10, 10, 10, {.field_orders = 2.0}, 13);
+  const vidx n = g.num_vertices();
+  const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+  const SteinerPreconditioner steiner =
+      SteinerPreconditioner::build(g, fd.decomposition);
+  SubgraphPrecondOptions sub_opt;
+  sub_opt.target_subtrees = std::max<vidx>(2, n / 32);
+  const SubgraphPreconditioner subgraph =
+      SubgraphPreconditioner::build(g, sub_opt);
+  EXPECT_GE(subgraph.core_size(), steiner.num_steiner_vertices());
+  const auto s_out = solve_with(g, steiner.as_operator(), 6);
+  const auto g_out = solve_with(g, subgraph.as_operator(), 6);
+  EXPECT_LT(s_out.iterations, g_out.iterations);
+}
+
+}  // namespace
+}  // namespace hicond

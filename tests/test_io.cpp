@@ -1,0 +1,123 @@
+#include "hicond/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(GraphIo, StreamRoundTrip) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(0.1, 9.0), 11);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph back = read_graph(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, PreservesWeightsExactly) {
+  const Graph g = gen::random_tree(50, gen::WeightSpec::lognormal(0.0, 3.0), 5);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph back = read_graph(ss);
+  for (const auto& e : g.edge_list()) {
+    EXPECT_DOUBLE_EQ(back.edge_weight(e.u, e.v), e.weight);
+  }
+}
+
+TEST(GraphIo, SkipsComments) {
+  std::stringstream ss("% comment\n# another\n3 2\n% inline\n0 1 1.5\n1 2 2.5\n");
+  const Graph g = read_graph(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.5);
+}
+
+TEST(GraphIo, RejectsTruncatedInput) {
+  std::stringstream ss("3 2\n0 1 1.0\n");
+  EXPECT_THROW((void)read_graph(ss), invalid_argument_error);
+}
+
+TEST(GraphIo, RejectsGarbageHeader) {
+  std::stringstream ss("abc def\n");
+  EXPECT_THROW((void)read_graph(ss), invalid_argument_error);
+}
+
+TEST(GraphIo, RejectsEmptyStream) {
+  std::stringstream ss("");
+  EXPECT_THROW((void)read_graph(ss), invalid_argument_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = gen::star(6, gen::WeightSpec::uniform(1.0, 2.0), 2);
+  const std::string path = testing::TempDir() + "/hicond_io_test.wel";
+  write_graph_file(path, g);
+  const Graph back = read_graph_file(path);
+  EXPECT_EQ(back.edge_list(), g.edge_list());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_graph_file("/nonexistent/path/graph.wel"),
+               invalid_argument_error);
+}
+
+TEST(MetisIo, RoundTripWeightedGraph) {
+  const Graph g = gen::grid2d(5, 4, gen::WeightSpec::uniform(1.0, 9.0), 3);
+  std::stringstream ss;
+  write_metis(ss, g);
+  const Graph back = read_metis(ss);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.edge_list(), g.edge_list());
+}
+
+TEST(MetisIo, ReadsUnweightedFormat) {
+  // Triangle in plain METIS (no weights): 1-indexed adjacency rows.
+  std::stringstream ss("3 3\n2 3\n1 3\n1 2\n");
+  const Graph g = read_metis(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+}
+
+TEST(MetisIo, ReadsVertexWeightFormat) {
+  // fmt 011 with ncon 2: two vertex weights to skip per row, then
+  // neighbour/weight pairs.
+  std::stringstream ss("2 1 011 2\n5 7 2 3.5\n1 2 1 3.5\n");
+  const Graph g = read_metis(ss);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 3.5);
+}
+
+TEST(MetisIo, SkipsComments) {
+  std::stringstream ss("% a metis comment\n3 2 001\n2 1.5\n1 1.5 3 2.5\n2 2.5\n");
+  const Graph g = read_metis(ss);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.5);
+}
+
+TEST(MetisIo, RejectsBadNeighbour) {
+  std::stringstream ss("2 1\n5\n1\n");
+  EXPECT_THROW((void)read_metis(ss), invalid_argument_error);
+}
+
+TEST(MetisIo, RejectsEdgeCountMismatch) {
+  std::stringstream ss("3 5\n2\n1\n\n");
+  EXPECT_THROW((void)read_metis(ss), invalid_argument_error);
+}
+
+TEST(MetisIo, FileRoundTrip) {
+  const Graph g = gen::random_tree(25, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  const std::string path = testing::TempDir() + "/hicond_metis_test.graph";
+  write_metis_file(path, g);
+  const Graph back = read_metis_file(path);
+  EXPECT_EQ(back.edge_list(), g.edge_list());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hicond

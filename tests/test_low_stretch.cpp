@@ -1,0 +1,87 @@
+#include "hicond/tree/low_stretch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/tree/mst.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(LowStretch, SpansConnectedGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = gen::grid2d(8, 8, gen::WeightSpec::uniform(1.0, 4.0), seed);
+    const Graph t = low_stretch_tree_akpw(g, {.seed = seed});
+    EXPECT_TRUE(is_tree(t)) << "seed " << seed;
+    EXPECT_EQ(t.num_vertices(), g.num_vertices());
+  }
+}
+
+TEST(LowStretch, TreeInputReturnsSameTree) {
+  const Graph g = gen::random_tree(50, gen::WeightSpec::uniform(1.0, 5.0), 2);
+  const Graph t = low_stretch_tree_akpw(g);
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  for (const auto& e : g.edge_list()) EXPECT_TRUE(t.has_edge(e.u, e.v));
+}
+
+TEST(LowStretch, EdgesComeFromInputGraph) {
+  const Graph g = gen::grid3d(4, 4, 2, gen::WeightSpec::uniform(1.0, 3.0), 4);
+  const Graph t = low_stretch_tree_akpw(g);
+  for (const auto& e : t.edge_list()) {
+    EXPECT_DOUBLE_EQ(g.edge_weight(e.u, e.v), e.weight);
+  }
+}
+
+TEST(AverageStretch, TreeAgainstItselfIsOne) {
+  const Graph g = gen::random_tree(60, gen::WeightSpec::uniform(1.0, 4.0), 3);
+  EXPECT_NEAR(average_stretch(g, g), 1.0, 1e-12);
+}
+
+TEST(AverageStretch, CycleKnownValue) {
+  // Unit cycle of n: tree = path (drop one edge); the dropped edge has
+  // stretch n-1, tree edges have stretch 1.
+  const vidx n = 10;
+  const Graph g = gen::cycle(n);
+  std::vector<WeightedEdge> path_edges;
+  for (const auto& e : g.edge_list()) {
+    if (!(e.u == 0 && e.v == n - 1)) path_edges.push_back(e);
+  }
+  const Graph t(n, path_edges);
+  const double expected =
+      (static_cast<double>(n - 1) + static_cast<double>(n - 1)) /
+      static_cast<double>(n);
+  EXPECT_NEAR(average_stretch(g, t), expected, 1e-12);
+}
+
+TEST(AverageStretch, RejectsNonSpanningTree) {
+  const Graph g = gen::grid2d(3, 3);
+  std::vector<WeightedEdge> partial{{0, 1, 1.0}, {1, 2, 1.0}};
+  const Graph t(9, partial);
+  EXPECT_THROW((void)average_stretch(g, t), invalid_argument_error);
+}
+
+TEST(LowStretch, BeatsOrMatchesMstOnHeavyCycleFamilies) {
+  // On graphs engineered against greedy weight choices, the AKPW-style tree
+  // should not be catastrophically worse than the max-weight tree.
+  double ls_total = 0.0;
+  double mst_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = gen::random_planar_triangulation(
+        120, gen::WeightSpec::lognormal(0.0, 1.5), seed);
+    ls_total += average_stretch(g, low_stretch_tree_akpw(g, {.seed = seed}));
+    mst_total += average_stretch(g, max_spanning_forest_kruskal(g));
+  }
+  EXPECT_LT(ls_total, mst_total * 3.0);
+}
+
+TEST(LowStretch, RejectsBadOptions) {
+  const Graph g = gen::path(4);
+  EXPECT_THROW((void)low_stretch_tree_akpw(g, {.class_ratio = 1.0}),
+               invalid_argument_error);
+  EXPECT_THROW((void)low_stretch_tree_akpw(g, {.bfs_radius = 0}),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

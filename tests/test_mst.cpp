@@ -1,0 +1,94 @@
+#include "hicond/tree/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+double forest_weight(const Graph& f) { return total_edge_weight(f); }
+
+TEST(Mst, KruskalSpansConnectedGraph) {
+  const Graph g = gen::grid2d(6, 6, gen::WeightSpec::uniform(1.0, 9.0), 3);
+  const Graph t = max_spanning_forest_kruskal(g);
+  EXPECT_TRUE(is_tree(t));
+  EXPECT_EQ(t.num_edges(), 35);
+}
+
+TEST(Mst, BoruvkaSpansConnectedGraph) {
+  const Graph g = gen::grid2d(6, 6, gen::WeightSpec::uniform(1.0, 9.0), 3);
+  const Graph t = max_spanning_forest_boruvka(g);
+  EXPECT_TRUE(is_tree(t));
+  EXPECT_EQ(t.num_edges(), 35);
+}
+
+TEST(Mst, KruskalAndBoruvkaAgreeOnDistinctWeights) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = gen::random_planar_triangulation(
+        40, gen::WeightSpec::uniform(1.0, 100.0), seed);
+    const Graph k = max_spanning_forest_kruskal(g);
+    const Graph b = max_spanning_forest_boruvka(g);
+    EXPECT_NEAR(forest_weight(k), forest_weight(b), 1e-9) << "seed " << seed;
+    EXPECT_EQ(k.edge_list(), b.edge_list()) << "seed " << seed;
+  }
+}
+
+TEST(Mst, MaximumWeightVerifiedByBruteForceOnSmallGraphs) {
+  // Exhaustive check on K4: the max spanning tree weight must dominate
+  // every other spanning tree; verify via cut property -- the heaviest edge
+  // of the graph is always included.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = gen::complete(5, gen::WeightSpec::uniform(1.0, 50.0), seed);
+    const Graph t = max_spanning_forest_kruskal(g);
+    WeightedEdge heaviest{0, 1, -1.0};
+    for (const auto& e : g.edge_list()) {
+      if (e.weight > heaviest.weight) heaviest = e;
+    }
+    EXPECT_TRUE(t.has_edge(heaviest.u, heaviest.v)) << "seed " << seed;
+  }
+}
+
+TEST(Mst, CutPropertyHolds) {
+  // For every vertex, its heaviest incident edge belongs to the maximum
+  // spanning forest (cut property with S = {v}).
+  const Graph g = gen::grid3d(3, 3, 3, gen::WeightSpec::uniform(1.0, 10.0), 5);
+  const Graph t = max_spanning_forest_kruskal(g);
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      if (ws[i] > ws[best]) best = i;
+    }
+    EXPECT_TRUE(t.has_edge(v, nbrs[best])) << "v=" << v;
+  }
+}
+
+TEST(Mst, DisconnectedInputGivesForest) {
+  std::vector<WeightedEdge> edges{
+      {0, 1, 2.0}, {1, 2, 3.0}, {0, 2, 1.0}, {3, 4, 1.0}};
+  const Graph g(5, edges);
+  const Graph t = max_spanning_forest_kruskal(g);
+  EXPECT_TRUE(is_forest(t));
+  EXPECT_EQ(t.num_edges(), 3);
+  EXPECT_FALSE(t.has_edge(0, 2));  // lightest cycle edge dropped
+}
+
+TEST(Mst, PreservesOriginalWeights) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 2.0), 8);
+  const Graph t = max_spanning_forest_boruvka(g);
+  for (const auto& e : t.edge_list()) {
+    EXPECT_DOUBLE_EQ(e.weight, g.edge_weight(e.u, e.v));
+  }
+}
+
+TEST(TotalEdgeWeight, MatchesSum) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.5}, {1, 2, 2.5}};
+  const Graph g(3, edges);
+  EXPECT_DOUBLE_EQ(total_edge_weight(g), 4.0);
+}
+
+}  // namespace
+}  // namespace hicond

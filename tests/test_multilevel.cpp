@@ -1,0 +1,133 @@
+#include "hicond/precond/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+std::vector<double> mean_free_rhs(vidx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  return b;
+}
+
+TEST(Multilevel, BuildsOnHierarchy) {
+  const Graph g = gen::grid2d(16, 16, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  const MultilevelSteinerSolver s =
+      MultilevelSteinerSolver::build(build_hierarchy(g, {.coarsest_size = 32}));
+  EXPECT_GE(s.num_levels(), 1);
+  EXPECT_GT(s.operator_complexity(), 1.0);
+  EXPECT_LT(s.operator_complexity(), 2.5);  // geometric level shrinkage
+}
+
+TEST(Multilevel, ApplyIsLinearSymmetric) {
+  const Graph g = gen::grid2d(10, 10, gen::WeightSpec::uniform(1.0, 3.0), 5);
+  const MultilevelSteinerSolver s =
+      MultilevelSteinerSolver::build(build_hierarchy(g, {.coarsest_size = 16}));
+  const auto r1 = mean_free_rhs(100, 1);
+  const auto r2 = mean_free_rhs(100, 2);
+  std::vector<double> z1(100);
+  std::vector<double> z2(100);
+  s.apply(r1, z1);
+  s.apply(r2, z2);
+  // Symmetry of the V-cycle operator.
+  EXPECT_NEAR(la::dot(r2, z1), la::dot(r1, z2), 1e-8);
+  // Linearity: apply(r1 + r2) = apply(r1) + apply(r2).
+  std::vector<double> r12(100);
+  for (std::size_t i = 0; i < 100; ++i) r12[i] = r1[i] + r2[i];
+  std::vector<double> z12(100);
+  s.apply(r12, z12);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(z12[i], z1[i] + z2[i], 1e-9);
+  }
+}
+
+TEST(Multilevel, PreconditionsPcgOnGrid) {
+  const Graph g = gen::grid2d(20, 20, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  const vidx n = 400;
+  const MultilevelSteinerSolver s =
+      MultilevelSteinerSolver::build(build_hierarchy(g, {.coarsest_size = 32}));
+  auto a = [&g](std::span<const double> x, std::span<double> y) {
+    g.laplacian_apply(x, y);
+  };
+  const auto b = mean_free_rhs(n, 3);
+  std::vector<double> x_plain(static_cast<std::size_t>(n), 0.0);
+  const auto plain =
+      cg_solve(a, b, x_plain,
+               {.max_iterations = 2000, .rel_tolerance = 1e-8,
+                .project_constant = true});
+  std::vector<double> x_ml(static_cast<std::size_t>(n), 0.0);
+  const auto ml = flexible_pcg_solve(
+      a, s.as_operator(), b, x_ml,
+      {.max_iterations = 2000, .rel_tolerance = 1e-8, .project_constant = true});
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(ml.converged);
+  EXPECT_LT(ml.iterations, plain.iterations);
+}
+
+TEST(Multilevel, SolvesOctVolumeSystem) {
+  const Graph g = gen::oct_volume(8, 8, 8, {.field_orders = 2.0}, 9);
+  const vidx n = g.num_vertices();
+  const MultilevelSteinerSolver s =
+      MultilevelSteinerSolver::build(build_hierarchy(g, {.coarsest_size = 64}));
+  auto a = [&g](std::span<const double> x, std::span<double> y) {
+    g.laplacian_apply(x, y);
+  };
+  const auto b = mean_free_rhs(n, 5);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const auto stats = flexible_pcg_solve(
+      a, s.as_operator(), b, x,
+      {.max_iterations = 400, .rel_tolerance = 1e-8, .project_constant = true});
+  EXPECT_TRUE(stats.converged);
+  std::vector<double> check(static_cast<std::size_t>(n));
+  g.laplacian_apply(x, check);
+  double err = 0.0;
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    err = std::max(err, std::abs(check[i] - b[i]));
+  }
+  EXPECT_LT(err, 1e-5);
+}
+
+TEST(Multilevel, TwoCyclesNotWorseThanOne) {
+  const Graph g = gen::grid2d(14, 14, gen::WeightSpec::uniform(1.0, 2.0), 11);
+  auto a = [&g](std::span<const double> x, std::span<double> y) {
+    g.laplacian_apply(x, y);
+  };
+  const auto b = mean_free_rhs(196, 7);
+  int iters[2];
+  int idx = 0;
+  for (int cycles : {1, 2}) {
+    const MultilevelSteinerSolver s = MultilevelSteinerSolver::build(
+        build_hierarchy(g, {.coarsest_size = 25}), {.cycles = cycles});
+    std::vector<double> x(196, 0.0);
+    const auto stats = flexible_pcg_solve(
+        a, s.as_operator(), b, x,
+        {.max_iterations = 500, .rel_tolerance = 1e-8,
+         .project_constant = true});
+    EXPECT_TRUE(stats.converged);
+    iters[idx++] = stats.iterations;
+  }
+  EXPECT_LE(iters[1], iters[0] + 1);
+}
+
+TEST(Multilevel, TrivialHierarchyFallsBackToDirect) {
+  const Graph g = gen::path(6, gen::WeightSpec::uniform(1.0, 2.0), 2);
+  const MultilevelSteinerSolver s =
+      MultilevelSteinerSolver::build(build_hierarchy(g, {.coarsest_size = 10}));
+  EXPECT_EQ(s.num_levels(), 0);
+  const auto b = mean_free_rhs(6, 9);
+  std::vector<double> x(6);
+  s.apply(b, x);
+  std::vector<double> check(6);
+  g.laplacian_apply(x, check);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(check[i], b[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace hicond

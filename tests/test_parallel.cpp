@@ -1,0 +1,69 @@
+#include "hicond/util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace hicond {
+namespace {
+
+TEST(ExclusiveScan, EmptyInput) {
+  std::vector<eidx> v;
+  EXPECT_EQ(exclusive_scan_inplace(v), 0);
+}
+
+TEST(ExclusiveScan, SmallKnownValues) {
+  std::vector<eidx> v{3, 1, 4, 1, 5};
+  const eidx total = exclusive_scan_inplace(v);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<eidx>{0, 3, 4, 8, 9}));
+}
+
+TEST(ExclusiveScan, LargeMatchesSequential) {
+  const std::size_t n = 100000;
+  std::vector<eidx> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<eidx>(i % 7);
+  std::vector<eidx> expected(n);
+  eidx run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = run;
+    run += v[i];
+  }
+  const eidx total = exclusive_scan_inplace(v);
+  EXPECT_EQ(total, run);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  const std::size_t n = 10000;
+  std::vector<int> hits(n, 0);
+  parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelSum, MatchesClosedForm) {
+  const std::size_t n = 100000;
+  const double s = parallel_sum(n, [](std::size_t i) {
+    return static_cast<double>(i);
+  });
+  EXPECT_DOUBLE_EQ(s, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ParallelMax, FindsMaximum) {
+  const std::size_t n = 5000;
+  const double m = parallel_max(n, -1.0, [n](std::size_t i) {
+    return i == n / 2 ? 1e6 : static_cast<double>(i);
+  });
+  EXPECT_DOUBLE_EQ(m, 1e6);
+}
+
+TEST(ParallelMax, EmptyReturnsInit) {
+  EXPECT_DOUBLE_EQ(parallel_max(0, -3.0, [](std::size_t) { return 0.0; }),
+                   -3.0);
+}
+
+TEST(NumThreads, Positive) { EXPECT_GE(num_threads(), 1); }
+
+}  // namespace
+}  // namespace hicond

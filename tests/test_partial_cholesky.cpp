@@ -1,0 +1,132 @@
+#include "hicond/la/partial_cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/sparse_cholesky.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+std::vector<double> exact_core_solver_solve(const Graph& g,
+                                            const PartialCholesky& pc,
+                                            std::span<const double> b) {
+  auto core_solve = [&pc](std::span<const double> cb) -> std::vector<double> {
+    if (pc.core().num_vertices() <= 1) {
+      return std::vector<double>(cb.size(), 0.0);
+    }
+    const LaplacianDirectSolver solver(pc.core());
+    return solver.solve(cb);
+  };
+  (void)g;
+  return pc.solve(b, core_solve);
+}
+
+void check_partial_cholesky_solves(const Graph& g, std::uint64_t seed) {
+  const vidx n = g.num_vertices();
+  const PartialCholesky pc = PartialCholesky::eliminate_low_degree(g);
+  Rng rng(seed);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(x_true);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  g.laplacian_apply(x_true, b);
+  const auto x = exact_core_solver_solve(g, pc, b);
+  std::vector<double> check(static_cast<std::size_t>(n));
+  g.laplacian_apply(x, check);
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    EXPECT_NEAR(check[i], b[i], 1e-8);
+  }
+}
+
+TEST(PartialCholesky, TreeEliminatesToSingleVertex) {
+  const Graph g = gen::random_tree(100, gen::WeightSpec::uniform(1.0, 3.0), 2);
+  const PartialCholesky pc = PartialCholesky::eliminate_low_degree(g);
+  EXPECT_LE(pc.core().num_vertices(), 1);
+  EXPECT_GE(pc.num_eliminated(), 99);
+}
+
+TEST(PartialCholesky, CycleEliminatesCompletely) {
+  // A cycle is all degree-2: elimination collapses it (down to the 1-vertex
+  // guard).
+  const Graph g = gen::cycle(20, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  const PartialCholesky pc = PartialCholesky::eliminate_low_degree(g);
+  EXPECT_LE(pc.core().num_vertices(), 2);
+}
+
+TEST(PartialCholesky, GridCoreHasMinDegreeThree) {
+  const Graph g = gen::grid2d(6, 6, gen::WeightSpec::unit(), 1);
+  const PartialCholesky pc = PartialCholesky::eliminate_low_degree(g);
+  const Graph& core = pc.core();
+  for (vidx v = 0; v < core.num_vertices(); ++v) {
+    EXPECT_GE(core.degree(v), 3);
+  }
+}
+
+TEST(PartialCholesky, SolvesTreeSystem) {
+  check_partial_cholesky_solves(
+      gen::random_tree(300, gen::WeightSpec::lognormal(0.0, 1.0), 7), 1);
+}
+
+TEST(PartialCholesky, SolvesPathSystem) {
+  check_partial_cholesky_solves(gen::path(100, gen::WeightSpec::uniform(0.5, 4.0), 9), 2);
+}
+
+TEST(PartialCholesky, SolvesGridSystem) {
+  check_partial_cholesky_solves(
+      gen::grid2d(7, 7, gen::WeightSpec::uniform(1.0, 2.0), 5), 3);
+}
+
+TEST(PartialCholesky, SolvesTreePlusExtraEdges) {
+  // The exact use case for subgraph preconditioners.
+  Graph tree = gen::random_tree(80, gen::WeightSpec::uniform(1.0, 2.0), 4);
+  auto edges = tree.edge_list();
+  edges.push_back({0, 40, 0.7});
+  edges.push_back({10, 70, 1.3});
+  edges.push_back({25, 55, 2.1});
+  check_partial_cholesky_solves(Graph(80, edges), 4);
+}
+
+TEST(PartialCholesky, CoreSizeScalesWithExtraEdges) {
+  Graph tree = gen::random_tree(200, gen::WeightSpec::uniform(1.0, 2.0), 6);
+  auto edges = tree.edge_list();
+  Rng rng(8);
+  const int extras = 12;
+  for (int i = 0; i < extras; ++i) {
+    const vidx u = static_cast<vidx>(rng.uniform_index(200));
+    const vidx v = static_cast<vidx>(rng.uniform_index(200));
+    if (u != v) edges.push_back({u, v, 1.0});
+  }
+  const Graph g(200, edges);
+  const PartialCholesky pc = PartialCholesky::eliminate_low_degree(g);
+  // Core is at most ~2 vertices per extra edge.
+  EXPECT_LE(pc.core().num_vertices(), 2 * extras + 2);
+}
+
+TEST(PartialCholesky, IsolatedVerticesHandled) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}};
+  const Graph g(3, edges);  // vertex 2 isolated
+  const PartialCholesky pc = PartialCholesky::eliminate_low_degree(g);
+  std::vector<double> b{1.0, -1.0, 0.0};
+  const auto x = pc.solve(b, [](std::span<const double> cb) {
+    return std::vector<double>(cb.size(), 0.0);
+  });
+  std::vector<double> check(3);
+  g.laplacian_apply(x, check);
+  EXPECT_NEAR(check[0], 1.0, 1e-12);
+  EXPECT_NEAR(check[1], -1.0, 1e-12);
+}
+
+TEST(PartialCholesky, CoreVerticesMapIsConsistent) {
+  const Graph g = gen::grid2d(5, 5, gen::WeightSpec::unit(), 1);
+  const PartialCholesky pc = PartialCholesky::eliminate_low_degree(g);
+  const auto core_verts = pc.core_vertices();
+  EXPECT_EQ(static_cast<vidx>(core_verts.size()), pc.core().num_vertices());
+  EXPECT_EQ(pc.num_eliminated() + pc.core().num_vertices(), g.num_vertices());
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,69 @@
+#include "hicond/graph/quotient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(Quotient, PathContractsToPath) {
+  const Graph g = gen::path(6);  // unit weights
+  std::vector<vidx> assignment{0, 0, 1, 1, 2, 2};
+  const Graph q = quotient_graph(g, assignment);
+  EXPECT_EQ(q.num_vertices(), 3);
+  EXPECT_EQ(q.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(q.edge_weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(q.edge_weight(1, 2), 1.0);
+}
+
+TEST(Quotient, CapSumsParallelEdges) {
+  const Graph g = gen::grid2d(2, 2, gen::WeightSpec::unit(), 1);
+  // Left column cluster 0, right column cluster 1: 2 crossing unit edges.
+  std::vector<vidx> assignment{0, 1, 0, 1};
+  const Graph q = quotient_graph(g, assignment);
+  EXPECT_EQ(q.num_vertices(), 2);
+  EXPECT_DOUBLE_EQ(q.edge_weight(0, 1), 2.0);
+}
+
+TEST(Quotient, InternalEdgesVanish) {
+  const Graph g = gen::complete(4, gen::WeightSpec::unit(), 1);
+  std::vector<vidx> assignment{0, 0, 0, 0};
+  const Graph q = quotient_graph(g, assignment);
+  EXPECT_EQ(q.num_vertices(), 1);
+  EXPECT_EQ(q.num_edges(), 0);
+}
+
+TEST(Quotient, VolumeOfQuotientEqualsBoundaryWeight) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 3.0), 9);
+  std::vector<vidx> assignment(16);
+  for (vidx v = 0; v < 16; ++v) assignment[static_cast<std::size_t>(v)] = v / 4;
+  const Graph q = quotient_graph(g, assignment);
+  // Total quotient volume = 2 * weight crossing between clusters.
+  double crossing = 0.0;
+  for (const auto& e : g.edge_list()) {
+    if (assignment[static_cast<std::size_t>(e.u)] !=
+        assignment[static_cast<std::size_t>(e.v)]) {
+      crossing += e.weight;
+    }
+  }
+  EXPECT_NEAR(q.total_volume(), 2.0 * crossing, 1e-12);
+}
+
+TEST(Quotient, NumClustersAndMembers) {
+  std::vector<vidx> assignment{2, 0, 1, 0, 2};
+  EXPECT_EQ(num_clusters(assignment), 3);
+  const auto members = cluster_members(assignment, 3);
+  EXPECT_EQ(members[0], (std::vector<vidx>{1, 3}));
+  EXPECT_EQ(members[1], (std::vector<vidx>{2}));
+  EXPECT_EQ(members[2], (std::vector<vidx>{0, 4}));
+}
+
+TEST(Quotient, RejectsUnassigned) {
+  const Graph g = gen::path(3);
+  std::vector<vidx> assignment{0, -1, 1};
+  EXPECT_THROW((void)quotient_graph(g, assignment), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

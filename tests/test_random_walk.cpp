@@ -1,0 +1,98 @@
+#include "hicond/spectral/random_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(RandomWalk, ConservesProbabilityMass) {
+  const Graph g = gen::grid2d(5, 5, gen::WeightSpec::uniform(1.0, 3.0), 3);
+  const auto dist = random_walk_distribution(g, 12, 20);
+  double mass = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, -1e-12);
+    mass += p;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-10);
+}
+
+TEST(RandomWalk, OneStepOnPath) {
+  // From the middle of a unit path of 3, one step spreads half-half.
+  const Graph g = gen::path(3);
+  const auto dist = random_walk_distribution(g, 1, 1);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+  EXPECT_NEAR(dist[1], 0.0, 1e-12);
+  EXPECT_NEAR(dist[2], 0.5, 1e-12);
+}
+
+TEST(RandomWalk, ZeroStepsIsDelta) {
+  const Graph g = gen::path(4);
+  const auto dist = random_walk_distribution(g, 2, 0);
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+}
+
+TEST(RandomWalk, ConvergesTowardVolumeStationary) {
+  // The walk P = I - A D^{-1} has stationary distribution proportional to
+  // vol (on non-bipartite graphs). A triangle with a pendant mixes fast.
+  const Graph g = gen::complete(5, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  const auto dist = random_walk_distribution(g, 0, 400);
+  for (vidx v = 0; v < 5; ++v) {
+    EXPECT_NEAR(dist[static_cast<std::size_t>(v)],
+                g.vol(v) / g.total_volume(), 1e-6);
+  }
+}
+
+TEST(RandomWalk, MixtureIsLinear) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  const int t = 7;
+  const auto d0 = random_walk_distribution(g, 0, t);
+  const auto d5 = random_walk_distribution(g, 5, t);
+  std::vector<double> w(16, 0.0);
+  w[0] = 0.3;
+  w[5] = 0.7;
+  const auto mixed = mixture_walk(g, w, t);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(mixed[i], 0.3 * d0[i] + 0.7 * d5[i], 1e-12);
+  }
+}
+
+TEST(RandomWalk, TrappedMassHighInGoodClusters) {
+  // Two cliques joined by a feeble edge: short walks stay home.
+  GraphBuilder b(12);
+  for (vidx c = 0; c < 2; ++c) {
+    for (vidx i = 0; i < 6; ++i) {
+      for (vidx j = i + 1; j < 6; ++j) b.add_edge(c * 6 + i, c * 6 + j, 1.0);
+    }
+  }
+  b.add_edge(0, 6, 0.01);
+  const Graph g = b.build();
+  Decomposition p;
+  p.num_clusters = 2;
+  p.assignment = {0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1};
+  EXPECT_GT(trapped_mass(g, p, 2, 10), 0.95);
+  // With a strong bridge the mass escapes.
+  GraphBuilder b2(12);
+  for (vidx c = 0; c < 2; ++c) {
+    for (vidx i = 0; i < 6; ++i) {
+      for (vidx j = i + 1; j < 6; ++j) b2.add_edge(c * 6 + i, c * 6 + j, 1.0);
+    }
+  }
+  for (vidx i = 0; i < 6; ++i) b2.add_edge(i, 6 + i, 5.0);
+  const Graph g2 = b2.build();
+  EXPECT_LT(trapped_mass(g2, p, 2, 10), 0.8);
+}
+
+TEST(RandomWalk, RejectsBadArguments) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW((void)random_walk_distribution(g, 9, 1),
+               invalid_argument_error);
+  std::vector<double> w(3, 0.0);
+  EXPECT_THROW((void)mixture_walk(g, w, -1), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,123 @@
+#include "hicond/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hicond {
+namespace {
+
+TEST(Splitmix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+}
+
+TEST(Splitmix64, DistinctInputsGiveDistinctOutputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(CounterRng, IndependentOfEvaluationOrder) {
+  // Counter-based generation must not depend on call order.
+  const double a_first = counter_uniform(7, 100, 0.0, 1.0);
+  const double b_first = counter_uniform(7, 200, 0.0, 1.0);
+  const double b_second = counter_uniform(7, 200, 0.0, 1.0);
+  const double a_second = counter_uniform(7, 100, 0.0, 1.0);
+  EXPECT_EQ(a_first, a_second);
+  EXPECT_EQ(b_first, b_second);
+}
+
+TEST(CounterRng, DifferentSeedsDecorrelate) {
+  int equal = 0;
+  for (std::uint64_t c = 0; c < 1000; ++c) {
+    if (counter_u64(1, c) == counter_u64(2, c)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CounterRng, UniformRangeRespected) {
+  for (std::uint64_t c = 0; c < 10000; ++c) {
+    const double x = counter_uniform(3, c, 1.0, 2.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LT(x, 2.0);
+  }
+}
+
+TEST(UnitDouble, InHalfOpenUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Reproducible) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 2.0), 0.0);
+  }
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,95 @@
+#include "hicond/tree/rooted_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(RootedForest, PathRootedAtEnd) {
+  const Graph g = gen::path(5);
+  const RootedForest f = RootedForest::build(g, 0);
+  EXPECT_EQ(f.roots().size(), 1u);
+  EXPECT_EQ(f.roots()[0], 0);
+  EXPECT_TRUE(f.is_root(0));
+  EXPECT_EQ(f.parent(1), 0);
+  EXPECT_EQ(f.parent(4), 3);
+  EXPECT_EQ(f.subtree_size(0), 5);
+  EXPECT_EQ(f.subtree_size(2), 3);
+  EXPECT_EQ(f.subtree_size(4), 1);
+  EXPECT_TRUE(f.is_leaf(4));
+  EXPECT_FALSE(f.is_leaf(2));
+}
+
+TEST(RootedForest, PreferredRootRespected) {
+  const Graph g = gen::path(5);
+  const RootedForest f = RootedForest::build(g, 2);
+  EXPECT_EQ(f.roots()[0], 2);
+  EXPECT_EQ(f.parent(1), 2);
+  EXPECT_EQ(f.parent(3), 2);
+  EXPECT_EQ(f.num_children(2), 2);
+  EXPECT_EQ(f.subtree_size(2), 5);
+}
+
+TEST(RootedForest, ParentWeightsMatchEdges) {
+  const Graph g = gen::random_tree(60, gen::WeightSpec::uniform(0.5, 7.0), 5);
+  const RootedForest f = RootedForest::build(g);
+  for (vidx v = 0; v < 60; ++v) {
+    if (f.is_root(v)) {
+      EXPECT_DOUBLE_EQ(f.parent_weight(v), 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(f.parent_weight(v), g.edge_weight(v, f.parent(v)));
+    }
+  }
+}
+
+TEST(RootedForest, SubtreeSizesSumCorrectly) {
+  const Graph g = gen::random_tree(100, gen::WeightSpec::unit(), 9);
+  const RootedForest f = RootedForest::build(g);
+  for (vidx v = 0; v < 100; ++v) {
+    vidx child_sum = 1;
+    for (vidx c : f.children(v)) child_sum += f.subtree_size(c);
+    EXPECT_EQ(f.subtree_size(v), child_sum);
+  }
+  EXPECT_EQ(f.subtree_size(f.roots()[0]), 100);
+}
+
+TEST(RootedForest, TopDownOrderVisitsParentsFirst) {
+  const Graph g = gen::binary_tree(6);
+  const RootedForest f = RootedForest::build(g);
+  std::vector<vidx> position(static_cast<std::size_t>(g.num_vertices()), -1);
+  const auto order = f.top_down_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<vidx>(i);
+  }
+  for (vidx v = 0; v < g.num_vertices(); ++v) {
+    if (!f.is_root(v)) {
+      EXPECT_LT(position[static_cast<std::size_t>(f.parent(v))],
+                position[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(RootedForest, MultipleComponents) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}};
+  const Graph g(6, edges);
+  const RootedForest f = RootedForest::build(g);
+  EXPECT_EQ(f.roots().size(), 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(f.subtree_size(f.roots()[1]), 3);
+}
+
+TEST(RootedForest, RejectsCyclicInput) {
+  EXPECT_THROW((void)RootedForest::build(gen::cycle(4)),
+               invalid_argument_error);
+}
+
+TEST(RootedForest, ChildrenListsAreComplete) {
+  const Graph g = gen::star(10);
+  const RootedForest f = RootedForest::build(g, 0);
+  EXPECT_EQ(f.num_children(0), 9);
+  for (vidx v = 1; v < 10; ++v) EXPECT_EQ(f.num_children(v), 0);
+}
+
+}  // namespace
+}  // namespace hicond

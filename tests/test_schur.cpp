@@ -1,0 +1,137 @@
+#include "hicond/precond/schur.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/dense_eigen.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(StarSchur, ClosedFormMatchesDefinition55) {
+  // Star with weights d_i: S_ij = d_i d_j / sum d.
+  std::vector<WeightedEdge> edges{{3, 0, 1.0}, {3, 1, 2.0}, {3, 2, 3.0}};
+  const Graph star(4, edges);
+  const Graph s = star_schur_complement(star, 3);
+  const double total = 6.0;
+  EXPECT_DOUBLE_EQ(s.edge_weight(0, 1), 1.0 * 2.0 / total);
+  EXPECT_DOUBLE_EQ(s.edge_weight(0, 2), 1.0 * 3.0 / total);
+  EXPECT_DOUBLE_EQ(s.edge_weight(1, 2), 2.0 * 3.0 / total);
+  EXPECT_EQ(s.degree(3), 0);
+}
+
+TEST(StarSchur, AgreesWithDenseElimination) {
+  const Graph star = gen::star(7, gen::WeightSpec::uniform(0.5, 4.0), 3);
+  const Graph s = star_schur_complement(star, 0);
+  std::vector<vidx> eliminate{0};
+  std::vector<vidx> kept;
+  const DenseMatrix dense = schur_complement_dense(star, eliminate, &kept);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(dense(static_cast<vidx>(i), static_cast<vidx>(j)),
+                  -s.edge_weight(kept[i], kept[j]), 1e-12);
+    }
+  }
+}
+
+TEST(StarSchur, RejectsNonStar) {
+  const Graph g = gen::path(4);
+  EXPECT_THROW((void)star_schur_complement(g, 1), invalid_argument_error);
+}
+
+TEST(DenseSchur, IsALaplacian) {
+  const Graph g = gen::grid2d(3, 3, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  std::vector<vidx> eliminate{0, 4, 8};
+  const DenseMatrix s = schur_complement_dense(g, eliminate);
+  // Rows sum to zero, off-diagonals nonpositive.
+  for (vidx i = 0; i < s.rows(); ++i) {
+    double row = 0.0;
+    for (vidx j = 0; j < s.cols(); ++j) {
+      row += s(i, j);
+      if (i != j) {
+        EXPECT_LE(s(i, j), 1e-12);
+      }
+    }
+    EXPECT_NEAR(row, 0.0, 1e-10);
+  }
+}
+
+TEST(DenseSchur, QuadraticFormIsMinimumOverEliminated) {
+  // Schur complement energy = min over eliminated coordinates of the full
+  // quadratic form; check x'Sx <= [x; y]' L [x; y] for arbitrary y.
+  const Graph g =
+      gen::random_planar_triangulation(9, gen::WeightSpec::uniform(1, 3), 7);
+  std::vector<vidx> eliminate{7, 8};
+  std::vector<vidx> kept;
+  const DenseMatrix s = schur_complement_dense(g, eliminate, &kept);
+  const DenseMatrix l = dense_laplacian(g);
+  std::vector<double> x_kept{0.3, -1.2, 0.7, 0.0, 2.0, -0.5, 0.9};
+  std::vector<double> sx(7);
+  s.matvec(x_kept, sx);
+  double schur_energy = 0.0;
+  for (std::size_t i = 0; i < 7; ++i) schur_energy += x_kept[i] * sx[i];
+  for (double y1 : {-1.0, 0.0, 0.5}) {
+    for (double y2 : {-0.3, 0.0, 1.1}) {
+      std::vector<double> full(9, 0.0);
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        full[static_cast<std::size_t>(kept[i])] = x_kept[i];
+      }
+      full[7] = y1;
+      full[8] = y2;
+      std::vector<double> lf(9);
+      l.matvec(full, lf);
+      double full_energy = 0.0;
+      for (std::size_t i = 0; i < 9; ++i) full_energy += full[i] * lf[i];
+      EXPECT_LE(schur_energy, full_energy + 1e-9);
+    }
+  }
+}
+
+TEST(DenseSchur, EliminationOrderIrrelevant) {
+  const Graph g = gen::grid2d(3, 3, gen::WeightSpec::uniform(1.0, 2.0), 9);
+  std::vector<vidx> order1{0, 1, 2};
+  std::vector<vidx> order2{2, 0, 1};
+  const DenseMatrix s1 = schur_complement_dense(g, order1);
+  const DenseMatrix s2 = schur_complement_dense(g, order2);
+  EXPECT_LT(s1.frobenius_distance(s2), 1e-10);
+}
+
+TEST(DenseSchur, RejectsBadInput) {
+  const Graph g = gen::path(4);
+  std::vector<vidx> dup{1, 1};
+  EXPECT_THROW((void)schur_complement_dense(g, dup), invalid_argument_error);
+  std::vector<vidx> oob{9};
+  EXPECT_THROW((void)schur_complement_dense(g, oob), invalid_argument_error);
+}
+
+TEST(SteinerSchur, SupportsAWithinFactorThree) {
+  // sigma(A, S_P) = sigma(A, B_S) (Gremban / Lemma 3.2 direction). Routing
+  // every A-edge through the cluster roots has dilation <= 3 and congestion
+  // <= 1 (leaf capacities are vertex volumes), so x'Ax <= 3 x'B x, i.e.
+  // lambda_min(B_S, A) >= 1/3.
+  const Graph a = gen::grid2d(4, 3, gen::WeightSpec::uniform(1.0, 2.0), 11);
+  Decomposition p;
+  p.num_clusters = 3;
+  p.assignment.resize(12);
+  for (vidx v = 0; v < 12; ++v) p.assignment[static_cast<std::size_t>(v)] = v / 4;
+  const DenseMatrix b = steiner_schur_complement_dense(a, p);
+  const double lmin = lambda_min_laplacian_pencil(b, dense_laplacian(a));
+  EXPECT_GE(lmin, 1.0 / 3.0 - 1e-9);
+}
+
+TEST(SteinerSchur, SingleEdgeSingleClusterHalves) {
+  // A = one unit edge, one cluster: T = unit star on 2 leaves, Schur gives
+  // half the edge: B = A / 2.
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}};
+  const Graph a(2, edges);
+  Decomposition p;
+  p.num_clusters = 1;
+  p.assignment = {0, 0};
+  const DenseMatrix b = steiner_schur_complement_dense(a, p);
+  EXPECT_NEAR(b(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(b(0, 1), -0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,99 @@
+#include "hicond/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+std::vector<double> mean_free_rhs(vidx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  return b;
+}
+
+TEST(LaplacianSolver, SolvesGridSystem) {
+  const Graph g = gen::grid2d(20, 20, gen::WeightSpec::uniform(1.0, 3.0), 3);
+  const LaplacianSolver solver(g);
+  const auto b = mean_free_rhs(400, 1);
+  const auto x = solver.solve(b);
+  std::vector<double> check(400);
+  g.laplacian_apply(x, check);
+  EXPECT_LT(la::max_abs_diff(check, b), 1e-5);
+  // Mean-free solution.
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-8);
+}
+
+TEST(LaplacianSolver, SolvesOctVolume) {
+  const Graph g = gen::oct_volume(9, 9, 9, {.field_orders = 3.0}, 5);
+  const LaplacianSolver solver(g);
+  const auto b = mean_free_rhs(g.num_vertices(), 2);
+  std::vector<double> x(b.size(), 0.0);
+  const SolveStats stats = solver.solve(b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.iterations, 80);
+  EXPECT_GE(solver.num_levels(), 1);
+  EXPECT_LT(solver.operator_complexity(), 2.0);
+}
+
+TEST(LaplacianSolver, InconsistentRhsIsProjected) {
+  // b with nonzero mean: the solver solves the projected system.
+  const Graph g = gen::grid2d(8, 8, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  std::vector<double> b(64, 0.0);
+  b[0] = 1.0;  // sum = 1, inconsistent
+  const LaplacianSolver solver(g);
+  const auto x = solver.solve(b);
+  std::vector<double> check(64);
+  g.laplacian_apply(x, check);
+  std::vector<double> b_proj = b;
+  la::remove_mean(b_proj);
+  EXPECT_LT(la::max_abs_diff(check, b_proj), 1e-6);
+}
+
+TEST(LaplacianSolver, WarmStartUsesInitialGuess) {
+  const Graph g = gen::grid2d(12, 12, gen::WeightSpec::uniform(1.0, 2.0), 9);
+  const LaplacianSolver solver(g);
+  const auto b = mean_free_rhs(144, 3);
+  std::vector<double> x(144, 0.0);
+  const SolveStats cold = solver.solve(b, x);
+  EXPECT_TRUE(cold.converged);
+  // Re-solve from the converged x: should converge immediately.
+  const SolveStats warm = solver.solve(b, x);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 1);
+}
+
+TEST(LaplacianSolver, RejectsDisconnected) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}, {2, 3, 1.0}};
+  EXPECT_THROW(LaplacianSolver(Graph(4, edges)), invalid_argument_error);
+}
+
+TEST(LaplacianSolver, ThrowsWhenIterationBudgetTooSmall) {
+  const Graph g = gen::grid2d(20, 20, gen::WeightSpec::uniform(1.0, 2.0), 11);
+  LaplacianSolverOptions opt;
+  opt.hierarchy.coarsest_size = 16;  // force a true multilevel cycle
+  opt.max_iterations = 1;
+  opt.rel_tolerance = 1e-14;
+  const LaplacianSolver solver(g, opt);
+  const auto b = mean_free_rhs(400, 5);
+  EXPECT_THROW((void)solver.solve(b), numeric_error);
+}
+
+TEST(LaplacianSolver, TinyGraphs) {
+  // Two vertices, one edge.
+  std::vector<WeightedEdge> edges{{0, 1, 2.0}};
+  const LaplacianSolver solver(Graph(2, edges));
+  const std::vector<double> b{1.0, -1.0};
+  const auto x = solver.solve(b);
+  EXPECT_NEAR(x[0] - x[1], 0.5, 1e-10);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,112 @@
+#include "hicond/spectral/sparsify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/dense.hpp"
+#include "hicond/la/dense_eigen.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(EffectiveResistances, ExactOnTreesUpToJlNoise) {
+  // On a tree, R_eff of every edge is 1/w exactly.
+  const Graph g = gen::random_tree(40, gen::WeightSpec::uniform(1.0, 4.0), 3);
+  ResistanceOptions opt;
+  opt.projections = 400;  // ~5% JL noise
+  const auto r = approx_effective_resistances(g, opt);
+  const auto edges = g.edge_list();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_NEAR(r[i], 1.0 / edges[i].weight, 0.25 / edges[i].weight)
+        << "edge " << i;
+  }
+}
+
+TEST(EffectiveResistances, FostersTheorem) {
+  // Sum of leverage scores w_e R_eff(e) over a connected graph = n - 1.
+  const Graph g = gen::random_planar_triangulation(
+      50, gen::WeightSpec::uniform(1.0, 3.0), 5);
+  ResistanceOptions opt;
+  opt.projections = 300;
+  const auto r = approx_effective_resistances(g, opt);
+  const auto edges = g.edge_list();
+  double total = 0.0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    total += edges[i].weight * r[i];
+  }
+  EXPECT_NEAR(total, 49.0, 49.0 * 0.12);
+}
+
+TEST(EffectiveResistances, MatchesPerEdgeSolves) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  ResistanceOptions opt;
+  opt.projections = 500;
+  const auto r = approx_effective_resistances(g, opt);
+  const LaplacianSolver solver(g);
+  const auto edges = g.edge_list();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const double exact = solver.effective_resistance(edges[i].u, edges[i].v);
+    EXPECT_NEAR(r[i], exact, exact * 0.3) << "edge " << i;
+  }
+}
+
+TEST(Sparsify, CompleteGraphShrinksAndStaysSpectrallyClose) {
+  const vidx n = 36;
+  const Graph g = gen::complete(n, gen::WeightSpec::uniform(1.0, 2.0), 9);
+  SparsifyOptions opt;
+  opt.epsilon = 0.7;
+  const SparsifyResult result = spectral_sparsify(g, opt);
+  EXPECT_TRUE(is_connected(result.sparsifier));
+  EXPECT_LT(result.sparsifier.num_edges(), g.num_edges());
+  // Spectral closeness within a loose multiple of epsilon.
+  const auto eig = generalized_eigen_laplacian(
+      dense_laplacian(result.sparsifier), dense_laplacian(g));
+  EXPECT_GT(eig.values.front(), 1.0 - 2.5 * opt.epsilon);
+  EXPECT_LT(eig.values.back(), 1.0 + 2.5 * opt.epsilon);
+}
+
+TEST(Sparsify, TreesSurviveIntact) {
+  // Every tree edge has leverage 1: all must be present and connectivity
+  // preserved; total weight is an unbiased estimate of the original.
+  const Graph g = gen::random_tree(30, gen::WeightSpec::uniform(1.0, 2.0), 11);
+  SparsifyOptions opt;
+  opt.epsilon = 0.5;
+  const SparsifyResult result = spectral_sparsify(g, opt);
+  EXPECT_TRUE(is_connected(result.sparsifier));
+  EXPECT_EQ(result.sparsifier.num_edges(), g.num_edges());
+}
+
+TEST(Sparsify, PreservesQuadraticFormOnTestVectors) {
+  const Graph g = gen::complete(30, gen::WeightSpec::unit(), 13);
+  SparsifyOptions opt;
+  opt.epsilon = 0.6;
+  const SparsifyResult result = spectral_sparsify(g, opt);
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(30);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    const double orig = g.laplacian_quadratic(x);
+    const double spars = result.sparsifier.laplacian_quadratic(x);
+    EXPECT_NEAR(spars, orig, orig * 1.2) << "trial " << trial;
+  }
+}
+
+TEST(Sparsify, DegenerateInputsPassThrough) {
+  const Graph empty(3);
+  const auto r = spectral_sparsify(empty);
+  EXPECT_EQ(r.sparsifier.num_edges(), 0);
+  EXPECT_EQ(r.samples, 0);
+}
+
+TEST(Sparsify, RejectsBadOptions) {
+  const Graph g = gen::path(4);
+  SparsifyOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW((void)spectral_sparsify(g, bad), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,144 @@
+#include "hicond/spectral/portrait.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hicond/graph/builder.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "hicond/spectral/normalized.hpp"
+
+namespace hicond {
+namespace {
+
+/// k well-connected unit cliques joined in a ring by light edges: the
+/// canonical planted (phi, gamma) decomposition.
+Graph planted_clusters(vidx k, vidx size, double bridge_weight,
+                       Decomposition* out) {
+  GraphBuilder b(k * size);
+  for (vidx c = 0; c < k; ++c) {
+    for (vidx i = 0; i < size; ++i) {
+      for (vidx j = i + 1; j < size; ++j) {
+        b.add_edge(c * size + i, c * size + j, 1.0);
+      }
+    }
+  }
+  for (vidx c = 0; c < k; ++c) {
+    b.add_edge(c * size, ((c + 1) % k) * size, bridge_weight);
+  }
+  if (out != nullptr) {
+    out->num_clusters = k;
+    out->assignment.resize(static_cast<std::size_t>(k * size));
+    for (vidx v = 0; v < k * size; ++v) {
+      out->assignment[static_cast<std::size_t>(v)] = v / size;
+    }
+  }
+  return b.build();
+}
+
+TEST(NormalizedSpectrum, NullVectorIsSqrtVolume) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 3.0), 3);
+  const auto eig = normalized_spectrum(g);
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-10);
+  const auto d = sqrt_volume_unit_vector(g);
+  // First eigenvector is +- d.
+  double dot = 0.0;
+  for (vidx v = 0; v < 16; ++v) dot += eig.vectors(v, 0) * d[static_cast<std::size_t>(v)];
+  EXPECT_NEAR(std::abs(dot), 1.0, 1e-9);
+}
+
+TEST(NormalizedSpectrum, EigenvaluesInZeroTwo) {
+  const Graph g = gen::random_planar_triangulation(
+      20, gen::WeightSpec::uniform(1.0, 4.0), 5);
+  const auto eig = normalized_spectrum(g);
+  for (double v : eig.values) {
+    EXPECT_GE(v, -1e-10);
+    EXPECT_LE(v, 2.0 + 1e-10);
+  }
+}
+
+TEST(NormalizedOperator, MatchesDense) {
+  const Graph g = gen::grid2d(4, 3, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  const auto op = normalized_laplacian_operator(g);
+  const DenseMatrix dense = dense_normalized_laplacian(g);
+  std::vector<double> x(12);
+  for (std::size_t i = 0; i < 12; ++i) x[i] = std::sin(1.0 + 0.5 * i);
+  std::vector<double> y1(12);
+  std::vector<double> y2(12);
+  op(x, y1);
+  dense.matvec(x, y2);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-10);
+}
+
+TEST(Alignment, ClusterConstantVectorsAreFullyAligned) {
+  Decomposition p;
+  const Graph g = planted_clusters(3, 5, 0.01, &p);
+  // x = normalized D^{1/2} indicator of cluster 0 is in Range(D^{1/2} R).
+  std::vector<double> x(15, 0.0);
+  double norm_sq = 0.0;
+  for (vidx v = 0; v < 5; ++v) {
+    x[static_cast<std::size_t>(v)] = std::sqrt(g.vol(v));
+    norm_sq += g.vol(v);
+  }
+  for (auto& v : x) v /= std::sqrt(norm_sq);
+  EXPECT_NEAR(alignment_with_cluster_space(g, p, x), 1.0, 1e-10);
+}
+
+TEST(Alignment, OrthogonalComplementVectorHasZeroAlignment) {
+  Decomposition p;
+  const Graph g = planted_clusters(2, 4, 0.1, &p);
+  // Vector supported on cluster 0 with sum_v sqrt(vol_v) x_v = 0 lies in
+  // Null(R' D^{1/2}).
+  std::vector<double> x(8, 0.0);
+  x[0] = std::sqrt(g.vol(1));
+  x[1] = -std::sqrt(g.vol(0));
+  EXPECT_NEAR(alignment_with_cluster_space(g, p, x), 0.0, 1e-10);
+}
+
+TEST(Theorem41, LowEigenvectorsAlignWithClusterSpace) {
+  Decomposition p;
+  const Graph g = planted_clusters(4, 6, 0.01, &p);
+  const SpectralPortrait portrait = spectral_portrait(g, p);
+  ASSERT_EQ(portrait.rows.size(), 24u);
+  // The k = 4 lowest eigenvectors should be strongly aligned.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(portrait.rows[i].alignment_sq, 0.95) << "i=" << i;
+  }
+  // And the theorem's bound must hold for every eigenvector.
+  for (const auto& row : portrait.rows) {
+    EXPECT_GE(row.alignment_sq, row.bound - 1e-9);
+  }
+}
+
+TEST(Theorem41, BoundHoldsAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g =
+        gen::grid2d(5, 4, gen::WeightSpec::uniform(1.0, 2.0), seed);
+    const auto fd = fixed_degree_decomposition(g, {.seed = seed});
+    const SpectralPortrait portrait = spectral_portrait(g, fd.decomposition);
+    for (const auto& row : portrait.rows) {
+      EXPECT_GE(row.alignment_sq, row.bound - 1e-9)
+          << "seed " << seed << " lambda " << row.lambda;
+    }
+  }
+}
+
+TEST(Theorem41, ExplicitParamsControlBound) {
+  Decomposition p;
+  const Graph g = planted_clusters(3, 4, 0.05, &p);
+  const auto portrait = spectral_portrait_with_params(g, p, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(portrait.support_factor, 3.0 * (1.0 + 2.0 / (0.5 * 0.25)));
+  EXPECT_DOUBLE_EQ(portrait.phi, 0.5);
+  EXPECT_DOUBLE_EQ(portrait.gamma, 0.5);
+}
+
+TEST(Theorem41, RejectsBadParams) {
+  Decomposition p;
+  const Graph g = planted_clusters(2, 3, 0.1, &p);
+  EXPECT_THROW((void)spectral_portrait_with_params(g, p, 0.0, 1.0),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

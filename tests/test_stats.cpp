@@ -1,0 +1,73 @@
+#include "hicond/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hicond/util/common.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{4.0, 2.0, 8.0, 6.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 8.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), invalid_argument_error);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), invalid_argument_error);
+  EXPECT_THROW((void)percentile(v, 101.0), invalid_argument_error);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(v), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

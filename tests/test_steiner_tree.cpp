@@ -1,0 +1,139 @@
+#include "hicond/precond/steiner_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/dense_eigen.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/precond/schur.hpp"
+#include "hicond/precond/steiner.hpp"
+#include "hicond/precond/support.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(SteinerTree, StructureIsATree) {
+  const Graph g = gen::grid2d(10, 10, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  const LaminarHierarchy h = build_hierarchy(g, {.coarsest_size = 8});
+  const SteinerTreePreconditioner p = SteinerTreePreconditioner::build(h);
+  EXPECT_TRUE(is_tree(p.tree()));
+  EXPECT_EQ(p.num_original(), 100);
+  EXPECT_GT(p.num_steiner(), 0);
+  // Leaves of the tree are exactly the original vertices.
+  for (vidx v = 0; v < 100; ++v) {
+    EXPECT_EQ(p.tree().degree(v), 1);
+    // Leaf weight equals vol_A(v) (the Definition 3.1 rule at level 0).
+    EXPECT_DOUBLE_EQ(p.tree().weights(v)[0], g.vol(v));
+  }
+}
+
+TEST(SteinerTree, TrivialHierarchyIsTheMatchedStar) {
+  // With no levels the support tree degenerates to Lemma 3.4's star.
+  const Graph g = gen::grid2d(3, 3, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  const LaminarHierarchy h = build_hierarchy(g, {.coarsest_size = 100});
+  ASSERT_EQ(h.num_levels(), 0);
+  const SteinerTreePreconditioner p = SteinerTreePreconditioner::build(h);
+  const Graph star = matched_star(g);
+  EXPECT_EQ(p.tree().edge_list(), star.edge_list());
+}
+
+TEST(SteinerTree, ApplyIsSymmetricAndLinear) {
+  const Graph g = gen::oct_volume(6, 6, 3, {.field_orders = 2.0}, 7);
+  const LaminarHierarchy h = build_hierarchy(g, {.coarsest_size = 10});
+  const SteinerTreePreconditioner p = SteinerTreePreconditioner::build(h);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  Rng rng(9);
+  std::vector<double> r1(n);
+  std::vector<double> r2(n);
+  for (auto& v : r1) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : r2) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> z1(n);
+  std::vector<double> z2(n);
+  std::vector<double> z12(n);
+  p.apply(r1, z1);
+  p.apply(r2, z2);
+  EXPECT_NEAR(la::dot(r2, z1), la::dot(r1, z2), 1e-9);
+  std::vector<double> r12(n);
+  for (std::size_t i = 0; i < n; ++i) r12[i] = r1[i] + r2[i];
+  p.apply(r12, z12);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(z12[i], z1[i] + z2[i], 1e-9);
+  }
+}
+
+TEST(SteinerTree, InvertsItsOwnSchurComplement) {
+  const Graph g = gen::grid2d(4, 4, gen::WeightSpec::uniform(1.0, 2.0), 11);
+  const LaminarHierarchy h = build_hierarchy(
+      g, {.contraction = {.max_cluster_size = 2}, .coarsest_size = 3});
+  const SteinerTreePreconditioner p = SteinerTreePreconditioner::build(h);
+  // Dense Schur complement of the tree onto the original vertices.
+  std::vector<vidx> eliminate;
+  for (vidx v = 16; v < p.tree().num_vertices(); ++v) eliminate.push_back(v);
+  const DenseMatrix bt = schur_complement_dense(p.tree(), eliminate);
+  Rng rng(13);
+  std::vector<double> r(16);
+  for (auto& v : r) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(r);
+  std::vector<double> z(16);
+  p.apply(r, z);
+  std::vector<double> back(16);
+  bt.matvec(z, back);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(back[i], r[i], 1e-8);
+}
+
+TEST(SteinerTree, PreconditionsPcg) {
+  const Graph g = gen::grid2d(16, 16, gen::WeightSpec::uniform(1.0, 3.0), 13);
+  const vidx n = g.num_vertices();
+  const LaminarHierarchy h = build_hierarchy(g, {.coarsest_size = 16});
+  const SteinerTreePreconditioner p = SteinerTreePreconditioner::build(h);
+  auto a = [&g](std::span<const double> x, std::span<double> y) {
+    g.laplacian_apply(x, y);
+  };
+  Rng rng(15);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  std::vector<double> x_plain(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> x_tree(static_cast<std::size_t>(n), 0.0);
+  const CgOptions opt{.max_iterations = 3000, .rel_tolerance = 1e-8,
+                      .project_constant = true};
+  const auto plain = cg_solve(a, b, x_plain, opt);
+  const auto tree = pcg_solve(a, p.as_operator(), b, x_tree, opt);
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(tree.converged);
+  EXPECT_LT(tree.iterations, plain.iterations);
+}
+
+TEST(SteinerTree, SteinerGraphBeatsSteinerTree) {
+  // The paper's pitch: adding the quotient edges (Definition 3.1) improves
+  // the support tree. Compare exact condition numbers on a small graph with
+  // a single-level hierarchy so both use the same clustering.
+  const Graph g = gen::grid2d(5, 4, gen::WeightSpec::lognormal(0.0, 1.0), 17);
+  const LaminarHierarchy h = build_hierarchy(
+      g, {.contraction = {.max_cluster_size = 3}, .coarsest_size = 1});
+  ASSERT_GE(h.num_levels(), 1);
+  // Steiner graph on the first-level decomposition.
+  const double kappa_graph =
+      steiner_condition_dense(g, h.levels.front().decomposition);
+  // Steiner tree over the full hierarchy.
+  const SteinerTreePreconditioner p = SteinerTreePreconditioner::build(h);
+  std::vector<vidx> eliminate;
+  for (vidx v = 20; v < p.tree().num_vertices(); ++v) eliminate.push_back(v);
+  const DenseMatrix bt = schur_complement_dense(p.tree(), eliminate);
+  const auto eig = generalized_eigen_laplacian(bt, dense_laplacian(g));
+  const double kappa_tree = eig.values.back() / eig.values.front();
+  EXPECT_LT(kappa_graph, kappa_tree);
+}
+
+TEST(SteinerTree, RejectsDisconnectedGraph) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}, {2, 3, 1.0}};
+  const Graph g(4, edges);
+  const LaminarHierarchy h = build_hierarchy(g, {.coarsest_size = 1});
+  EXPECT_THROW((void)SteinerTreePreconditioner::build(h),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,130 @@
+#include "hicond/precond/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/tree/mst.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+std::vector<double> mean_free_rhs(vidx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  return b;
+}
+
+TEST(VaidyaAugmentation, AddsAtMostOneEdgePerSubtreePair) {
+  const Graph a = gen::grid2d(10, 10, gen::WeightSpec::uniform(1.0, 3.0), 3);
+  const Graph tree = max_spanning_forest_kruskal(a);
+  const Graph b = vaidya_augmented_subgraph(a, tree, 10);
+  EXPECT_GE(b.num_edges(), tree.num_edges());
+  EXPECT_LE(b.num_edges(), tree.num_edges() + 10 * 9 / 2);
+  // B edges carry A's weights.
+  for (const auto& e : b.edge_list()) {
+    EXPECT_DOUBLE_EQ(e.weight, a.edge_weight(e.u, e.v));
+  }
+}
+
+TEST(VaidyaAugmentation, ZeroTargetReturnsTree) {
+  const Graph a = gen::grid2d(5, 5, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  const Graph tree = max_spanning_forest_kruskal(a);
+  const Graph b = vaidya_augmented_subgraph(a, tree, 0);
+  EXPECT_EQ(b.num_edges(), tree.num_edges());
+}
+
+TEST(SubgraphPreconditioner, PureTreeSolvesItsOwnSystem) {
+  const Graph a = gen::grid2d(8, 8, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  const SubgraphPreconditioner p = SubgraphPreconditioner::build(a, {});
+  const Graph& b = p.subgraph();
+  EXPECT_TRUE(is_forest(b));
+  // Applying the preconditioner to L_B x gives back x (pseudo-sense).
+  const vidx n = 64;
+  auto x_true = mean_free_rhs(n, 3);
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  b.laplacian_apply(x_true, rhs);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  p.apply(rhs, x);
+  EXPECT_LT(la::max_abs_diff(x, x_true), 1e-8);
+}
+
+TEST(SubgraphPreconditioner, AugmentedSolvesItsOwnSystem) {
+  const Graph a = gen::grid2d(9, 9, gen::WeightSpec::uniform(1.0, 4.0), 9);
+  SubgraphPrecondOptions opt;
+  opt.target_subtrees = 12;
+  const SubgraphPreconditioner p = SubgraphPreconditioner::build(a, opt);
+  EXPECT_GT(p.core_size(), 0);
+  const vidx n = 81;
+  auto x_true = mean_free_rhs(n, 5);
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  p.subgraph().laplacian_apply(x_true, rhs);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  p.apply(rhs, x);
+  EXPECT_LT(la::max_abs_diff(x, x_true), 1e-7);
+}
+
+TEST(SubgraphPreconditioner, AcceleratesPcg) {
+  const Graph a = gen::oct_volume(7, 7, 7, {.field_orders = 2.5}, 11);
+  const vidx n = a.num_vertices();
+  SubgraphPrecondOptions opt;
+  opt.target_subtrees = n / 8;
+  const SubgraphPreconditioner p = SubgraphPreconditioner::build(a, opt);
+  auto op_a = [&a](std::span<const double> x, std::span<double> y) {
+    a.laplacian_apply(x, y);
+  };
+  const auto b = mean_free_rhs(n, 7);
+  CgOptions cg_opt{.max_iterations = 3000, .rel_tolerance = 1e-8,
+                   .project_constant = true};
+  std::vector<double> x_plain(static_cast<std::size_t>(n), 0.0);
+  const auto plain = cg_solve(op_a, b, x_plain, cg_opt);
+  std::vector<double> x_pre(static_cast<std::size_t>(n), 0.0);
+  const auto pre = pcg_solve(op_a, p.as_operator(), b, x_pre, cg_opt);
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(SubgraphPreconditioner, MoreSubtreesSmallerCore) {
+  const Graph a = gen::grid2d(12, 12, gen::WeightSpec::uniform(1.0, 2.0), 13);
+  SubgraphPrecondOptions few;
+  few.target_subtrees = 6;
+  SubgraphPrecondOptions many;
+  many.target_subtrees = 30;
+  const auto p_few = SubgraphPreconditioner::build(a, few);
+  const auto p_many = SubgraphPreconditioner::build(a, many);
+  EXPECT_LE(p_few.core_size(), p_many.core_size());
+}
+
+TEST(SubgraphPreconditioner, LowStretchVariantWorks) {
+  const Graph a = gen::grid2d(8, 8, gen::WeightSpec::uniform(1.0, 2.0), 15);
+  SubgraphPrecondOptions opt;
+  opt.tree_kind = SpanningTreeKind::low_stretch;
+  opt.target_subtrees = 8;
+  const SubgraphPreconditioner p = SubgraphPreconditioner::build(a, opt);
+  const auto b = mean_free_rhs(64, 9);
+  std::vector<double> x_true = mean_free_rhs(64, 10);
+  std::vector<double> rhs(64);
+  p.subgraph().laplacian_apply(x_true, rhs);
+  std::vector<double> x(64);
+  p.apply(rhs, x);
+  EXPECT_LT(la::max_abs_diff(x, x_true), 1e-7);
+  (void)b;
+}
+
+TEST(SubgraphPreconditioner, EliminationCountsSequentialWork) {
+  // Remark 2: the number of sequentially eliminated vertices is large for
+  // subgraph preconditioners (nearly all of n for a tree).
+  const Graph a = gen::grid2d(10, 10, gen::WeightSpec::uniform(1.0, 2.0), 17);
+  const SubgraphPreconditioner p = SubgraphPreconditioner::build(a, {});
+  EXPECT_GE(p.eliminated(), 99 - 1);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,50 @@
+#include "hicond/util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hicond {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);  // generous upper bound for loaded CI machines
+  EXPECT_NEAR(t.millis(), t.seconds() * 1e3, t.seconds() * 10);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(TimeBestOf, ReturnsMinimumOfRepeats) {
+  int calls = 0;
+  const double best = time_best_of(3, [&calls] {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_GE(best, 0.001);
+  EXPECT_LT(best, 1.0);
+}
+
+TEST(FormatDuration, UnitsSelectedByMagnitude) {
+  EXPECT_NE(format_duration(5e-9).find("ns"), std::string::npos);
+  EXPECT_NE(format_duration(5e-6).find("us"), std::string::npos);
+  EXPECT_NE(format_duration(5e-3).find("ms"), std::string::npos);
+  EXPECT_NE(format_duration(5.0).find(" s"), std::string::npos);
+}
+
+TEST(FormatDuration, KnownValues) {
+  EXPECT_EQ(format_duration(0.0015), "1.50 ms");
+  EXPECT_EQ(format_duration(2.5), "2.500 s");
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,80 @@
+#include "hicond/la/tree_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+void check_solves(const Graph& g, std::uint64_t seed) {
+  const vidx n = g.num_vertices();
+  const ForestSolver solver(g);
+  Rng rng(seed);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(x_true);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  g.laplacian_apply(x_true, b);
+  const auto x = solver.solve(b);
+  std::vector<double> check(static_cast<std::size_t>(n));
+  g.laplacian_apply(x, check);
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    EXPECT_NEAR(check[i], b[i], 1e-9);
+  }
+}
+
+TEST(ForestSolver, Path) { check_solves(gen::path(50, gen::WeightSpec::uniform(0.5, 5.0), 2), 1); }
+
+TEST(ForestSolver, Star) { check_solves(gen::star(40, gen::WeightSpec::uniform(1.0, 3.0), 3), 2); }
+
+TEST(ForestSolver, RandomTrees) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    check_solves(gen::random_tree(200, gen::WeightSpec::lognormal(0.0, 1.5), seed),
+                 seed);
+  }
+}
+
+TEST(ForestSolver, BinaryTree) { check_solves(gen::binary_tree(8), 4); }
+
+TEST(ForestSolver, DisconnectedForest) {
+  std::vector<WeightedEdge> edges{{0, 1, 2.0}, {1, 2, 1.0}, {3, 4, 3.0}};
+  const Graph g(6, edges);  // components {0,1,2}, {3,4}, {5}
+  const ForestSolver solver(g);
+  EXPECT_EQ(solver.num_components(), 3);
+  // rhs mean-free per component.
+  std::vector<double> b{1.0, 0.0, -1.0, 2.0, -2.0, 0.0};
+  const auto x = solver.solve(b);
+  std::vector<double> check(6);
+  g.laplacian_apply(x, check);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(check[i], b[i], 1e-12);
+  // Mean-free per component.
+  EXPECT_NEAR(x[0] + x[1] + x[2], 0.0, 1e-12);
+  EXPECT_NEAR(x[3] + x[4], 0.0, 1e-12);
+  EXPECT_NEAR(x[5], 0.0, 1e-12);
+}
+
+TEST(ForestSolver, RejectsCyclicGraph) {
+  EXPECT_THROW(ForestSolver(gen::cycle(4)), invalid_argument_error);
+}
+
+TEST(ForestSolver, MatchesKnownTwoVertexSolution) {
+  std::vector<WeightedEdge> edges{{0, 1, 4.0}};
+  const Graph g(2, edges);
+  const ForestSolver solver(g);
+  const std::vector<double> b{2.0, -2.0};
+  const auto x = solver.solve(b);
+  // 4(x0 - x1) = 2 with x0 + x1 = 0 -> x0 = 0.25, x1 = -0.25.
+  EXPECT_NEAR(x[0], 0.25, 1e-12);
+  EXPECT_NEAR(x[1], -0.25, 1e-12);
+}
+
+TEST(ForestSolver, LargeTreeLinearTimeSmoke) {
+  const Graph g = gen::random_tree(200000, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  check_solves(g, 6);
+}
+
+}  // namespace
+}  // namespace hicond
