@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_residual_curves.dir/fig6_residual_curves.cpp.o"
+  "CMakeFiles/fig6_residual_curves.dir/fig6_residual_curves.cpp.o.d"
+  "fig6_residual_curves"
+  "fig6_residual_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_residual_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

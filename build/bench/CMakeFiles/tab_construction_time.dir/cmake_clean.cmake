@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_construction_time.dir/tab_construction_time.cpp.o"
+  "CMakeFiles/tab_construction_time.dir/tab_construction_time.cpp.o.d"
+  "tab_construction_time"
+  "tab_construction_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_construction_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

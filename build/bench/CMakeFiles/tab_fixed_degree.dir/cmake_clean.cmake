@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_fixed_degree.dir/tab_fixed_degree.cpp.o"
+  "CMakeFiles/tab_fixed_degree.dir/tab_fixed_degree.cpp.o.d"
+  "tab_fixed_degree"
+  "tab_fixed_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_fixed_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

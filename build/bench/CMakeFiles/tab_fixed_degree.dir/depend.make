@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_fixed_degree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_hierarchy.dir/tab_hierarchy.cpp.o"
+  "CMakeFiles/tab_hierarchy.dir/tab_hierarchy.cpp.o.d"
+  "tab_hierarchy"
+  "tab_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

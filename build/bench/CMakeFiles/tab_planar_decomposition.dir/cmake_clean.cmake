@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_planar_decomposition.dir/tab_planar_decomposition.cpp.o"
+  "CMakeFiles/tab_planar_decomposition.dir/tab_planar_decomposition.cpp.o.d"
+  "tab_planar_decomposition"
+  "tab_planar_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_planar_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

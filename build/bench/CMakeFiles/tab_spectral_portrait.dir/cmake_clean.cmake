@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_spectral_portrait.dir/tab_spectral_portrait.cpp.o"
+  "CMakeFiles/tab_spectral_portrait.dir/tab_spectral_portrait.cpp.o.d"
+  "tab_spectral_portrait"
+  "tab_spectral_portrait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_spectral_portrait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_support_bounds.dir/tab_support_bounds.cpp.o"
+  "CMakeFiles/tab_support_bounds.dir/tab_support_bounds.cpp.o.d"
+  "tab_support_bounds"
+  "tab_support_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_support_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_topdown_vs_bottomup.dir/tab_topdown_vs_bottomup.cpp.o"
+  "CMakeFiles/tab_topdown_vs_bottomup.dir/tab_topdown_vs_bottomup.cpp.o.d"
+  "tab_topdown_vs_bottomup"
+  "tab_topdown_vs_bottomup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_topdown_vs_bottomup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_topdown_vs_bottomup.
+# This may be replaced when dependencies are built.

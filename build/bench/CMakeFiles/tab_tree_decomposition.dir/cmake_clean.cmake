@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_tree_decomposition.dir/tab_tree_decomposition.cpp.o"
+  "CMakeFiles/tab_tree_decomposition.dir/tab_tree_decomposition.cpp.o.d"
+  "tab_tree_decomposition"
+  "tab_tree_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_tree_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicond_tool.dir/hicond_tool.cpp.o"
+  "CMakeFiles/hicond_tool.dir/hicond_tool.cpp.o.d"
+  "hicond_tool"
+  "hicond_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicond_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

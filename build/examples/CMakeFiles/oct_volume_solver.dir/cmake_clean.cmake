@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oct_volume_solver.dir/oct_volume_solver.cpp.o"
+  "CMakeFiles/oct_volume_solver.dir/oct_volume_solver.cpp.o.d"
+  "oct_volume_solver"
+  "oct_volume_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oct_volume_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_walker.dir/random_walker.cpp.o"
+  "CMakeFiles/random_walker.dir/random_walker.cpp.o.d"
+  "random_walker"
+  "random_walker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_walker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

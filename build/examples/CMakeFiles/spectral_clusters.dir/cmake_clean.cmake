@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_clusters.dir/spectral_clusters.cpp.o"
+  "CMakeFiles/spectral_clusters.dir/spectral_clusters.cpp.o.d"
+  "spectral_clusters"
+  "spectral_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

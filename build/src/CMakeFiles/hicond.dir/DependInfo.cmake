@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hicond/graph/builder.cpp" "src/CMakeFiles/hicond.dir/hicond/graph/builder.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/graph/builder.cpp.o.d"
+  "/root/repo/src/hicond/graph/closure.cpp" "src/CMakeFiles/hicond.dir/hicond/graph/closure.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/graph/closure.cpp.o.d"
+  "/root/repo/src/hicond/graph/conductance.cpp" "src/CMakeFiles/hicond.dir/hicond/graph/conductance.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/graph/conductance.cpp.o.d"
+  "/root/repo/src/hicond/graph/connectivity.cpp" "src/CMakeFiles/hicond.dir/hicond/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/graph/connectivity.cpp.o.d"
+  "/root/repo/src/hicond/graph/generators.cpp" "src/CMakeFiles/hicond.dir/hicond/graph/generators.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/graph/generators.cpp.o.d"
+  "/root/repo/src/hicond/graph/graph.cpp" "src/CMakeFiles/hicond.dir/hicond/graph/graph.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/graph/graph.cpp.o.d"
+  "/root/repo/src/hicond/graph/io.cpp" "src/CMakeFiles/hicond.dir/hicond/graph/io.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/graph/io.cpp.o.d"
+  "/root/repo/src/hicond/graph/quotient.cpp" "src/CMakeFiles/hicond.dir/hicond/graph/quotient.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/graph/quotient.cpp.o.d"
+  "/root/repo/src/hicond/la/cg.cpp" "src/CMakeFiles/hicond.dir/hicond/la/cg.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/cg.cpp.o.d"
+  "/root/repo/src/hicond/la/chebyshev.cpp" "src/CMakeFiles/hicond.dir/hicond/la/chebyshev.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/chebyshev.cpp.o.d"
+  "/root/repo/src/hicond/la/csr.cpp" "src/CMakeFiles/hicond.dir/hicond/la/csr.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/csr.cpp.o.d"
+  "/root/repo/src/hicond/la/dense.cpp" "src/CMakeFiles/hicond.dir/hicond/la/dense.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/dense.cpp.o.d"
+  "/root/repo/src/hicond/la/dense_eigen.cpp" "src/CMakeFiles/hicond.dir/hicond/la/dense_eigen.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/dense_eigen.cpp.o.d"
+  "/root/repo/src/hicond/la/dirichlet.cpp" "src/CMakeFiles/hicond.dir/hicond/la/dirichlet.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/dirichlet.cpp.o.d"
+  "/root/repo/src/hicond/la/lanczos.cpp" "src/CMakeFiles/hicond.dir/hicond/la/lanczos.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/lanczos.cpp.o.d"
+  "/root/repo/src/hicond/la/partial_cholesky.cpp" "src/CMakeFiles/hicond.dir/hicond/la/partial_cholesky.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/partial_cholesky.cpp.o.d"
+  "/root/repo/src/hicond/la/sdd.cpp" "src/CMakeFiles/hicond.dir/hicond/la/sdd.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/sdd.cpp.o.d"
+  "/root/repo/src/hicond/la/sparse_cholesky.cpp" "src/CMakeFiles/hicond.dir/hicond/la/sparse_cholesky.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/sparse_cholesky.cpp.o.d"
+  "/root/repo/src/hicond/la/spgemm.cpp" "src/CMakeFiles/hicond.dir/hicond/la/spgemm.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/spgemm.cpp.o.d"
+  "/root/repo/src/hicond/la/tree_solver.cpp" "src/CMakeFiles/hicond.dir/hicond/la/tree_solver.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/tree_solver.cpp.o.d"
+  "/root/repo/src/hicond/la/vector_ops.cpp" "src/CMakeFiles/hicond.dir/hicond/la/vector_ops.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/la/vector_ops.cpp.o.d"
+  "/root/repo/src/hicond/partition/decomposition.cpp" "src/CMakeFiles/hicond.dir/hicond/partition/decomposition.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/partition/decomposition.cpp.o.d"
+  "/root/repo/src/hicond/partition/fixed_degree.cpp" "src/CMakeFiles/hicond.dir/hicond/partition/fixed_degree.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/partition/fixed_degree.cpp.o.d"
+  "/root/repo/src/hicond/partition/hierarchy.cpp" "src/CMakeFiles/hicond.dir/hicond/partition/hierarchy.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/partition/hierarchy.cpp.o.d"
+  "/root/repo/src/hicond/partition/planar.cpp" "src/CMakeFiles/hicond.dir/hicond/partition/planar.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/partition/planar.cpp.o.d"
+  "/root/repo/src/hicond/partition/refinement.cpp" "src/CMakeFiles/hicond.dir/hicond/partition/refinement.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/partition/refinement.cpp.o.d"
+  "/root/repo/src/hicond/partition/spectral_partition.cpp" "src/CMakeFiles/hicond.dir/hicond/partition/spectral_partition.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/partition/spectral_partition.cpp.o.d"
+  "/root/repo/src/hicond/precond/embedding.cpp" "src/CMakeFiles/hicond.dir/hicond/precond/embedding.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/precond/embedding.cpp.o.d"
+  "/root/repo/src/hicond/precond/gremban.cpp" "src/CMakeFiles/hicond.dir/hicond/precond/gremban.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/precond/gremban.cpp.o.d"
+  "/root/repo/src/hicond/precond/multilevel.cpp" "src/CMakeFiles/hicond.dir/hicond/precond/multilevel.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/precond/multilevel.cpp.o.d"
+  "/root/repo/src/hicond/precond/schur.cpp" "src/CMakeFiles/hicond.dir/hicond/precond/schur.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/precond/schur.cpp.o.d"
+  "/root/repo/src/hicond/precond/steiner.cpp" "src/CMakeFiles/hicond.dir/hicond/precond/steiner.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/precond/steiner.cpp.o.d"
+  "/root/repo/src/hicond/precond/steiner_tree.cpp" "src/CMakeFiles/hicond.dir/hicond/precond/steiner_tree.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/precond/steiner_tree.cpp.o.d"
+  "/root/repo/src/hicond/precond/subgraph.cpp" "src/CMakeFiles/hicond.dir/hicond/precond/subgraph.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/precond/subgraph.cpp.o.d"
+  "/root/repo/src/hicond/precond/support.cpp" "src/CMakeFiles/hicond.dir/hicond/precond/support.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/precond/support.cpp.o.d"
+  "/root/repo/src/hicond/solver.cpp" "src/CMakeFiles/hicond.dir/hicond/solver.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/solver.cpp.o.d"
+  "/root/repo/src/hicond/spectral/eigensolver.cpp" "src/CMakeFiles/hicond.dir/hicond/spectral/eigensolver.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/spectral/eigensolver.cpp.o.d"
+  "/root/repo/src/hicond/spectral/normalized.cpp" "src/CMakeFiles/hicond.dir/hicond/spectral/normalized.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/spectral/normalized.cpp.o.d"
+  "/root/repo/src/hicond/spectral/portrait.cpp" "src/CMakeFiles/hicond.dir/hicond/spectral/portrait.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/spectral/portrait.cpp.o.d"
+  "/root/repo/src/hicond/spectral/random_walk.cpp" "src/CMakeFiles/hicond.dir/hicond/spectral/random_walk.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/spectral/random_walk.cpp.o.d"
+  "/root/repo/src/hicond/spectral/sparsify.cpp" "src/CMakeFiles/hicond.dir/hicond/spectral/sparsify.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/spectral/sparsify.cpp.o.d"
+  "/root/repo/src/hicond/tree/critical.cpp" "src/CMakeFiles/hicond.dir/hicond/tree/critical.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/tree/critical.cpp.o.d"
+  "/root/repo/src/hicond/tree/euler.cpp" "src/CMakeFiles/hicond.dir/hicond/tree/euler.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/tree/euler.cpp.o.d"
+  "/root/repo/src/hicond/tree/low_stretch.cpp" "src/CMakeFiles/hicond.dir/hicond/tree/low_stretch.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/tree/low_stretch.cpp.o.d"
+  "/root/repo/src/hicond/tree/mst.cpp" "src/CMakeFiles/hicond.dir/hicond/tree/mst.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/tree/mst.cpp.o.d"
+  "/root/repo/src/hicond/tree/rooted_tree.cpp" "src/CMakeFiles/hicond.dir/hicond/tree/rooted_tree.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/tree/rooted_tree.cpp.o.d"
+  "/root/repo/src/hicond/tree/tree_decomposition.cpp" "src/CMakeFiles/hicond.dir/hicond/tree/tree_decomposition.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/tree/tree_decomposition.cpp.o.d"
+  "/root/repo/src/hicond/tree/tree_splitting.cpp" "src/CMakeFiles/hicond.dir/hicond/tree/tree_splitting.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/tree/tree_splitting.cpp.o.d"
+  "/root/repo/src/hicond/util/parallel.cpp" "src/CMakeFiles/hicond.dir/hicond/util/parallel.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/util/parallel.cpp.o.d"
+  "/root/repo/src/hicond/util/rng.cpp" "src/CMakeFiles/hicond.dir/hicond/util/rng.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/util/rng.cpp.o.d"
+  "/root/repo/src/hicond/util/stats.cpp" "src/CMakeFiles/hicond.dir/hicond/util/stats.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/util/stats.cpp.o.d"
+  "/root/repo/src/hicond/util/timer.cpp" "src/CMakeFiles/hicond.dir/hicond/util/timer.cpp.o" "gcc" "src/CMakeFiles/hicond.dir/hicond/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

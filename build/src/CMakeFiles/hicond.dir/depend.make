@@ -1,0 +1,2 @@
+# Empty dependencies file for hicond.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_closure.dir/test_closure.cpp.o"
+  "CMakeFiles/test_closure.dir/test_closure.cpp.o.d"
+  "test_closure"
+  "test_closure.pdb"
+  "test_closure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conductance.dir/test_conductance.cpp.o"
+  "CMakeFiles/test_conductance.dir/test_conductance.cpp.o.d"
+  "test_conductance"
+  "test_conductance.pdb"
+  "test_conductance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conductance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

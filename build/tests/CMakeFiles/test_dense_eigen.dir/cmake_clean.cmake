@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_eigen.dir/test_dense_eigen.cpp.o"
+  "CMakeFiles/test_dense_eigen.dir/test_dense_eigen.cpp.o.d"
+  "test_dense_eigen"
+  "test_dense_eigen.pdb"
+  "test_dense_eigen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

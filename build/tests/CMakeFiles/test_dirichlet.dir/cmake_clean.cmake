@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dirichlet.dir/test_dirichlet.cpp.o"
+  "CMakeFiles/test_dirichlet.dir/test_dirichlet.cpp.o.d"
+  "test_dirichlet"
+  "test_dirichlet.pdb"
+  "test_dirichlet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dirichlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

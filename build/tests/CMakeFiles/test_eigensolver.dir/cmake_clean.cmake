@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigensolver.dir/test_eigensolver.cpp.o"
+  "CMakeFiles/test_eigensolver.dir/test_eigensolver.cpp.o.d"
+  "test_eigensolver"
+  "test_eigensolver.pdb"
+  "test_eigensolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigensolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_degree.dir/test_fixed_degree.cpp.o"
+  "CMakeFiles/test_fixed_degree.dir/test_fixed_degree.cpp.o.d"
+  "test_fixed_degree"
+  "test_fixed_degree.pdb"
+  "test_fixed_degree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

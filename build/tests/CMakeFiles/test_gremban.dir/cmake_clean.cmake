@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gremban.dir/test_gremban.cpp.o"
+  "CMakeFiles/test_gremban.dir/test_gremban.cpp.o.d"
+  "test_gremban"
+  "test_gremban.pdb"
+  "test_gremban[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gremban.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

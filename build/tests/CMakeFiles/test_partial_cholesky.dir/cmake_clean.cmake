@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_cholesky.dir/test_partial_cholesky.cpp.o"
+  "CMakeFiles/test_partial_cholesky.dir/test_partial_cholesky.cpp.o.d"
+  "test_partial_cholesky"
+  "test_partial_cholesky.pdb"
+  "test_partial_cholesky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

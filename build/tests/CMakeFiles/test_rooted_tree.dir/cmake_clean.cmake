@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rooted_tree.dir/test_rooted_tree.cpp.o"
+  "CMakeFiles/test_rooted_tree.dir/test_rooted_tree.cpp.o.d"
+  "test_rooted_tree"
+  "test_rooted_tree.pdb"
+  "test_rooted_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rooted_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_cholesky.dir/test_sparse_cholesky.cpp.o"
+  "CMakeFiles/test_sparse_cholesky.dir/test_sparse_cholesky.cpp.o.d"
+  "test_sparse_cholesky"
+  "test_sparse_cholesky.pdb"
+  "test_sparse_cholesky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectral_partition.dir/test_spectral_partition.cpp.o"
+  "CMakeFiles/test_spectral_partition.dir/test_spectral_partition.cpp.o.d"
+  "test_spectral_partition"
+  "test_spectral_partition.pdb"
+  "test_spectral_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectral_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

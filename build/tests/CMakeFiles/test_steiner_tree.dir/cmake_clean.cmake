@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steiner_tree.dir/test_steiner_tree.cpp.o"
+  "CMakeFiles/test_steiner_tree.dir/test_steiner_tree.cpp.o.d"
+  "test_steiner_tree"
+  "test_steiner_tree.pdb"
+  "test_steiner_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steiner_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

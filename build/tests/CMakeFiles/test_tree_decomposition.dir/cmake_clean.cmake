@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_decomposition.dir/test_tree_decomposition.cpp.o"
+  "CMakeFiles/test_tree_decomposition.dir/test_tree_decomposition.cpp.o.d"
+  "test_tree_decomposition"
+  "test_tree_decomposition.pdb"
+  "test_tree_decomposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

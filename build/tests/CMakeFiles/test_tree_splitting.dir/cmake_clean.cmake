@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_splitting.dir/test_tree_splitting.cpp.o"
+  "CMakeFiles/test_tree_splitting.dir/test_tree_splitting.cpp.o.d"
+  "test_tree_splitting"
+  "test_tree_splitting.pdb"
+  "test_tree_splitting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
