@@ -87,6 +87,7 @@ Graph GraphBuilder::build() const {
     }
   });
   g.finalize_volumes();
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   return g;
 }
 

@@ -1,12 +1,98 @@
 #include "hicond/graph/graph.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "hicond/graph/builder.hpp"
 #include "hicond/util/parallel.hpp"
 
 namespace hicond {
+
+namespace {
+/// Relative tolerance for comparing weights that were accumulated in
+/// different summation orders (mirror arcs, cached volumes).
+bool weights_close(double a, double b) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= 1e-10 * scale;
+}
+}  // namespace
+
+Graph Graph::from_csr(vidx n, std::vector<eidx> offsets,
+                      std::vector<vidx> targets, std::vector<double> weights) {
+  HICOND_CHECK(n >= 0, "vertex count must be nonnegative");
+  Graph g;
+  g.n_ = n;
+  g.offsets_ = std::move(offsets);
+  g.targets_ = std::move(targets);
+  g.weights_ = std::move(weights);
+  // Validate the adopted structure before deriving volumes from it; this is
+  // the untrusted entry point, so the sweep runs at every validation level.
+  g.validate_structure();
+  g.finalize_volumes();
+  return g;
+}
+
+void Graph::validate_structure() const {
+  HICOND_CHECK(offsets_.size() == static_cast<std::size_t>(n_) + 1,
+               "CSR offsets size must be num_vertices + 1");
+  HICOND_CHECK(offsets_.front() == 0, "CSR offsets must start at 0");
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    HICOND_CHECK(offsets_[v] <= offsets_[v + 1],
+                 "CSR offsets must be nondecreasing (ragged offsets)");
+  }
+  HICOND_CHECK(offsets_.back() == static_cast<eidx>(targets_.size()),
+               "CSR offsets must end at the arc count (ragged offsets)");
+  HICOND_CHECK(targets_.size() == weights_.size(),
+               "CSR targets and weights must have equal size");
+  for (vidx v = 0; v < n_; ++v) {
+    const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto hi =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t k = lo; k < hi; ++k) {
+      const vidx u = targets_[k];
+      HICOND_CHECK(u >= 0 && u < n_, "CSR target out of range");
+      HICOND_CHECK(u != v, "self-loops are not allowed");
+      HICOND_CHECK(k == lo || targets_[k - 1] < u,
+                   "CSR row targets must be strictly increasing "
+                   "(unsorted or duplicate arcs)");
+      HICOND_CHECK(std::isfinite(weights_[k]) && weights_[k] > 0.0,
+                   "edge weights must be positive and finite");
+      // Symmetry: the mirror arc (u, v) must exist with matching weight.
+      const auto ulo = static_cast<std::size_t>(
+          offsets_[static_cast<std::size_t>(u)]);
+      const auto uhi = static_cast<std::size_t>(
+          offsets_[static_cast<std::size_t>(u) + 1]);
+      const auto begin = targets_.begin() + static_cast<std::ptrdiff_t>(ulo);
+      const auto end = targets_.begin() + static_cast<std::ptrdiff_t>(uhi);
+      const auto it = std::lower_bound(begin, end, v);
+      HICOND_CHECK(it != end && *it == v,
+                   "graph must be symmetric: mirror arc missing");
+      const auto mirror = static_cast<std::size_t>(it - targets_.begin());
+      HICOND_CHECK(weights_close(weights_[k], weights_[mirror]),
+                   "graph must be symmetric: mirror arc weight differs");
+    }
+  }
+}
+
+void Graph::validate() const {
+  validate_structure();
+  HICOND_CHECK(vol_.size() == static_cast<std::size_t>(n_),
+               "cached volume array size mismatch");
+  double total = 0.0;
+  for (vidx v = 0; v < n_; ++v) {
+    double s = 0.0;
+    for (eidx a = offsets_[static_cast<std::size_t>(v)];
+         a < offsets_[static_cast<std::size_t>(v) + 1]; ++a) {
+      s += weights_[static_cast<std::size_t>(a)];
+    }
+    HICOND_CHECK(weights_close(s, vol_[static_cast<std::size_t>(v)]),
+                 "cached vertex volume inconsistent with weights");
+    total += vol_[static_cast<std::size_t>(v)];
+  }
+  HICOND_CHECK(weights_close(total, total_volume_),
+               "cached total volume inconsistent with weights");
+}
 
 Graph::Graph(vidx n) : n_(n), offsets_(static_cast<std::size_t>(n) + 1, 0) {
   HICOND_CHECK(n >= 0, "vertex count must be nonnegative");

@@ -40,6 +40,20 @@ class Graph {
   /// positive, endpoints must be in [0, n) and distinct.
   Graph(vidx n, std::span<const WeightedEdge> edges);
 
+  /// Adopt an externally assembled symmetric CSR structure (both directions
+  /// of every edge present, rows sorted). The input is always validated --
+  /// this is the untrusted zero-copy entry point for interop -- and rejected
+  /// with invalid_argument_error naming the violated invariant.
+  [[nodiscard]] static Graph from_csr(vidx n, std::vector<eidx> offsets,
+                                      std::vector<vidx> targets,
+                                      std::vector<double> weights);
+
+  /// Full structural validation (O(n + m log deg)): consistent sorted
+  /// offsets, in-range targets, no self-loops, strictly positive finite
+  /// weights, symmetric arcs with matching weights, consistent cached
+  /// volumes. Throws invalid_argument_error naming the violated invariant.
+  void validate() const;
+
   [[nodiscard]] vidx num_vertices() const noexcept { return n_; }
 
   /// Number of undirected edges.
@@ -112,6 +126,7 @@ class Graph {
  private:
   friend class GraphBuilder;
   void finalize_volumes();
+  void validate_structure() const;
 
   vidx n_ = 0;
   std::vector<eidx> offsets_;    // size n_ + 1

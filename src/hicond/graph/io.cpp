@@ -107,7 +107,9 @@ Graph read_metis(std::istream& in) {
   long long ncon = 0;
   header >> n >> m;
   HICOND_CHECK(n >= 0 && m >= 0, "bad METIS header");
-  if (!(header >> fmt)) fmt = "0";
+  // assign() instead of operator=(const char*): sidesteps a GCC 12
+  // -Wrestrict false positive in the inlined string-replace path.
+  if (!(header >> fmt)) fmt.assign(1, '0');
   if (!(header >> ncon)) ncon = 0;
   const bool has_edge_weights = !fmt.empty() && fmt.back() == '1';
   const bool has_vertex_weights =

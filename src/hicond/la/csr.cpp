@@ -49,11 +49,18 @@ double CsrMatrix::at(vidx i, vidx j) const {
 }
 
 void CsrMatrix::validate() const {
+  HICOND_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be nonnegative");
   HICOND_CHECK(offsets.size() == static_cast<std::size_t>(rows) + 1,
                "offsets size mismatch");
   HICOND_CHECK(offsets.front() == 0 &&
                    offsets.back() == static_cast<eidx>(col_idx.size()),
                "offsets endpoints wrong");
+  // Monotonicity must hold before the rows are walked below, otherwise the
+  // walk itself would index out of bounds on ragged input.
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    HICOND_CHECK(offsets[i] <= offsets[i + 1],
+                 "offsets must be nondecreasing (ragged offsets)");
+  }
   HICOND_CHECK(col_idx.size() == values.size(), "values size mismatch");
   for (vidx i = 0; i < rows; ++i) {
     for (eidx k = offsets[static_cast<std::size_t>(i)];

@@ -16,10 +16,9 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
 
   // Pass 1: count the nnz of each output row with a per-thread marker array.
   std::vector<eidx> row_nnz(static_cast<std::size_t>(a.rows), 0);
-#pragma omp parallel
-  {
+  parallel_region([&] {
     std::vector<vidx> marker(static_cast<std::size_t>(b.cols), -1);
-#pragma omp for schedule(dynamic, 64)
+#pragma omp for schedule(dynamic, 64) nowait
     for (vidx i = 0; i < a.rows; ++i) {
       eidx count = 0;
       for (eidx ka = a.offsets[static_cast<std::size_t>(i)];
@@ -36,7 +35,7 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
       }
       row_nnz[static_cast<std::size_t>(i)] = count;
     }
-  }
+  });
   for (vidx i = 0; i < a.rows; ++i) {
     c.offsets[static_cast<std::size_t>(i) + 1] =
         c.offsets[static_cast<std::size_t>(i)] +
@@ -46,12 +45,11 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
   c.values.resize(static_cast<std::size_t>(c.offsets.back()));
 
   // Pass 2: numeric accumulation with a dense scratch row per thread.
-#pragma omp parallel
-  {
+  parallel_region([&] {
     std::vector<vidx> marker(static_cast<std::size_t>(b.cols), -1);
     std::vector<double> scratch(static_cast<std::size_t>(b.cols), 0.0);
     std::vector<vidx> cols_seen;
-#pragma omp for schedule(dynamic, 64)
+#pragma omp for schedule(dynamic, 64) nowait
     for (vidx i = 0; i < a.rows; ++i) {
       cols_seen.clear();
       for (eidx ka = a.offsets[static_cast<std::size_t>(i)];
@@ -78,7 +76,8 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
         ++pos;
       }
     }
-  }
+  });
+  HICOND_RUN_VALIDATION(expensive, c.validate());
   return c;
 }
 

@@ -9,18 +9,44 @@
 
 namespace hicond {
 
-void validate_decomposition(const Graph& g, const Decomposition& d) {
-  HICOND_CHECK(d.assignment.size() == static_cast<std::size_t>(g.num_vertices()),
-               "assignment size mismatch");
-  std::vector<char> seen(static_cast<std::size_t>(d.num_clusters), 0);
-  for (vidx c : d.assignment) {
-    HICOND_CHECK(c >= 0 && c < d.num_clusters,
+void Decomposition::validate(const Graph& g) const {
+  HICOND_CHECK(num_clusters >= 0, "cluster count must be nonnegative");
+  HICOND_CHECK(assignment.size() == static_cast<std::size_t>(g.num_vertices()),
+               "assignment size mismatch (orphan or surplus vertices)");
+  std::vector<char> seen(static_cast<std::size_t>(num_clusters), 0);
+  for (vidx c : assignment) {
+    HICOND_CHECK(c >= 0 && c < num_clusters,
                  "cluster id out of range (unassigned vertex?)");
     seen[static_cast<std::size_t>(c)] = 1;
   }
-  for (vidx c = 0; c < d.num_clusters; ++c) {
+  for (vidx c = 0; c < num_clusters; ++c) {
     HICOND_CHECK(seen[static_cast<std::size_t>(c)], "empty cluster id");
   }
+}
+
+void Decomposition::validate_quality(const Graph& g, double phi, double rho,
+                                     vidx exact_limit) const {
+  validate(g);
+  HICOND_CHECK(phi >= 0.0 && rho >= 1.0, "invalid [phi, rho] targets");
+  // Slack for the floating-point conductance evaluation; the guarantees
+  // themselves are combinatorial.
+  constexpr double kTol = 1e-9;
+  HICOND_CHECK(static_cast<double>(num_clusters) <=
+                   static_cast<double>(g.num_vertices()) / rho + kTol,
+               "cluster count exceeds n / rho");
+  const auto members = cluster_members(assignment, num_clusters);
+  for (vidx c = 0; c < num_clusters; ++c) {
+    const ClosureGraph closure =
+        closure_graph(g, members[static_cast<std::size_t>(c)]);
+    const ConductanceBounds b =
+        conductance_bounds(closure.graph, exact_limit);
+    HICOND_CHECK(b.lower >= phi - kTol,
+                 "cluster closure conductance below phi");
+  }
+}
+
+void validate_decomposition(const Graph& g, const Decomposition& d) {
+  d.validate(g);
 }
 
 std::vector<double> per_vertex_gamma(const Graph& g, const Decomposition& d) {
@@ -128,7 +154,9 @@ Decomposition compose(const Decomposition& d1, const Decomposition& d2) {
                "compose: d2 must partition the clusters of d1");
   Decomposition out;
   out.num_clusters = d2.num_clusters;
-  out.assignment.resize(d1.assignment.size());
+  // assign() instead of resize(): sidesteps a GCC 12 -Wnull-dereference
+  // false positive in the value-initializing resize path.
+  out.assignment.assign(d1.assignment.size(), 0);
   for (std::size_t v = 0; v < d1.assignment.size(); ++v) {
     out.assignment[v] = d2.assignment[static_cast<std::size_t>(
         d1.assignment[v])];

@@ -27,6 +27,20 @@ struct Decomposition {
                      static_cast<double>(num_clusters)
                : 0.0;
   }
+
+  /// Structural validation (O(n)): every vertex of g carries a cluster id in
+  /// [0, num_clusters) and every id is used (exact cover by nonempty
+  /// clusters). Throws invalid_argument_error naming the violated invariant.
+  void validate(const Graph& g) const;
+
+  /// [phi, rho] quality validation (O(n + m) plus one conductance
+  /// evaluation per cluster): at most n / rho clusters, and every cluster's
+  /// closure graph has conductance at least phi (certified via the exact /
+  /// Cheeger lower bound of conductance_bounds). Intended for `expensive`
+  /// validation of decompositions whose construction claims these
+  /// guarantees. Throws invalid_argument_error on violation.
+  void validate_quality(const Graph& g, double phi, double rho,
+                        vidx exact_limit = 24) const;
 };
 
 /// Quality metrics of a decomposition on a graph.
@@ -44,7 +58,8 @@ struct DecompositionStats {
 };
 
 /// Structural validation: every vertex assigned, ids dense in [0, m).
-/// Throws invalid_argument_error on violation.
+/// Throws invalid_argument_error on violation. (Equivalent to d.validate(g);
+/// kept as a free function for existing call sites.)
 void validate_decomposition(const Graph& g, const Decomposition& d);
 
 /// Full quality evaluation. Closures with at most `exact_limit` vertices are

@@ -117,6 +117,9 @@ FixedDegreeResult fixed_degree_decomposition(const Graph& g,
   // perturbed edges merge first, preserving the unimodal structure).
   result.decomposition =
       split_forest_bounded(result.perturbed_forest, opt.max_cluster_size);
+  HICOND_RUN_VALIDATION(expensive, result.decomposition.validate(g));
+  HICOND_RUN_VALIDATION(expensive, result.forest.validate());
+  HICOND_RUN_VALIDATION(expensive, result.perturbed_forest.validate());
   return result;
 }
 

@@ -33,10 +33,12 @@ LaminarHierarchy build_hierarchy(const Graph& g,
     const vidx m = level_decomp.num_clusters;
     if (m >= current.num_vertices()) break;  // no progress (edgeless graph)
     Graph next = quotient_graph(current, level_decomp.assignment);
+    HICOND_RUN_VALIDATION(expensive, level_decomp.validate(current));
     h.levels.push_back({std::move(current), std::move(level_decomp)});
     current = std::move(next);
   }
   h.coarsest = std::move(current);
+  HICOND_RUN_VALIDATION(expensive, h.coarsest.validate());
   return h;
 }
 

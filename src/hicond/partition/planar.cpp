@@ -165,6 +165,7 @@ PlanarDecompResult planar_decomposition(const Graph& a,
   result.forest =
       cut_to_forest(result.subgraph_b, &result.core_size, &result.cut_edges);
   result.decomposition = tree_decomposition(result.forest, opt.tree_options);
+  HICOND_RUN_VALIDATION(expensive, result.decomposition.validate(a));
   return result;
 }
 

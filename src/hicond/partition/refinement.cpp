@@ -75,6 +75,7 @@ RefinementResult refine_decomposition(const Graph& g, const Decomposition& d,
   }
   result.decomposition.assignment = std::move(relabeled);
   result.decomposition.num_clusters = next;
+  HICOND_RUN_VALIDATION(expensive, result.decomposition.validate(g));
   return result;
 }
 

@@ -66,6 +66,7 @@ Decomposition recursive_spectral_decomposition(
   Decomposition d;
   d.assignment = std::move(splitter.assignment);
   d.num_clusters = splitter.next_cluster;
+  HICOND_RUN_VALIDATION(expensive, d.validate(g));
   return d;
 }
 

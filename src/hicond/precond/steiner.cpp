@@ -1,13 +1,71 @@
 #include "hicond/precond/steiner.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
 
 #include "hicond/graph/builder.hpp"
 #include "hicond/graph/connectivity.hpp"
 #include "hicond/graph/quotient.hpp"
+#include "hicond/la/csr.hpp"
+#include "hicond/la/sdd.hpp"
 #include "hicond/util/parallel.hpp"
 
 namespace hicond {
+
+namespace {
+/// Expensive invariant sweep for a freshly built Steiner preconditioner:
+/// the quotient edge weights must equal the inter-cluster capacities
+/// cap(V_i, V_j) recomputed independently from the base graph, the star leaf
+/// weights must equal vol_A(u) (Definition 3.1), and the Laplacian of the
+/// explicit (n+m)-vertex Steiner graph must be SDD.
+void validate_steiner_invariants(const Graph& a, const Decomposition& p,
+                                 const SteinerPreconditioner& sp) {
+  const Graph& q = sp.quotient();
+  const vidx n = a.num_vertices();
+  const vidx m = p.num_clusters;
+  std::unordered_map<eidx, double> expected_cap;
+  for (vidx u = 0; u < n; ++u) {
+    const vidx cu = p.assignment[static_cast<std::size_t>(u)];
+    const auto nbrs = a.neighbors(u);
+    const auto ws = a.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vidx cv = p.assignment[static_cast<std::size_t>(nbrs[i])];
+      if (cu < cv) {
+        expected_cap[static_cast<eidx>(cu) * m + cv] += ws[i];
+      }
+    }
+  }
+  eidx quotient_edges = 0;
+  for (vidx cu = 0; cu < m; ++cu) {
+    const auto nbrs = q.neighbors(cu);
+    const auto ws = q.weights(cu);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vidx cv = nbrs[i];
+      if (cu >= cv) continue;
+      ++quotient_edges;
+      const auto it = expected_cap.find(static_cast<eidx>(cu) * m + cv);
+      HICOND_CHECK(it != expected_cap.end(),
+                   "quotient edge without crossing base edges");
+      HICOND_CHECK(std::abs(ws[i] - it->second) <=
+                       1e-10 * std::max(1.0, std::abs(it->second)),
+                   "quotient weight differs from cap(V_i, V_j)");
+    }
+  }
+  HICOND_CHECK(quotient_edges == static_cast<eidx>(expected_cap.size()),
+               "quotient is missing an inter-cluster capacity edge");
+  const Graph sg = sp.steiner_graph();
+  for (vidx v = 0; v < n; ++v) {
+    if (a.vol(v) > 0.0) {
+      const vidx root = n + p.assignment[static_cast<std::size_t>(v)];
+      HICOND_CHECK(std::abs(sg.edge_weight(v, root) - a.vol(v)) <=
+                       1e-10 * std::max(1.0, a.vol(v)),
+                   "Steiner star leaf weight differs from vol_A(u)");
+    }
+  }
+  validate_sdd(csr_laplacian(sg));
+}
+}  // namespace
 
 Graph build_steiner_graph(const Graph& a, const Decomposition& p) {
   validate_decomposition(a, p);
@@ -49,6 +107,7 @@ SteinerPreconditioner SteinerPreconditioner::build(const Graph& a,
                "SteinerPreconditioner requires a connected graph "
                "(the quotient is disconnected)");
   sp.quotient_solver_ = std::make_shared<LaplacianDirectSolver>(*sp.quotient_);
+  HICOND_RUN_VALIDATION(expensive, validate_steiner_invariants(a, p, sp));
   return sp;
 }
 

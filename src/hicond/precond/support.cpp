@@ -9,6 +9,8 @@ namespace hicond {
 
 double support_sigma_dense(const Graph& a, const Graph& b) {
   HICOND_CHECK(a.num_vertices() == b.num_vertices(), "size mismatch");
+  HICOND_RUN_VALIDATION(expensive, a.validate());
+  HICOND_RUN_VALIDATION(expensive, b.validate());
   return lambda_max_laplacian_pencil(dense_laplacian(a), dense_laplacian(b));
 }
 
@@ -20,11 +22,13 @@ double condition_number_dense(const Graph& a, const Graph& b) {
 }
 
 double steiner_support_dense(const Graph& a, const Decomposition& p) {
+  HICOND_RUN_VALIDATION(expensive, p.validate(a));
   const DenseMatrix bs = steiner_schur_complement_dense(a, p);
   return lambda_max_laplacian_pencil(bs, dense_laplacian(a));
 }
 
 double steiner_condition_dense(const Graph& a, const Decomposition& p) {
+  HICOND_RUN_VALIDATION(expensive, p.validate(a));
   const DenseMatrix bs = steiner_schur_complement_dense(a, p);
   const auto eig = generalized_eigen_laplacian(bs, dense_laplacian(a));
   HICOND_CHECK(eig.values.front() > 0.0, "pencil not definite");

@@ -9,6 +9,7 @@ LaplacianSolver::LaplacianSolver(Graph g,
                                  const LaplacianSolverOptions& options)
     : options_(options), graph_(std::make_shared<Graph>(std::move(g))) {
   HICOND_CHECK(graph_->num_vertices() >= 1, "empty graph");
+  HICOND_RUN_VALIDATION(expensive, graph_->validate());
   HICOND_CHECK(is_connected(*graph_),
                "LaplacianSolver requires a connected graph");
   solver_ = std::make_shared<MultilevelSteinerSolver>(

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "hicond/graph/builder.hpp"
+#include "hicond/graph/connectivity.hpp"
 #include "hicond/util/parallel.hpp"
 
 namespace hicond {
@@ -55,7 +56,11 @@ Graph max_spanning_forest_kruskal(const Graph& g) {
   for (const auto& e : edges) {
     if (uf.unite(e.u, e.v)) b.add_edge(e.u, e.v, e.weight);
   }
-  return b.build();
+  Graph forest = b.build();
+  HICOND_RUN_VALIDATION(expensive,
+                        HICOND_CHECK(is_forest(forest),
+                                     "Kruskal output must be a forest"));
+  return forest;
 }
 
 Graph max_spanning_forest_boruvka(const Graph& g) {
@@ -92,7 +97,11 @@ Graph max_spanning_forest_boruvka(const Graph& g) {
       }
     }
   }
-  return builder.build();
+  Graph forest = builder.build();
+  HICOND_RUN_VALIDATION(expensive,
+                        HICOND_CHECK(is_forest(forest),
+                                     "Boruvka output must be a forest"));
+  return forest;
 }
 
 double total_edge_weight(const Graph& g) {

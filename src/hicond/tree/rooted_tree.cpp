@@ -1,8 +1,150 @@
 #include "hicond/tree/rooted_tree.hpp"
 
+#include <cmath>
+
 #include "hicond/graph/connectivity.hpp"
 
 namespace hicond {
+
+RootedForest RootedForest::from_parents(std::span<const vidx> parents,
+                                        std::span<const double> weights) {
+  const auto n_size = parents.size();
+  const auto n = static_cast<vidx>(n_size);
+  HICOND_CHECK(weights.empty() || weights.size() == n_size,
+               "parent weight array size mismatch");
+  RootedForest f;
+  f.parent_.assign(parents.begin(), parents.end());
+  f.parent_weight_.assign(n_size, 1.0);
+  for (vidx v = 0; v < n; ++v) {
+    const vidx p = parents[static_cast<std::size_t>(v)];
+    HICOND_CHECK(p >= -1 && p < n, "parent index out of range");
+    HICOND_CHECK(p != v, "vertex cannot be its own parent");
+    if (p == -1) {
+      f.roots_.push_back(v);
+    } else if (!weights.empty()) {
+      const double w = weights[static_cast<std::size_t>(v)];
+      HICOND_CHECK(std::isfinite(w) && w > 0.0,
+                   "parent edge weights must be positive and finite");
+      f.parent_weight_[static_cast<std::size_t>(v)] = w;
+    }
+  }
+  for (vidx r : f.roots_) f.parent_weight_[static_cast<std::size_t>(r)] = 0.0;
+
+  // Child lists (CSR), then BFS from the roots. A parent array is acyclic
+  // exactly when every vertex is reachable from a root.
+  f.child_offsets_.assign(n_size + 1, 0);
+  for (vidx v = 0; v < n; ++v) {
+    const vidx p = f.parent_[static_cast<std::size_t>(v)];
+    if (p >= 0) ++f.child_offsets_[static_cast<std::size_t>(p) + 1];
+  }
+  for (vidx v = 0; v < n; ++v) {
+    f.child_offsets_[static_cast<std::size_t>(v) + 1] +=
+        f.child_offsets_[static_cast<std::size_t>(v)];
+  }
+  f.children_.resize(n_size - f.roots_.size());
+  {
+    std::vector<eidx> cursor(f.child_offsets_.begin(),
+                             f.child_offsets_.end() - 1);
+    for (vidx v = 0; v < n; ++v) {
+      const vidx p = f.parent_[static_cast<std::size_t>(v)];
+      if (p >= 0) {
+        f.children_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(p)]++)] = v;
+      }
+    }
+  }
+  f.order_.reserve(n_size);
+  for (vidx r : f.roots_) f.order_.push_back(r);
+  for (std::size_t head = 0; head < f.order_.size(); ++head) {
+    for (vidx c : f.children(f.order_[head])) f.order_.push_back(c);
+  }
+  HICOND_CHECK(f.order_.size() == n_size,
+               "cyclic parent array: vertices unreachable from any root");
+
+  f.subtree_size_.assign(n_size, 1);
+  for (std::size_t i = f.order_.size(); i-- > 0;) {
+    const vidx v = f.order_[i];
+    const vidx p = f.parent_[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      f.subtree_size_[static_cast<std::size_t>(p)] +=
+          f.subtree_size_[static_cast<std::size_t>(v)];
+    }
+  }
+  return f;
+}
+
+void RootedForest::validate() const {
+  const std::size_t n = parent_.size();
+  HICOND_CHECK(parent_weight_.size() == n && subtree_size_.size() == n &&
+                   child_offsets_.size() == n + 1 && order_.size() == n,
+               "rooted forest array sizes inconsistent");
+  HICOND_CHECK(children_.size() == n - roots_.size(),
+               "child list size inconsistent with root count");
+  std::vector<eidx> child_count(n, 0);
+  std::size_t num_roots = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const vidx p = parent_[v];
+    HICOND_CHECK(p >= -1 && p < static_cast<vidx>(n),
+                 "parent index out of range");
+    HICOND_CHECK(p != static_cast<vidx>(v), "vertex cannot be its own parent");
+    if (p == -1) {
+      ++num_roots;
+      HICOND_CHECK(parent_weight_[v] == 0.0, "root must have no parent edge");
+    } else {
+      ++child_count[static_cast<std::size_t>(p)];
+      HICOND_CHECK(std::isfinite(parent_weight_[v]) && parent_weight_[v] > 0.0,
+                   "parent edge weights must be positive and finite");
+    }
+  }
+  HICOND_CHECK(num_roots == roots_.size(), "recorded roots inconsistent");
+  for (vidx r : roots_) {
+    HICOND_CHECK(r >= 0 && static_cast<std::size_t>(r) < n &&
+                     parent_[static_cast<std::size_t>(r)] == -1,
+                 "recorded root is not a root");
+  }
+  // Top-down order must be a permutation that places parents before
+  // children; its existence certifies acyclicity.
+  std::vector<eidx> position(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const vidx v = order_[i];
+    HICOND_CHECK(v >= 0 && static_cast<std::size_t>(v) < n &&
+                     position[static_cast<std::size_t>(v)] == -1,
+                 "top-down order is not a permutation");
+    position[static_cast<std::size_t>(v)] = static_cast<eidx>(i);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const vidx p = parent_[v];
+    if (p >= 0) {
+      HICOND_CHECK(position[static_cast<std::size_t>(p)] <
+                       position[v],
+                   "cyclic parent array: parent ordered after child");
+    }
+  }
+  // Child CSR and subtree sizes must match the parent array.
+  std::vector<eidx> subtree(n, 1);
+  for (std::size_t i = n; i-- > 0;) {
+    const vidx v = order_[i];
+    const vidx p = parent_[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      subtree[static_cast<std::size_t>(p)] +=
+          subtree[static_cast<std::size_t>(v)];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    HICOND_CHECK(child_offsets_[v + 1] - child_offsets_[v] == child_count[v],
+                 "child list inconsistent with parent array");
+    HICOND_CHECK(subtree[v] == static_cast<eidx>(subtree_size_[v]),
+                 "subtree sizes inconsistent with parent array");
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    for (vidx c : children(static_cast<vidx>(v))) {
+      HICOND_CHECK(c >= 0 && static_cast<std::size_t>(c) < n &&
+                       parent_[static_cast<std::size_t>(c)] ==
+                           static_cast<vidx>(v),
+                   "child list entry does not point back to parent");
+    }
+  }
+}
 
 RootedForest RootedForest::build(const Graph& g, vidx preferred_root) {
   HICOND_CHECK(is_forest(g), "RootedForest requires an acyclic graph");
@@ -66,6 +208,7 @@ RootedForest RootedForest::build(const Graph& g, vidx preferred_root) {
           v;
     }
   }
+  HICOND_RUN_VALIDATION(expensive, f.validate());
   return f;
 }
 

@@ -20,6 +20,21 @@ class RootedForest {
   [[nodiscard]] static RootedForest build(const Graph& g,
                                           vidx preferred_root = -1);
 
+  /// Adopt a raw parent array (parent[v] = -1 for roots) with optional
+  /// parent-edge weights (defaulting to 1). The array is always validated --
+  /// this is the untrusted entry point -- and rejected with
+  /// invalid_argument_error when it contains out-of-range parents, cycles,
+  /// or nonpositive weights.
+  [[nodiscard]] static RootedForest from_parents(
+      std::span<const vidx> parents, std::span<const double> weights = {});
+
+  /// Full structural validation (O(n)): consistent array sizes, acyclic
+  /// parent pointers, exactly one recorded root per component, child lists
+  /// and subtree sizes consistent with the parent array, topological
+  /// top-down order. Throws invalid_argument_error naming the violated
+  /// invariant.
+  void validate() const;
+
   [[nodiscard]] vidx num_vertices() const noexcept {
     return static_cast<vidx>(parent_.size());
   }

@@ -307,6 +307,7 @@ Decomposition tree_decomposition(const Graph& forest,
 
   result.assignment = std::move(b.assignment);
   result.num_clusters = b.next_cluster;
+  HICOND_RUN_VALIDATION(expensive, result.validate(forest));
   return result;
 }
 

@@ -93,6 +93,7 @@ Decomposition split_forest_bounded(const Graph& forest,
         id_of_root[static_cast<std::size_t>(r)];
   }
   d.num_clusters = next;
+  HICOND_RUN_VALIDATION(expensive, d.validate(forest));
   return d;
 }
 

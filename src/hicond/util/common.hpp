@@ -1,9 +1,21 @@
-// Core type aliases and error-handling helpers shared by every hicond module.
+// Core type aliases, error-handling helpers and the leveled
+// invariant-validation facility shared by every hicond module.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+
+/// Compiled-in invariant-validation level, selected at configure time via the
+/// HICOND_VALIDATE CMake option:
+///   0 = off        -- every HICOND_VALIDATE check compiles out;
+///   1 = cheap      -- O(1) / amortized-trivial checks stay on (default);
+///   2 = expensive  -- full O(n + m) structural sweeps at API boundaries.
+/// HICOND_CHECK (argument validation at public entry points) is always on
+/// regardless of the level.
+#ifndef HICOND_VALIDATE_LEVEL
+#define HICOND_VALIDATE_LEVEL 1
+#endif
 
 namespace hicond {
 
@@ -27,6 +39,16 @@ class numeric_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Named validation levels, matching the HICOND_VALIDATE configure option.
+inline constexpr int kValidateOff = 0;
+inline constexpr int kValidateCheap = 1;
+inline constexpr int kValidateExpensive = 2;
+
+/// The level this build was configured with.
+[[nodiscard]] constexpr int validate_level() noexcept {
+  return HICOND_VALIDATE_LEVEL;
+}
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {
@@ -47,7 +69,38 @@ namespace detail {
     }                                                                    \
   } while (false)
 
-/// Internal invariant check; compiled out in release-with-NDEBUG builds is
-/// deliberately NOT done -- the cost is negligible next to the algorithms and
-/// the checks double as executable documentation.
-#define HICOND_ASSERT(expr) HICOND_CHECK(expr, "internal invariant")
+// Maps the level tokens accepted by HICOND_VALIDATE to their numeric rank.
+#define HICOND_VALIDATE_RANK_cheap ::hicond::kValidateCheap
+#define HICOND_VALIDATE_RANK_expensive ::hicond::kValidateExpensive
+
+/// Leveled invariant check. `level` is the bare token `cheap` or `expensive`;
+/// the check (including evaluation of `expr`) compiles out entirely when the
+/// configured HICOND_VALIDATE_LEVEL is below the requested level.
+#define HICOND_VALIDATE(level, expr, msg)                                  \
+  do {                                                                     \
+    if constexpr (HICOND_VALIDATE_LEVEL >= HICOND_VALIDATE_RANK_##level) { \
+      if (!(expr)) {                                                       \
+        ::hicond::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+      }                                                                    \
+    }                                                                      \
+  } while (false)
+
+/// Run a whole validation statement (typically an `x.validate()` call that
+/// throws on violation) only when the configured level admits it.
+#define HICOND_RUN_VALIDATION(level, ...)                                  \
+  do {                                                                     \
+    if constexpr (HICOND_VALIDATE_LEVEL >= HICOND_VALIDATE_RANK_##level) { \
+      __VA_ARGS__;                                                         \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check for O(1) conditions on hot paths; stays on at the
+/// default `cheap` level and doubles as executable documentation.
+#define HICOND_ASSERT(expr) HICOND_VALIDATE(cheap, expr, "internal invariant")
+
+/// Internal invariant check whose evaluation is itself costly (O(n + m)
+/// sweeps, nested scans); compiled out of Release hot paths unless the build
+/// was configured with HICOND_VALIDATE=expensive.
+#define HICOND_ASSERT_EXPENSIVE(expr) \
+  HICOND_VALIDATE(expensive, expr, "internal invariant")

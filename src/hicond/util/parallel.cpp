@@ -19,34 +19,35 @@ eidx exclusive_scan_inplace(std::vector<eidx>& values) {
     }
     return run;
   }
-  // Two-pass blocked scan: per-block sums, scan of block sums, local scans.
-  std::vector<eidx> block_sum(static_cast<std::size_t>(threads) + 1, 0);
-#pragma omp parallel num_threads(threads)
-  {
+  // Two-pass blocked scan: per-block sums, then each thread derives its own
+  // starting offset by summing the preceding block sums (O(p) reads per
+  // thread beats a serialized `single` section, and every access is ordered
+  // by the annotated barrier).
+  std::vector<eidx> block_sum(static_cast<std::size_t>(threads), 0);
+  parallel_region([&] {
+    const int team = omp_get_num_threads();
     const int tid = omp_get_thread_num();
     const std::size_t lo = n * static_cast<std::size_t>(tid) /
-                           static_cast<std::size_t>(threads);
+                           static_cast<std::size_t>(team);
     const std::size_t hi = n * (static_cast<std::size_t>(tid) + 1) /
-                           static_cast<std::size_t>(threads);
+                           static_cast<std::size_t>(team);
     eidx local = 0;
     for (std::size_t i = lo; i < hi; ++i) local += values[i];
-    block_sum[static_cast<std::size_t>(tid) + 1] = local;
-#pragma omp barrier
-#pragma omp single
-    {
-      for (int t = 0; t < threads; ++t) {
-        block_sum[static_cast<std::size_t>(t) + 1] +=
-            block_sum[static_cast<std::size_t>(t)];
-      }
+    block_sum[static_cast<std::size_t>(tid)] = local;
+    team_barrier();
+    eidx run = 0;
+    for (int t = 0; t < tid; ++t) {
+      run += block_sum[static_cast<std::size_t>(t)];
     }
-    eidx run = block_sum[static_cast<std::size_t>(tid)];
     for (std::size_t i = lo; i < hi; ++i) {
       const eidx v = values[i];
       values[i] = run;
       run += v;
     }
-  }
-  return block_sum.back();
+  });
+  eidx total = 0;
+  for (const eidx s : block_sum) total += s;
+  return total;
 }
 
 }  // namespace hicond

@@ -2,19 +2,59 @@
 //
 // The algorithms in this library are described in the paper in the PRAM
 // model (linear work, O(log n) depth). We realize them on shared memory with
-// OpenMP; every primitive here is deterministic: results are identical for
-// any thread count.
+// OpenMP; every primitive here is deterministic for a fixed thread count.
+//
+// All `#pragma omp parallel` regions in the library are funneled through
+// parallel_region() (enforced by tools/check_project_rules.py) so that a
+// single place carries the ThreadSanitizer fork/join annotations of
+// util/tsan.hpp. Worksharing constructs (`#pragma omp for`) may appear
+// anywhere inside the body passed to parallel_region; they bind to the
+// enclosing region as orphaned constructs.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <omp.h>
 #include <vector>
 
 #include "hicond/util/common.hpp"
+#include "hicond/util/tsan.hpp"
 
 namespace hicond {
 
 /// Number of OpenMP threads the library will use.
 [[nodiscard]] int num_threads() noexcept;
+
+/// Run `body()` on every thread of an OpenMP parallel region, with the
+/// fork/join synchronization made visible to ThreadSanitizer. The body may
+/// contain orphaned worksharing constructs (`#pragma omp for`, barriers).
+template <typename Body>
+void parallel_region(Body&& body) {
+  HICOND_TSAN_RELEASE(&detail::tsan_fork_tag);
+#pragma omp parallel
+  {
+    // The compiler marshals the captures of `body` through a struct it
+    // writes immediately before entering the region -- after any source
+    // statement, so no release annotation can cover that store. The one
+    // read that materializes the struct pointer is ignored instead; the
+    // pointee (the caller's lambda) was written before the release above.
+    HICOND_TSAN_IGNORE_READS_BEGIN();
+    auto* body_ptr = std::addressof(body);
+    HICOND_TSAN_IGNORE_READS_END();
+    HICOND_TSAN_ACQUIRE(&detail::tsan_fork_tag);
+    (*body_ptr)();
+    HICOND_TSAN_RELEASE(&detail::tsan_join_tag);
+  }
+  HICOND_TSAN_ACQUIRE(&detail::tsan_join_tag);
+}
+
+/// `#pragma omp barrier` with the all-to-all happens-before edge annotated
+/// for ThreadSanitizer. Must be executed by every thread of the team.
+inline void team_barrier() {
+  HICOND_TSAN_RELEASE(&detail::tsan_barrier_tag);
+#pragma omp barrier
+  HICOND_TSAN_ACQUIRE(&detail::tsan_barrier_tag);
+}
 
 /// Exclusive prefix sum of `values` (in place): out[i] = sum of values[0..i).
 /// Returns the total sum. Work O(n), depth O(n/p + p).
@@ -23,31 +63,50 @@ eidx exclusive_scan_inplace(std::vector<eidx>& values);
 /// Parallel for over [0, n) with a static schedule.
 template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn) {
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    fn(i);
-  }
+  parallel_region([&] {
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+  });
 }
 
-/// Parallel sum-reduction of fn(i) over [0, n).
+/// Parallel sum-reduction of fn(i) over [0, n). The per-thread partials are
+/// combined in thread-id order, so the result is deterministic for a fixed
+/// thread count (a `reduction` clause would also hide the combine from
+/// ThreadSanitizer; see util/tsan.hpp).
 template <typename Fn>
 double parallel_sum(std::size_t n, Fn&& fn) {
+  std::vector<double> partial(static_cast<std::size_t>(num_threads()), 0.0);
+  parallel_region([&] {
+    double local = 0.0;
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = 0; i < n; ++i) {
+      local += fn(i);
+    }
+    partial[static_cast<std::size_t>(omp_get_thread_num())] = local;
+  });
   double total = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : total)
-  for (std::size_t i = 0; i < n; ++i) {
-    total += fn(i);
-  }
+  for (const double p : partial) total += p;
   return total;
 }
 
 /// Parallel max-reduction of fn(i) over [0, n). Returns `init` when n == 0.
 template <typename Fn>
 double parallel_max(std::size_t n, double init, Fn&& fn) {
+  std::vector<double> partial(static_cast<std::size_t>(num_threads()), init);
+  parallel_region([&] {
+    double local = init;
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = fn(i);
+      if (v > local) local = v;
+    }
+    partial[static_cast<std::size_t>(omp_get_thread_num())] = local;
+  });
   double best = init;
-#pragma omp parallel for schedule(static) reduction(max : best)
-  for (std::size_t i = 0; i < n; ++i) {
-    const double v = fn(i);
-    if (v > best) best = v;
+  for (const double p : partial) {
+    if (p > best) best = p;
   }
   return best;
 }

@@ -1,0 +1,58 @@
+// ThreadSanitizer happens-before annotations for the OpenMP runtime.
+//
+// GCC's libgomp is not TSan-instrumented: its fork/join and barrier
+// synchronization goes through futexes the sanitizer cannot see, so every
+// parallel region would otherwise produce false data-race reports on
+// perfectly synchronized code (and blanket `race:libgomp` suppressions would
+// also hide *real* races in worker threads, because the thread-creation stack
+// always contains libgomp frames). Instead, the library routes every parallel
+// region through hicond::parallel_region (util/parallel.hpp), which uses
+// these annotations to teach TSan about the three synchronization points it
+// cannot observe:
+//   * fork:    the master's writes before a region are visible to the team;
+//   * join:    the team's writes inside a region are visible after it;
+//   * barrier: `#pragma omp barrier` orders all threads in the team.
+// All annotations compile to nothing outside -fsanitize=thread builds.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define HICOND_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HICOND_TSAN_ENABLED 1
+#endif
+#endif
+
+#if defined(HICOND_TSAN_ENABLED)
+
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+void AnnotateIgnoreReadsBegin(const char* file, int line);
+void AnnotateIgnoreReadsEnd(const char* file, int line);
+}
+
+#define HICOND_TSAN_ACQUIRE(addr) __tsan_acquire(addr)
+#define HICOND_TSAN_RELEASE(addr) __tsan_release(addr)
+#define HICOND_TSAN_IGNORE_READS_BEGIN() \
+  AnnotateIgnoreReadsBegin(__FILE__, __LINE__)
+#define HICOND_TSAN_IGNORE_READS_END() AnnotateIgnoreReadsEnd(__FILE__, __LINE__)
+
+#else
+
+#define HICOND_TSAN_ACQUIRE(addr) ((void)0)
+#define HICOND_TSAN_RELEASE(addr) ((void)0)
+#define HICOND_TSAN_IGNORE_READS_BEGIN() ((void)0)
+#define HICOND_TSAN_IGNORE_READS_END() ((void)0)
+
+#endif
+
+namespace hicond::detail {
+
+/// Sync-object addresses for the fork / join / barrier happens-before edges.
+/// The addresses are all that matters; the bytes are never written.
+inline char tsan_fork_tag;
+inline char tsan_join_tag;
+inline char tsan_barrier_tag;
+
+}  // namespace hicond::detail

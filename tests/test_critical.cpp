@@ -53,7 +53,9 @@ TEST(Critical, LeavesAreNeverCritical) {
   const RootedForest f = RootedForest::build(g);
   const auto critical = critical_vertices(f);
   for (vidx v = 0; v < 80; ++v) {
-    if (f.is_leaf(v)) EXPECT_FALSE(critical[static_cast<std::size_t>(v)]);
+    if (f.is_leaf(v)) {
+      EXPECT_FALSE(critical[static_cast<std::size_t>(v)]);
+    }
   }
 }
 

@@ -1,0 +1,300 @@
+// Corrupt-structure fixtures for the invariant-validation layer: each broken
+// input must be rejected with an invalid_argument_error whose message names
+// the violated invariant.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/graph/graph.hpp"
+#include "hicond/la/csr.hpp"
+#include "hicond/partition/decomposition.hpp"
+#include "hicond/tree/rooted_tree.hpp"
+
+namespace hicond {
+namespace {
+
+/// Expects `body` to throw invalid_argument_error whose what() mentions
+/// `needle` (the name of the violated invariant).
+template <typename Body>
+void expect_rejected(Body&& body, const std::string& needle) {
+  try {
+    body();
+    FAIL() << "expected invalid_argument_error mentioning \"" << needle
+           << "\"";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+// --- Graph::from_csr ------------------------------------------------------
+
+// Well-formed CSR of the triangle 0-1-2 with weights w(0,1)=1, w(1,2)=2,
+// w(0,2)=3; rows sorted, both arc directions present.
+struct TriangleCsr {
+  std::vector<eidx> offsets{0, 2, 4, 6};
+  std::vector<vidx> targets{1, 2, 0, 2, 0, 1};
+  std::vector<double> weights{1.0, 3.0, 1.0, 2.0, 3.0, 2.0};
+};
+
+TEST(GraphFromCsr, AcceptsWellFormedInput) {
+  TriangleCsr t;
+  const Graph g = Graph::from_csr(3, t.offsets, t.targets, t.weights);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(g.vol(0), 4.0);
+  g.validate();  // idempotent on a valid graph
+}
+
+TEST(GraphFromCsr, RejectsUnsortedRow) {
+  TriangleCsr t;
+  std::swap(t.targets[0], t.targets[1]);  // row 0 becomes {2, 1}
+  std::swap(t.weights[0], t.weights[1]);
+  expect_rejected(
+      [&] { std::ignore = Graph::from_csr(3, t.offsets, t.targets, t.weights); },
+      "unsorted or duplicate arcs");
+}
+
+TEST(GraphFromCsr, RejectsDuplicateArc) {
+  TriangleCsr t;
+  t.targets[1] = 1;  // row 0 becomes {1, 1}
+  expect_rejected(
+      [&] { std::ignore = Graph::from_csr(3, t.offsets, t.targets, t.weights); },
+      "unsorted or duplicate arcs");
+}
+
+TEST(GraphFromCsr, RejectsAsymmetricWeights) {
+  TriangleCsr t;
+  t.weights[2] = 7.0;  // arc 1->0 no longer matches arc 0->1
+  expect_rejected(
+      [&] { std::ignore = Graph::from_csr(3, t.offsets, t.targets, t.weights); },
+      "mirror arc weight differs");
+}
+
+TEST(GraphFromCsr, RejectsMissingMirrorArc) {
+  // Arc 0->1 present but 1->0 replaced by 1->2 (duplicate weight kept
+  // consistent so only the symmetry check can fire).
+  const std::vector<eidx> offsets{0, 1, 2, 3};
+  const std::vector<vidx> targets{1, 2, 1};
+  const std::vector<double> weights{1.0, 2.0, 2.0};
+  expect_rejected([&] { std::ignore = Graph::from_csr(3, offsets, targets, weights); },
+                  "mirror arc missing");
+}
+
+TEST(GraphFromCsr, RejectsRaggedOffsets) {
+  TriangleCsr t;
+  t.offsets[1] = 3;
+  t.offsets[2] = 2;  // decreasing: ragged
+  expect_rejected(
+      [&] { std::ignore = Graph::from_csr(3, t.offsets, t.targets, t.weights); },
+      "ragged offsets");
+}
+
+TEST(GraphFromCsr, RejectsOffsetsNotCoveringArcs) {
+  TriangleCsr t;
+  t.offsets.back() = 5;  // does not reach the arc count
+  expect_rejected(
+      [&] { std::ignore = Graph::from_csr(3, t.offsets, t.targets, t.weights); },
+      "ragged offsets");
+}
+
+TEST(GraphFromCsr, RejectsNonPositiveWeight) {
+  TriangleCsr t;
+  t.weights[0] = 0.0;
+  t.weights[2] = 0.0;
+  expect_rejected(
+      [&] { std::ignore = Graph::from_csr(3, t.offsets, t.targets, t.weights); },
+      "positive and finite");
+}
+
+TEST(GraphFromCsr, RejectsSelfLoop) {
+  const std::vector<eidx> offsets{0, 1, 2};
+  const std::vector<vidx> targets{0, 1};  // 0->0 self-loop
+  const std::vector<double> weights{1.0, 1.0};
+  expect_rejected([&] { std::ignore = Graph::from_csr(2, offsets, targets, weights); },
+                  "self-loops");
+}
+
+TEST(GraphFromCsr, RejectsTargetOutOfRange) {
+  TriangleCsr t;
+  t.targets[1] = 5;
+  expect_rejected(
+      [&] { std::ignore = Graph::from_csr(3, t.offsets, t.targets, t.weights); },
+      "target out of range");
+}
+
+// --- CsrMatrix::validate --------------------------------------------------
+
+TEST(CsrValidate, RejectsRaggedOffsets) {
+  CsrMatrix m;
+  m.rows = 3;
+  m.cols = 2;
+  m.offsets = {0, 2, 1, 2};  // interior dip: ragged
+  m.col_idx = {0, 1};
+  m.values = {1.0, 1.0};
+  expect_rejected([&] { m.validate(); }, "ragged offsets");
+}
+
+TEST(CsrValidate, RejectsUnsortedColumns) {
+  CsrMatrix m;
+  m.rows = 1;
+  m.cols = 3;
+  m.offsets = {0, 2};
+  m.col_idx = {2, 0};
+  m.values = {1.0, 1.0};
+  expect_rejected([&] { m.validate(); }, "columns not strictly increasing");
+}
+
+// --- Decomposition::validate ----------------------------------------------
+
+TEST(DecompositionValidate, AcceptsExactCover) {
+  const Graph g = gen::path(4);
+  Decomposition d;
+  d.assignment = {0, 0, 1, 1};
+  d.num_clusters = 2;
+  d.validate(g);
+}
+
+TEST(DecompositionValidate, RejectsOrphanVertexPartition) {
+  const Graph g = gen::path(4);
+  Decomposition d;
+  d.assignment = {0, 0, 1};  // vertex 3 orphaned
+  d.num_clusters = 2;
+  expect_rejected([&] { d.validate(g); }, "orphan or surplus vertices");
+}
+
+TEST(DecompositionValidate, RejectsUnassignedVertex) {
+  const Graph g = gen::path(3);
+  Decomposition d;
+  d.assignment = {0, -1, 1};
+  d.num_clusters = 2;
+  expect_rejected([&] { d.validate(g); }, "cluster id out of range");
+}
+
+TEST(DecompositionValidate, RejectsEmptyClusterId) {
+  const Graph g = gen::path(3);
+  Decomposition d;
+  d.assignment = {0, 0, 2};  // id 1 unused
+  d.num_clusters = 3;
+  expect_rejected([&] { d.validate(g); }, "empty cluster id");
+}
+
+TEST(DecompositionValidate, QualityAcceptsSingletonClusters) {
+  // Each cluster {v} has closure conductance 1 by convention, and
+  // num_clusters = n satisfies rho = 1.
+  const Graph g = gen::path(4);
+  Decomposition d;
+  d.assignment = {0, 1, 2, 3};
+  d.num_clusters = 4;
+  d.validate_quality(g, /*phi=*/0.5, /*rho=*/1.0);
+}
+
+TEST(DecompositionValidate, QualityRejectsTooManyClusters) {
+  const Graph g = gen::path(4);
+  Decomposition d;
+  d.assignment = {0, 1, 2, 3};
+  d.num_clusters = 4;
+  expect_rejected([&] { d.validate_quality(g, 0.01, /*rho=*/2.0); },
+                  "cluster count exceeds n / rho");
+}
+
+TEST(DecompositionValidate, QualityRejectsLowConductanceCluster) {
+  // Two 4-cliques joined by one light edge form a single low-conductance
+  // cluster; demand phi close to 1.
+  std::vector<WeightedEdge> edges;
+  for (vidx u = 0; u < 4; ++u) {
+    for (vidx v = u + 1; v < 4; ++v) {
+      edges.push_back({u, v, 1.0});
+      edges.push_back({u + 4, v + 4, 1.0});
+    }
+  }
+  edges.push_back({0, 4, 0.01});
+  const Graph g(8, edges);
+  Decomposition d;
+  d.assignment.assign(8, 0);
+  d.num_clusters = 1;
+  expect_rejected([&] { d.validate_quality(g, /*phi=*/0.9, /*rho=*/1.0); },
+                  "closure conductance below phi");
+}
+
+// --- RootedForest::from_parents -------------------------------------------
+
+TEST(RootedForestFromParents, AcceptsValidForest) {
+  const std::vector<vidx> parents{-1, 0, 0, 1, -1};
+  const RootedForest f = RootedForest::from_parents(parents);
+  EXPECT_EQ(f.roots().size(), 2u);
+  f.validate();
+}
+
+TEST(RootedForestFromParents, RejectsCyclicParentArray) {
+  // 1 -> 2 -> 3 -> 1 is a cycle unreachable from the root 0.
+  const std::vector<vidx> parents{-1, 2, 3, 1};
+  expect_rejected([&] { std::ignore = RootedForest::from_parents(parents); },
+                  "cyclic parent array");
+}
+
+TEST(RootedForestFromParents, RejectsSelfParent) {
+  const std::vector<vidx> parents{-1, 1};
+  expect_rejected([&] { std::ignore = RootedForest::from_parents(parents); },
+                  "its own parent");
+}
+
+TEST(RootedForestFromParents, RejectsAllCyclicNoRoot) {
+  const std::vector<vidx> parents{1, 0};
+  expect_rejected([&] { std::ignore = RootedForest::from_parents(parents); },
+                  "cyclic parent array");
+}
+
+TEST(RootedForestFromParents, RejectsParentOutOfRange) {
+  const std::vector<vidx> parents{-1, 7};
+  expect_rejected([&] { std::ignore = RootedForest::from_parents(parents); },
+                  "parent index out of range");
+}
+
+TEST(RootedForestFromParents, RejectsNonPositiveEdgeWeight) {
+  const std::vector<vidx> parents{-1, 0};
+  const std::vector<double> weights{0.0, -1.0};
+  expect_rejected([&] { std::ignore = RootedForest::from_parents(parents, weights); },
+                  "positive and finite");
+}
+
+// --- Validation levels ----------------------------------------------------
+
+TEST(ValidationLevels, LevelConstantsAreOrdered) {
+  EXPECT_LT(kValidateOff, kValidateCheap);
+  EXPECT_LT(kValidateCheap, kValidateExpensive);
+  // The build must compile with some recognised level.
+  EXPECT_GE(validate_level(), kValidateOff);
+  EXPECT_LE(validate_level(), kValidateExpensive);
+}
+
+TEST(ValidationLevels, CheapValidateMacroFiresAtCheapLevel) {
+  if (validate_level() >= kValidateCheap) {
+    EXPECT_THROW(HICOND_VALIDATE(cheap, false, "cheap probe"),
+                 invalid_argument_error);
+  } else {
+    EXPECT_NO_THROW(HICOND_VALIDATE(cheap, false, "cheap probe"));
+  }
+}
+
+TEST(ValidationLevels, ExpensiveValidateMacroRespectsLevel) {
+  if (validate_level() >= kValidateExpensive) {
+    EXPECT_THROW(HICOND_VALIDATE(expensive, false, "expensive probe"),
+                 invalid_argument_error);
+  } else {
+    EXPECT_NO_THROW(HICOND_VALIDATE(expensive, false, "expensive probe"));
+  }
+}
+
+TEST(ValidationLevels, CheckIsAlwaysOn) {
+  EXPECT_THROW(HICOND_CHECK(false, "always-on probe"),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace hicond

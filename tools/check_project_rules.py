@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for hicond.
+
+Rules (each failure prints `path:line: [rule] message` and exits nonzero):
+
+  omp-schedule        Every OpenMP worksharing loop (`#pragma omp for`,
+                      `#pragma omp parallel for`) must carry an explicit
+                      `schedule(...)` clause.  Implicit schedules make run
+                      times (and TSan interleavings) depend on the compiler
+                      default.
+
+  omp-funnel          Raw `#pragma omp parallel` regions are only allowed in
+                      util/parallel.hpp.  Everything else must go through
+                      `parallel_region()` / `parallel_for()` so fork/join
+                      happens-before annotations for TSan stay in one place.
+
+  no-std-rand         `std::rand` / `srand` / bare `rand(` are forbidden;
+                      use util/rng.hpp (counter-based, deterministic,
+                      thread-safe).
+
+  check-coverage      Every non-util .cpp under src/hicond must use at least
+                      one of HICOND_CHECK / HICOND_VALIDATE /
+                      HICOND_RUN_VALIDATION / HICOND_ASSERT — public entry
+                      points validate their inputs.
+
+  include-hygiene     Headers start with `#pragma once` (after an optional
+                      leading comment block); a module's .cpp includes its
+                      own header first.
+
+Run: python3 tools/check_project_rules.py [root]
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+PRAGMA_OMP = re.compile(r"#\s*pragma\s+omp\s+(.*)")
+CHECK_MACROS = re.compile(
+    r"HICOND_CHECK|HICOND_VALIDATE|HICOND_RUN_VALIDATION|HICOND_ASSERT"
+)
+RAND_USE = re.compile(r"std::rand\b|\bsrand\s*\(|(?<![\w:])rand\s*\(")
+
+# Files allowed to contain raw `#pragma omp parallel` (the funnel itself).
+OMP_FUNNEL_ALLOWED = {"src/hicond/util/parallel.hpp"}
+
+# util/ is infrastructure, not an API boundary; exempt from check-coverage.
+CHECK_EXEMPT_DIRS = ("src/hicond/util/",)
+
+
+def strip_comments(line: str) -> str:
+    """Best-effort removal of // comments and string literals for token rules."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+def logical_pragma_lines(text: str):
+    """Yield (lineno, full_pragma) with backslash continuations joined."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = PRAGMA_OMP.search(lines[i])
+        if m:
+            start = i
+            full = lines[i].rstrip()
+            while full.endswith("\\") and i + 1 < len(lines):
+                i += 1
+                full = full[:-1].rstrip() + " " + lines[i].strip()
+            yield start + 1, PRAGMA_OMP.search(full).group(1)
+        i += 1
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    src = root / "src" / "hicond"
+    if not src.is_dir():
+        print(f"error: {src} not found", file=sys.stderr)
+        return 2
+
+    scan_dirs = [src]
+    for extra in ("tests", "bench", "examples"):
+        d = root / extra
+        if d.is_dir():
+            scan_dirs.append(d)
+
+    errors: list[str] = []
+
+    def err(path: pathlib.Path, line: int, rule: str, msg: str) -> None:
+        errors.append(f"{path.relative_to(root)}:{line}: [{rule}] {msg}")
+
+    for d in scan_dirs:
+        for path in sorted(d.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            text = path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+
+            # --- OpenMP rules -------------------------------------------
+            for lineno, clause in logical_pragma_lines(text):
+                tokens = clause.split()
+                is_worksharing_for = "for" in tokens
+                if is_worksharing_for and "schedule(" not in clause.replace(
+                    " ", ""
+                ):
+                    err(path, lineno, "omp-schedule",
+                        "OpenMP worksharing loop without an explicit "
+                        "schedule(...) clause")
+                if tokens and tokens[0] == "parallel":
+                    if rel not in OMP_FUNNEL_ALLOWED:
+                        err(path, lineno, "omp-funnel",
+                            "raw '#pragma omp parallel' outside "
+                            "util/parallel.hpp; use parallel_region() / "
+                            "parallel_for()")
+
+            # --- no-std-rand --------------------------------------------
+            for lineno, line in enumerate(lines, 1):
+                stripped = strip_comments(line)
+                if RAND_USE.search(stripped):
+                    err(path, lineno, "no-std-rand",
+                        "std::rand/srand/rand() is forbidden; use "
+                        "util/rng.hpp")
+
+            # --- check-coverage (library .cpp only) ---------------------
+            if (
+                path.suffix == ".cpp"
+                and rel.startswith("src/hicond/")
+                and not any(rel.startswith(p) for p in CHECK_EXEMPT_DIRS)
+                and not CHECK_MACROS.search(text)
+            ):
+                err(path, 1, "check-coverage",
+                    "no HICOND_CHECK/HICOND_VALIDATE in this translation "
+                    "unit; public entry points must validate inputs")
+
+            # --- include-hygiene ----------------------------------------
+            if path.suffix in (".hpp", ".h") and rel.startswith("src/"):
+                pragma_line = None
+                for lineno, line in enumerate(lines, 1):
+                    code = line.strip()
+                    if code.startswith("#pragma once"):
+                        pragma_line = lineno
+                        break
+                    if code and not code.startswith("//"):
+                        break
+                if pragma_line is None:
+                    err(path, 1, "include-hygiene",
+                        "header must start with '#pragma once' (after an "
+                        "optional leading comment block)")
+            if path.suffix == ".cpp" and rel.startswith("src/hicond/"):
+                own_header = path.with_suffix(".hpp")
+                if own_header.exists():
+                    expected = own_header.relative_to(root / "src").as_posix()
+                    first_include = None
+                    for lineno, line in enumerate(lines, 1):
+                        m = re.match(r'\s*#\s*include\s+[<"]([^">]+)[">]',
+                                     line)
+                        if m:
+                            first_include = (lineno, m.group(1))
+                            break
+                    if first_include is None or first_include[1] != expected:
+                        err(path, first_include[0] if first_include else 1,
+                            "include-hygiene",
+                            f'first include must be its own header '
+                            f'"{expected}"')
+
+    if errors:
+        print("\n".join(errors))
+        print(f"\ncheck_project_rules: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_project_rules: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Lint gate for hicond: clang-tidy (when available) + project rules.
+#
+# Usage: tools/lint.sh [build-dir]
+#
+#   build-dir   A configured CMake build directory containing
+#               compile_commands.json (default: build). Only needed for the
+#               clang-tidy half; the project-rule checks always run.
+#
+# clang-tidy is optional at the tool level so the gate degrades gracefully
+# on machines without LLVM (the GitHub Actions lint job installs it and runs
+# the full gate). The script exits nonzero if any enabled check fails.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+status=0
+
+# --- clang-tidy -----------------------------------------------------------
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if command -v "${tidy_bin}" >/dev/null 2>&1; then
+  if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    echo "lint.sh: ${build_dir}/compile_commands.json not found." >&2
+    echo "lint.sh: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+    status=1
+  else
+    mapfile -t sources < <(find "${repo_root}/src/hicond" -name '*.cpp' | sort)
+    echo "lint.sh: running ${tidy_bin} on ${#sources[@]} files..."
+    runner="$(command -v run-clang-tidy || true)"
+    if [[ -n "${runner}" ]]; then
+      "${runner}" -clang-tidy-binary "${tidy_bin}" -p "${build_dir}" -quiet \
+        "${sources[@]}" || status=1
+    else
+      "${tidy_bin}" -p "${build_dir}" --quiet "${sources[@]}" || status=1
+    fi
+  fi
+else
+  echo "lint.sh: ${tidy_bin} not found; skipping clang-tidy (project rules" \
+       "still run). Install LLVM or set CLANG_TIDY to enable." >&2
+fi
+
+# --- project rules --------------------------------------------------------
+python3 "${repo_root}/tools/check_project_rules.py" "${repo_root}" || status=1
+
+if [[ ${status} -ne 0 ]]; then
+  echo "lint.sh: FAILED" >&2
+else
+  echo "lint.sh: OK"
+fi
+exit "${status}"
