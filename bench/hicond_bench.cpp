@@ -1,0 +1,467 @@
+// hicond_bench -- unified benchmark runner with JSON regression baselines.
+//
+//   hicond_bench --suite smoke [--repeats N] [--out FILE]
+//       run a named suite and write BENCH_<suite>.json (schema:
+//       bench/baselines/schema.json, validated in CI by
+//       tools/validate_bench_json.py)
+//   hicond_bench --list
+//       list suites and their cases
+//   hicond_bench [--input FILE | --suite S] --compare BASELINE
+//                [--threshold 1.10]
+//       compare a result file (or a fresh run) against a baseline; exits
+//       nonzero when any case got slower than threshold * baseline or a
+//       baseline case is missing.
+//
+// Timings are best-of-k plus p50/p90 percentiles over the repeat samples;
+// every case also records key quality metrics (cluster counts, iterations,
+// operator complexity) so baselines catch algorithmic regressions, not just
+// slow machines.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <omp.h>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/obs/json.hpp"
+#include "hicond/obs/metrics.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "hicond/partition/hierarchy.hpp"
+#include "hicond/precond/steiner.hpp"
+#include "hicond/solver.hpp"
+#include "hicond/tree/tree_decomposition.hpp"
+#include "hicond/util/parallel.hpp"
+#include "hicond/util/rng.hpp"
+#include "hicond/util/stats.hpp"
+#include "hicond/util/timer.hpp"
+
+namespace {
+
+using namespace hicond;
+
+constexpr int kSchemaVersion = 1;
+
+struct CaseResult {
+  std::string name;
+  int repeats = 0;
+  double best_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct BenchCase {
+  std::string name;
+  std::function<CaseResult(int repeats)> run;
+};
+
+/// Time `op` `repeats` times; `setup` runs once outside the timed region.
+template <typename Op>
+CaseResult timed_case(const std::string& name, int repeats, Op&& op) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  CaseResult result;
+  result.name = name;
+  result.repeats = repeats;
+  for (int i = 0; i < repeats; ++i) {
+    Timer t;
+    op(result, i == 0);
+    samples.push_back(t.seconds());
+  }
+  result.best_seconds = *std::min_element(samples.begin(), samples.end());
+  result.p50_seconds = percentile(samples, 50.0);
+  result.p90_seconds = percentile(samples, 90.0);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Cases. `scale` = 1 for smoke, larger for the full suite.
+// ---------------------------------------------------------------------------
+
+BenchCase case_laplacian_apply(vidx side) {
+  const std::string name = "laplacian_apply/grid3d_" + std::to_string(side);
+  return {name, [name, side](int repeats) {
+    const Graph g =
+        gen::grid3d(side, side, side, gen::WeightSpec::uniform(1.0, 2.0), 3);
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    Rng rng(1);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    // One SpMV is microseconds; time a fixed inner batch per sample.
+    const int inner = 50;
+    auto r = timed_case(name, repeats, [&](CaseResult&, bool) {
+      for (int k = 0; k < inner; ++k) g.laplacian_apply(x, y);
+    });
+    r.best_seconds /= inner;
+    r.p50_seconds /= inner;
+    r.p90_seconds /= inner;
+    r.metrics = {{"vertices", static_cast<double>(g.num_vertices())},
+                 {"edges", static_cast<double>(g.num_edges())}};
+    return r;
+  }};
+}
+
+BenchCase case_fixed_degree(vidx side) {
+  const std::string name = "fixed_degree/grid3d_" + std::to_string(side);
+  return {name, [name, side](int repeats) {
+    const Graph g =
+        gen::grid3d(side, side, side, gen::WeightSpec::uniform(1.0, 2.0), 3);
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+      if (first) {
+        out.metrics = {
+            {"vertices", static_cast<double>(g.num_vertices())},
+            {"clusters", static_cast<double>(fd.decomposition.num_clusters)},
+            {"reduction", fd.decomposition.reduction_factor()},
+            {"cut_fraction", cut_weight_fraction(g, fd.decomposition)}};
+      }
+    });
+  }};
+}
+
+BenchCase case_tree_decomposition(vidx n) {
+  const std::string name = "tree_decomposition/tree_" + std::to_string(n);
+  return {name, [name, n](int repeats) {
+    const Graph t =
+        gen::random_tree(n, gen::WeightSpec::uniform(1.0, 4.0), 5);
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const Decomposition d = tree_decomposition(t);
+      if (first) {
+        out.metrics = {{"vertices", static_cast<double>(n)},
+                       {"clusters", static_cast<double>(d.num_clusters)},
+                       {"reduction", d.reduction_factor()}};
+      }
+    });
+  }};
+}
+
+BenchCase case_hierarchy(vidx side) {
+  const std::string name = "hierarchy/grid2d_" + std::to_string(side);
+  return {name, [name, side](int repeats) {
+    const Graph g =
+        gen::grid2d(side, side, gen::WeightSpec::uniform(1.0, 2.0), 7);
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const LaminarHierarchy h = build_hierarchy(g, {.coarsest_size = 64});
+      if (first) {
+        double total = static_cast<double>(h.coarsest.num_vertices());
+        for (const auto& lv : h.levels) {
+          total += static_cast<double>(lv.graph.num_vertices());
+        }
+        out.metrics = {
+            {"vertices", static_cast<double>(g.num_vertices())},
+            {"levels", static_cast<double>(h.num_levels())},
+            {"coarsest_vertices",
+             static_cast<double>(h.coarsest.num_vertices())},
+            {"operator_complexity",
+             total / static_cast<double>(g.num_vertices())}};
+      }
+    });
+  }};
+}
+
+BenchCase case_steiner_apply(vidx side) {
+  const std::string name = "steiner_apply/grid3d_" + std::to_string(side);
+  return {name, [name, side](int repeats) {
+    const Graph g =
+        gen::grid3d(side, side, side, gen::WeightSpec::uniform(1.0, 2.0), 3);
+    const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
+    const SteinerPreconditioner sp =
+        SteinerPreconditioner::build(g, fd.decomposition);
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    std::vector<double> r(n);
+    Rng rng(5);
+    for (auto& v : r) v = rng.uniform(-1.0, 1.0);
+    la::remove_mean(r);
+    std::vector<double> z(n);
+    const int inner = 10;
+    auto result = timed_case(name, repeats, [&](CaseResult&, bool) {
+      for (int k = 0; k < inner; ++k) sp.apply(r, z);
+    });
+    result.best_seconds /= inner;
+    result.p50_seconds /= inner;
+    result.p90_seconds /= inner;
+    result.metrics = {
+        {"vertices", static_cast<double>(g.num_vertices())},
+        {"quotient_vertices", static_cast<double>(sp.num_steiner_vertices())}};
+    return result;
+  }};
+}
+
+BenchCase case_solve_multilevel(vidx side) {
+  const std::string name = "solve_multilevel/grid2d_" + std::to_string(side);
+  return {name, [name, side](int repeats) {
+    const Graph g =
+        gen::grid2d(side, side, gen::WeightSpec::uniform(1.0, 2.0), 7);
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    std::vector<double> b(n);
+    Rng rng(11);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    la::remove_mean(b);
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const LaplacianSolver solver(g, {.hierarchy = {.coarsest_size = 64}});
+      std::vector<double> x(n, 0.0);
+      const SolveStats stats = solver.solve(b, x);
+      if (first) {
+        out.metrics = {
+            {"vertices", static_cast<double>(g.num_vertices())},
+            {"iterations", static_cast<double>(stats.iterations)},
+            {"converged", stats.converged ? 1.0 : 0.0},
+            {"final_relative_residual", stats.final_relative_residual},
+            {"operator_complexity", solver.operator_complexity()},
+            {"setup_seconds", solver.setup_seconds()}};
+      }
+    });
+  }};
+}
+
+struct Suite {
+  std::string name;
+  int default_repeats;
+  std::vector<BenchCase> cases;
+};
+
+Suite make_suite(const std::string& name) {
+  if (name == "smoke") {
+    return {name,
+            5,
+            {case_laplacian_apply(12), case_fixed_degree(12),
+             case_tree_decomposition(20000), case_hierarchy(48),
+             case_steiner_apply(10), case_solve_multilevel(48)}};
+  }
+  if (name == "full") {
+    return {name,
+            7,
+            {case_laplacian_apply(32), case_fixed_degree(32),
+             case_tree_decomposition(200000), case_hierarchy(128),
+             case_steiner_apply(20), case_solve_multilevel(128)}};
+  }
+  std::fprintf(stderr, "unknown suite '%s' (available: smoke, full)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+// ---------------------------------------------------------------------------
+// JSON emit / load / compare
+// ---------------------------------------------------------------------------
+
+std::string results_to_json(const std::string& suite,
+                            const std::vector<CaseResult>& results) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", kSchemaVersion);
+  w.kv("suite", suite);
+  w.key("machine").begin_object();
+  w.kv("omp_threads", num_threads());
+  w.kv("omp_procs", omp_get_num_procs());
+  w.kv("pointer_bits", static_cast<std::int64_t>(sizeof(void*) * 8));
+#ifdef NDEBUG
+  w.kv("build", "release");
+#else
+  w.kv("build", "debug");
+#endif
+  w.kv("validate_level", validate_level());
+  w.kv("trace_compiled", HICOND_TRACE_ENABLED != 0);
+  w.end_object();
+  w.key("cases").begin_array();
+  for (const CaseResult& r : results) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("repeats", r.repeats);
+    w.kv("best_seconds", r.best_seconds);
+    w.kv("p50_seconds", r.p50_seconds);
+    w.kv("p90_seconds", r.p90_seconds);
+    w.key("metrics").begin_object();
+    for (const auto& [k, v] : r.metrics) w.kv(k, v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::vector<CaseResult> results_from_json(const obs::JsonValue& doc) {
+  HICOND_CHECK(doc.is_object(), "result document must be an object");
+  HICOND_CHECK(doc.at("schema_version").number == kSchemaVersion,
+               "unsupported schema_version");
+  std::vector<CaseResult> out;
+  for (const obs::JsonValue& c : doc.at("cases").array) {
+    CaseResult r;
+    r.name = c.at("name").string;
+    r.repeats = static_cast<int>(c.at("repeats").number);
+    r.best_seconds = c.at("best_seconds").number;
+    r.p50_seconds = c.at("p50_seconds").number;
+    r.p90_seconds = c.at("p90_seconds").number;
+    if (const obs::JsonValue* m = c.find("metrics"); m != nullptr) {
+      for (const auto& [k, v] : m->object) r.metrics.emplace_back(k, v.number);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+obs::JsonValue load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return obs::parse_json(ss.str());
+}
+
+/// Returns the number of regressions (0 = pass).
+int compare_results(const std::vector<CaseResult>& current,
+                    const std::vector<CaseResult>& baseline,
+                    double threshold) {
+  int regressions = 0;
+  auto find = [&](const std::string& name) -> const CaseResult* {
+    for (const CaseResult& r : current) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  };
+  std::printf("%-36s %12s %12s %8s\n", "case", "baseline", "current",
+              "ratio");
+  for (const CaseResult& base : baseline) {
+    const CaseResult* cur = find(base.name);
+    if (cur == nullptr) {
+      std::printf("%-36s %12s %12s %8s  MISSING\n", base.name.c_str(),
+                  format_duration(base.best_seconds).c_str(), "-", "-");
+      ++regressions;
+      continue;
+    }
+    const double ratio = base.best_seconds > 0.0
+                             ? cur->best_seconds / base.best_seconds
+                             : 1.0;
+    const bool regressed = ratio > threshold;
+    std::printf("%-36s %12s %12s %7.2fx%s\n", base.name.c_str(),
+                format_duration(base.best_seconds).c_str(),
+                format_duration(cur->best_seconds).c_str(), ratio,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  return regressions;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hicond_bench --suite <smoke|full> [--repeats N] [--out FILE]\n"
+      "               [--compare BASELINE.json] [--threshold R]\n"
+      "  hicond_bench --input RESULTS.json --compare BASELINE.json\n"
+      "               [--threshold R]\n"
+      "  hicond_bench --list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string suite_name;
+  std::string out_path;
+  std::string input_path;
+  std::string compare_path;
+  double threshold = 1.10;
+  int repeats = 0;
+  bool list = false;
+  bool dump_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto arg_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--suite") == 0) {
+      suite_name = arg_value("--suite");
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = arg_value("--out");
+    } else if (std::strcmp(argv[i], "--input") == 0) {
+      input_path = arg_value("--input");
+    } else if (std::strcmp(argv[i], "--compare") == 0) {
+      compare_path = arg_value("--compare");
+    } else if (std::strcmp(argv[i], "--threshold") == 0) {
+      threshold = std::atof(arg_value("--threshold"));
+    } else if (std::strcmp(argv[i], "--repeats") == 0) {
+      repeats = std::atoi(arg_value("--repeats"));
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+
+  if (list) {
+    for (const char* s : {"smoke", "full"}) {
+      const Suite suite = make_suite(s);
+      std::printf("%s (default repeats %d):\n", suite.name.c_str(),
+                  suite.default_repeats);
+      for (const BenchCase& c : suite.cases) {
+        std::printf("  %s\n", c.name.c_str());
+      }
+    }
+    return 0;
+  }
+
+  std::vector<CaseResult> current;
+  if (!input_path.empty()) {
+    current = results_from_json(load_json_file(input_path));
+  } else if (!suite_name.empty()) {
+    const Suite suite = make_suite(suite_name);
+    const int k = repeats > 0 ? repeats : suite.default_repeats;
+    for (const BenchCase& c : suite.cases) {
+      std::printf("running %s (best of %d)...\n", c.name.c_str(), k);
+      std::fflush(stdout);
+      CaseResult r = c.run(k);
+      std::printf("  best %s  p50 %s  p90 %s\n",
+                  format_duration(r.best_seconds).c_str(),
+                  format_duration(r.p50_seconds).c_str(),
+                  format_duration(r.p90_seconds).c_str());
+      current.push_back(std::move(r));
+    }
+    const std::string json = results_to_json(suite_name, current);
+    const std::string path =
+        out_path.empty() ? "BENCH_" + suite_name + ".json" : out_path;
+    std::ofstream out(path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << json << '\n';
+    std::printf("wrote %s (%zu cases)\n", path.c_str(), current.size());
+  } else {
+    return usage();
+  }
+
+  if (dump_metrics) {
+    std::printf("%s\n", hicond::obs::MetricsRegistry::global().to_json().c_str());
+  }
+
+  if (!compare_path.empty()) {
+    const std::vector<CaseResult> baseline =
+        results_from_json(load_json_file(compare_path));
+    const int regressions = compare_results(current, baseline, threshold);
+    if (regressions > 0) {
+      std::printf("%d regression(s) above %.2fx\n", regressions, threshold);
+      return 1;
+    }
+    std::printf("no regressions above %.2fx\n", threshold);
+  }
+  return 0;
+}

@@ -11,6 +11,14 @@
 //       solve A x = b (random mean-free b) with precond in
 //       {none, jacobi, steiner, multilevel, subgraph}
 //
+// Global flags (accepted anywhere on the command line):
+//   --trace out.json   record scoped spans, write a Chrome trace-event file
+//                      (open in Perfetto or chrome://tracing)
+//   --report           solve only: print the structured SolverReport
+//                      (per-level hierarchy + timing breakdown)
+//   --json             emit machine-readable JSON instead of text where
+//                      supported (decompose stats, solve report)
+//
 // The .wel format is the library's weighted edge list (see
 // hicond/graph/io.hpp).
 #include <cstdio>
@@ -18,17 +26,22 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "hicond/graph/connectivity.hpp"
 #include "hicond/graph/generators.hpp"
 #include "hicond/graph/io.hpp"
 #include "hicond/la/cg.hpp"
 #include "hicond/la/vector_ops.hpp"
+#include "hicond/obs/json.hpp"
+#include "hicond/obs/report.hpp"
+#include "hicond/obs/trace.hpp"
 #include "hicond/partition/fixed_degree.hpp"
 #include "hicond/partition/hierarchy.hpp"
 #include "hicond/precond/multilevel.hpp"
 #include "hicond/precond/steiner.hpp"
 #include "hicond/precond/subgraph.hpp"
+#include "hicond/solver.hpp"
 #include "hicond/util/rng.hpp"
 #include "hicond/util/timer.hpp"
 
@@ -36,13 +49,22 @@ namespace {
 
 using namespace hicond;
 
+struct GlobalFlags {
+  std::string trace_path;  ///< empty = tracing off
+  bool report = false;
+  bool json = false;
+};
+
+GlobalFlags g_flags;
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  hicond_tool gen <family> <size> <out.wel> [seed]\n"
                "  hicond_tool stats <graph.wel>\n"
                "  hicond_tool decompose <graph.wel> [k] [out.assignment]\n"
-               "  hicond_tool solve <graph.wel> [precond]\n");
+               "  hicond_tool solve <graph.wel> [precond]\n"
+               "global flags: --trace out.json | --report | --json\n");
   return 2;
 }
 
@@ -108,6 +130,39 @@ int cmd_decompose(int argc, char** argv) {
   const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = k});
   const double build_s = t.seconds();
   const auto stats = evaluate_decomposition(g, fd.decomposition);
+  auto write_assignment = [&]() -> int {
+    if (argc <= 4) return 0;
+    std::ofstream out(argv[4]);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", argv[4]);
+      return 1;
+    }
+    for (vidx v = 0; v < g.num_vertices(); ++v) {
+      out << v << ' '
+          << fd.decomposition.assignment[static_cast<std::size_t>(v)] << '\n';
+    }
+    return 0;
+  };
+  if (g_flags.json) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("vertices", g.num_vertices());
+    w.kv("edges", static_cast<std::int64_t>(g.num_edges()));
+    w.kv("clusters", fd.decomposition.num_clusters);
+    w.kv("reduction", stats.reduction_factor);
+    w.kv("build_seconds", build_s);
+    w.kv("phi_lower", stats.min_phi_lower);
+    w.kv("phi_upper", stats.min_phi_upper);
+    w.kv("phi_exact", stats.phi_exact);
+    w.kv("min_gamma", stats.min_gamma);
+    w.kv("avg_gamma", average_gamma(g, fd.decomposition));
+    w.kv("cut_fraction", cut_weight_fraction(g, fd.decomposition));
+    w.kv("max_cluster_size", stats.max_cluster_size);
+    w.kv("singletons", stats.num_singletons);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return write_assignment();
+  }
   std::printf("clusters        %d (reduction %.2f) in %s\n",
               fd.decomposition.num_clusters, stats.reduction_factor,
               format_duration(build_s).c_str());
@@ -119,15 +174,7 @@ int cmd_decompose(int argc, char** argv) {
   std::printf("max cluster     %d, singletons %d\n", stats.max_cluster_size,
               stats.num_singletons);
   if (argc > 4) {
-    std::ofstream out(argv[4]);
-    if (!out.good()) {
-      std::fprintf(stderr, "cannot write %s\n", argv[4]);
-      return 1;
-    }
-    for (vidx v = 0; v < g.num_vertices(); ++v) {
-      out << v << ' '
-          << fd.decomposition.assignment[static_cast<std::size_t>(v)] << '\n';
-    }
+    if (const int rc = write_assignment(); rc != 0) return rc;
     std::printf("assignment written to %s\n", argv[4]);
   }
   return 0;
@@ -154,6 +201,23 @@ int cmd_solve(int argc, char** argv) {
   std::vector<double> x(static_cast<std::size_t>(n), 0.0);
   Timer t;
   SolveStats stats;
+  if (g_flags.report && kind == "multilevel") {
+    // LaplacianSolver owns the hierarchy bookkeeping the report needs.
+    const LaplacianSolver solver(g, {.hierarchy = {.coarsest_size = 200}});
+    stats = solver.solve(b, x);
+    const obs::SolverReport report = solver.report();
+    if (g_flags.json) {
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      std::printf("%s", report.to_text().c_str());
+    }
+    return stats.converged ? 0 : 1;
+  }
+  if (g_flags.report) {
+    std::fprintf(stderr,
+                 "note: --report is only available for the multilevel "
+                 "preconditioner; solving without a report\n");
+  }
   if (kind == "none") {
     stats = cg_solve(a, b, x, opt);
   } else if (kind == "jacobi") {
@@ -194,10 +258,60 @@ int cmd_solve(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
-  if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
-  if (std::strcmp(argv[1], "decompose") == 0) return cmd_decompose(argc, argv);
-  if (std::strcmp(argv[1], "solve") == 0) return cmd_solve(argc, argv);
-  return usage();
+  // Strip the global flags (accepted anywhere) before subcommand dispatch.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace needs an output file\n");
+        return 2;
+      }
+      g_flags.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      g_flags.report = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      g_flags.json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int n_args = static_cast<int>(args.size());
+  if (n_args < 2) return usage();
+
+  if (!g_flags.trace_path.empty()) {
+    if (!HICOND_TRACE_ENABLED) {
+      std::fprintf(stderr,
+                   "--trace requires a build with -DHICOND_TRACE=ON\n");
+      return 2;
+    }
+    obs::set_trace_enabled(true);
+  }
+
+  int rc = 2;
+  if (std::strcmp(args[1], "gen") == 0) {
+    rc = cmd_gen(n_args, args.data());
+  } else if (std::strcmp(args[1], "stats") == 0) {
+    rc = cmd_stats(n_args, args.data());
+  } else if (std::strcmp(args[1], "decompose") == 0) {
+    rc = cmd_decompose(n_args, args.data());
+  } else if (std::strcmp(args[1], "solve") == 0) {
+    rc = cmd_solve(n_args, args.data());
+  } else {
+    rc = usage();
+  }
+
+  if (!g_flags.trace_path.empty()) {
+    obs::set_trace_enabled(false);
+    std::ofstream out(g_flags.trace_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", g_flags.trace_path.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    out << obs::export_chrome_trace() << '\n';
+    std::fprintf(stderr, "trace: %zu span(s) written to %s%s\n",
+                 obs::trace_event_count(), g_flags.trace_path.c_str(),
+                 obs::trace_dropped_count() > 0 ? " (some dropped)" : "");
+  }
+  return rc;
 }

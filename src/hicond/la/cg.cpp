@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "hicond/la/vector_ops.hpp"
+#include "hicond/obs/metrics.hpp"
+#include "hicond/obs/trace.hpp"
 
 namespace hicond {
 
@@ -10,9 +12,21 @@ namespace {
 
 /// Shared implementation. `use_precond` selects PCG; `flexible` switches the
 /// beta recurrence from Fletcher-Reeves to Polak-Ribiere.
+/// Phase-boundary bookkeeping shared by the three public entry points.
+void record_solve_metrics(const SolveStats& stats) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter_add("cg.solves");
+  metrics.counter_add("cg.iterations", stats.iterations);
+  if (stats.iterations > 0) {
+    metrics.histogram_record("cg.iterations_per_solve",
+                             static_cast<double>(stats.iterations));
+  }
+}
+
 SolveStats cg_impl(const LinearOperator& a, const LinearOperator* m_inv,
                    std::span<const double> b, std::span<double> x,
                    const CgOptions& opt, bool flexible) {
+  HICOND_SPAN("cg.solve");
   const std::size_t n = b.size();
   HICOND_CHECK(x.size() == n, "solution size mismatch");
   SolveStats stats;
@@ -42,6 +56,7 @@ SolveStats cg_impl(const LinearOperator& a, const LinearOperator* m_inv,
   if (r_norm <= stop) {
     stats.converged = true;
     stats.final_relative_residual = b_norm > 0.0 ? r_norm / b_norm : r_norm;
+    record_solve_metrics(stats);
     return stats;
   }
 
@@ -95,6 +110,7 @@ SolveStats cg_impl(const LinearOperator& a, const LinearOperator* m_inv,
     la::xpby(z, beta, p);
   }
   stats.final_relative_residual = b_norm > 0.0 ? r_norm / b_norm : r_norm;
+  record_solve_metrics(stats);
   return stats;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <queue>
 
+#include "hicond/obs/trace.hpp"
+
 namespace hicond {
 
 namespace {
@@ -437,6 +439,7 @@ CsrMatrix grounded_laplacian(const Graph& g, vidx ground) {
 LaplacianDirectSolver::LaplacianDirectSolver(const Graph& g, Ordering ordering)
     : n_(g.num_vertices()) {
   HICOND_CHECK(n_ >= 1, "empty graph");
+  HICOND_SPAN("cholesky.factor");
   if (n_ == 1) return;
   // Ground the maximum-volume vertex (a numerically safe choice).
   grounded_ = 0;

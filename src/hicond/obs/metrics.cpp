@@ -1,0 +1,107 @@
+#include "hicond/obs/metrics.hpp"
+
+#include "hicond/obs/json.hpp"
+#include "hicond/util/common.hpp"
+
+namespace hicond::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::counter_add(std::string_view name, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::histogram_record(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  it->second.add(value);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram() : it->second;
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters_) w.kv(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges_) w.kv(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.kv("count", h.count());
+    if (h.count() > 0) {
+      w.kv("mean", h.stats().mean());
+      w.kv("min", h.stats().min());
+      w.kv("max", h.stats().max());
+      w.kv("p50", h.quantile(0.5));
+      w.kv("p90", h.quantile(0.9));
+      w.kv("p99", h.quantile(0.99));
+    }
+    w.key("buckets").begin_array();
+    for (int i = 0; i < h.num_buckets(); ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      w.begin_object();
+      w.kv("lo", h.bucket_lower(i));
+      w.kv("hi", h.bucket_upper(i));
+      w.kv("count", h.bucket_count(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  HICOND_ASSERT(!w.str().empty());
+  return w.str();
+}
+
+}  // namespace hicond::obs

@@ -1,0 +1,163 @@
+#include "hicond/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "hicond/obs/json.hpp"
+#include "hicond/util/common.hpp"
+
+namespace hicond::obs {
+
+namespace {
+
+/// Per-thread span capacity. At 24 bytes per event this is ~1.5 MB per
+/// recording thread; the oldest events are overwritten on wrap (counted in
+/// `dropped`).
+constexpr std::size_t kRingCapacity = 1 << 16;
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+};
+
+/// One thread's span storage. Written only by the owning thread; read by
+/// the exporter outside parallel regions (ordered by the parallel_region
+/// join annotations).
+struct ThreadTraceBuffer {
+  explicit ThreadTraceBuffer(int tid_in) : tid(tid_in) {
+    events.resize(kRingCapacity);
+  }
+
+  int tid;
+  std::vector<TraceEvent> events;
+  std::size_t head = 0;   ///< next write slot
+  std::size_t count = 0;  ///< live events (<= kRingCapacity)
+  std::size_t dropped = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+
+/// Registry of every thread's buffer. Buffers are heap-allocated once per
+/// thread and intentionally never freed (bounded by the thread count), so
+/// registry pointers stay valid after short-lived threads exit.
+std::mutex g_registry_mu;
+std::vector<ThreadTraceBuffer*>& registry() {
+  static std::vector<ThreadTraceBuffer*> r;
+  return r;
+}
+
+ThreadTraceBuffer& local_buffer() {
+  thread_local ThreadTraceBuffer* tl = nullptr;
+  if (tl == nullptr) {
+    const std::lock_guard<std::mutex> lock(g_registry_mu);
+    tl = new ThreadTraceBuffer(static_cast<int>(registry().size()));
+    registry().push_back(tl);
+  }
+  return *tl;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) noexcept {
+  // Touch the epoch before the first span so trace_now_ns() stays cheap.
+  (void)trace_epoch();
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::int64_t trace_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void detail::record_span(const char* name, std::int64_t start_ns,
+                         std::int64_t end_ns) noexcept {
+  ThreadTraceBuffer& buf = local_buffer();
+  buf.events[buf.head] = {name, start_ns, end_ns - start_ns};
+  buf.head = (buf.head + 1) % kRingCapacity;
+  if (buf.count < kRingCapacity) {
+    ++buf.count;
+  } else {
+    ++buf.dropped;
+  }
+}
+
+void clear_trace() {
+  const std::lock_guard<std::mutex> lock(g_registry_mu);
+  for (ThreadTraceBuffer* buf : registry()) {
+    buf->head = 0;
+    buf->count = 0;
+    buf->dropped = 0;
+  }
+}
+
+std::size_t trace_event_count() {
+  const std::lock_guard<std::mutex> lock(g_registry_mu);
+  std::size_t total = 0;
+  for (const ThreadTraceBuffer* buf : registry()) total += buf->count;
+  return total;
+}
+
+std::size_t trace_dropped_count() {
+  const std::lock_guard<std::mutex> lock(g_registry_mu);
+  std::size_t total = 0;
+  for (const ThreadTraceBuffer* buf : registry()) total += buf->dropped;
+  return total;
+}
+
+std::string export_chrome_trace() {
+  struct Flat {
+    TraceEvent event;
+    int tid;
+  };
+  std::vector<Flat> all;
+  {
+    const std::lock_guard<std::mutex> lock(g_registry_mu);
+    for (const ThreadTraceBuffer* buf : registry()) {
+      // Oldest event first: when the ring wrapped, the head slot is oldest.
+      const std::size_t first =
+          buf->count == kRingCapacity ? buf->head : 0;
+      for (std::size_t i = 0; i < buf->count; ++i) {
+        all.push_back(
+            {buf->events[(first + i) % kRingCapacity], buf->tid});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Flat& a, const Flat& b) {
+    return a.event.start_ns < b.event.start_ns;
+  });
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const Flat& f : all) {
+    w.begin_object();
+    w.kv("name", f.event.name);
+    w.kv("cat", "hicond");
+    w.kv("ph", "X");
+    w.kv("ts", static_cast<double>(f.event.start_ns) / 1e3);
+    w.kv("dur", static_cast<double>(f.event.dur_ns) / 1e3);
+    w.kv("pid", 0);
+    w.kv("tid", f.tid);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace hicond::obs

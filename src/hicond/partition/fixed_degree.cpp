@@ -4,6 +4,7 @@
 
 #include "hicond/graph/builder.hpp"
 #include "hicond/graph/connectivity.hpp"
+#include "hicond/obs/trace.hpp"
 #include "hicond/tree/tree_splitting.hpp"
 #include "hicond/util/parallel.hpp"
 #include "hicond/util/rng.hpp"
@@ -104,6 +105,7 @@ bool is_unimodal_forest(const Graph& forest) {
 FixedDegreeResult fixed_degree_decomposition(const Graph& g,
                                              const FixedDegreeOptions& opt) {
   HICOND_CHECK(opt.max_cluster_size >= 2, "max_cluster_size must be >= 2");
+  HICOND_SPAN("fixed_degree.decompose");
   FixedDegreeResult result;
   heaviest_forest_pair(g, opt.seed, opt.perturb, &result.perturbed_forest,
                        &result.forest);
@@ -115,6 +117,7 @@ FixedDegreeResult fixed_degree_decomposition(const Graph& g,
   }
   // Pass [3]: bounded-size splitting on the perturbed weights (heaviest
   // perturbed edges merge first, preserving the unimodal structure).
+  HICOND_SPAN("fixed_degree.split");
   result.decomposition =
       split_forest_bounded(result.perturbed_forest, opt.max_cluster_size);
   HICOND_RUN_VALIDATION(expensive, result.decomposition.validate(g));

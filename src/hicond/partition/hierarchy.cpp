@@ -1,6 +1,9 @@
 #include "hicond/partition/hierarchy.hpp"
 
 #include "hicond/graph/quotient.hpp"
+#include "hicond/obs/metrics.hpp"
+#include "hicond/obs/trace.hpp"
+#include "hicond/util/timer.hpp"
 
 namespace hicond {
 
@@ -16,11 +19,14 @@ Decomposition LaminarHierarchy::flatten() const {
 LaminarHierarchy build_hierarchy(const Graph& g,
                                  const HierarchyOptions& opt) {
   HICOND_CHECK(opt.coarsest_size >= 1, "coarsest_size must be >= 1");
+  HICOND_SPAN("hierarchy.build");
   LaminarHierarchy h;
   Graph current = g;
   FixedDegreeOptions contraction = opt.contraction;
   for (int level = 0; level < opt.max_levels; ++level) {
     if (current.num_vertices() <= opt.coarsest_size) break;
+    HICOND_SPAN("hierarchy.level");
+    const Timer level_timer;
     // Vary the perturbation seed per level so contractions decorrelate.
     contraction.seed = opt.contraction.seed + static_cast<std::uint64_t>(level);
     FixedDegreeResult fd = fixed_degree_decomposition(current, contraction);
@@ -34,11 +40,18 @@ LaminarHierarchy build_hierarchy(const Graph& g,
     if (m >= current.num_vertices()) break;  // no progress (edgeless graph)
     Graph next = quotient_graph(current, level_decomp.assignment);
     HICOND_RUN_VALIDATION(expensive, level_decomp.validate(current));
-    h.levels.push_back({std::move(current), std::move(level_decomp)});
+    const double level_seconds = level_timer.seconds();
+    obs::MetricsRegistry::global().histogram_record(
+        "hierarchy.level_build_seconds", level_seconds);
+    h.levels.push_back(
+        {std::move(current), std::move(level_decomp), level_seconds});
     current = std::move(next);
   }
   h.coarsest = std::move(current);
   HICOND_RUN_VALIDATION(expensive, h.coarsest.validate());
+  obs::MetricsRegistry::global().counter_add("hierarchy.builds");
+  obs::MetricsRegistry::global().gauge_set(
+      "hierarchy.levels", static_cast<double>(h.num_levels()));
   return h;
 }
 

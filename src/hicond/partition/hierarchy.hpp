@@ -31,6 +31,9 @@ struct HierarchyOptions {
 struct HierarchyLevel {
   Graph graph;                  ///< the level's graph (level 0 = input)
   Decomposition decomposition;  ///< clustering of this level's vertices
+  /// Wall time build_hierarchy spent contracting this level into the next
+  /// (decomposition + optional refinement + quotient). For SolverReport.
+  double build_seconds = 0.0;
 };
 
 /// A laminar hierarchy: levels[l].decomposition maps level-l vertices to the

@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "hicond/la/vector_ops.hpp"
+#include "hicond/obs/metrics.hpp"
+#include "hicond/obs/trace.hpp"
 #include "hicond/util/parallel.hpp"
+#include "hicond/util/timer.hpp"
 
 namespace hicond {
 
@@ -12,6 +15,7 @@ MultilevelSteinerSolver MultilevelSteinerSolver::build(
   HICOND_CHECK(!hierarchy.levels.empty() ||
                    hierarchy.coarsest.num_vertices() > 0,
                "empty hierarchy");
+  HICOND_SPAN("multilevel.build");
   MultilevelSteinerSolver s;
   s.state_ = std::make_shared<State>();
   s.state_->hierarchy = std::move(hierarchy);
@@ -34,12 +38,29 @@ MultilevelSteinerSolver MultilevelSteinerSolver::build(
     s.state_->coarsest_solver = std::make_unique<LaplacianDirectSolver>(
         s.state_->hierarchy.coarsest);
   }
+  s.state_->cycle_stats.assign(
+      static_cast<std::size_t>(s.state_->hierarchy.num_levels()) + 1, {});
+  obs::MetricsRegistry::global().counter_add("multilevel.builds");
   return s;
 }
 
 void MultilevelSteinerSolver::cycle(int level, std::span<const double> r,
                                     std::span<double> z) const {
-  const State& st = *state_;
+  State& st = *state_;
+  // Inclusive per-level attribution; apply() is single-caller, so plain
+  // accumulation into the shared state is race-free.
+  LevelCycleStats& attribution =
+      st.cycle_stats[static_cast<std::size_t>(level)];
+  const Timer level_timer;
+  struct Accumulate {
+    const Timer& timer;
+    LevelCycleStats& stats;
+    ~Accumulate() {
+      ++stats.calls;
+      stats.seconds += timer.seconds();
+    }
+  } accumulate{level_timer, attribution};
+
   if (level == st.hierarchy.num_levels()) {
     if (st.coarsest_solver != nullptr) {
       st.coarsest_solver->apply(r, z);
@@ -96,6 +117,7 @@ void MultilevelSteinerSolver::cycle(int level, std::span<const double> r,
 
 void MultilevelSteinerSolver::apply(std::span<const double> r,
                                     std::span<double> z) const {
+  HICOND_SPAN("multilevel.apply");
   const State& st = *state_;
   if (st.hierarchy.num_levels() == 0) {
     if (st.coarsest_solver != nullptr) {

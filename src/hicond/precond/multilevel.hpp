@@ -30,6 +30,12 @@ struct MultilevelOptions {
   int cycles = 1;              ///< V-cycles per application (2 = W-like)
 };
 
+/// Accumulated per-level V-cycle time attribution (see cycle_stats()).
+struct LevelCycleStats {
+  std::int64_t calls = 0;
+  double seconds = 0.0;  ///< inclusive of the recursion into coarser levels
+};
+
 /// Symmetric multilevel cycle built on a LaminarHierarchy; the coarsest
 /// level is solved exactly with sparse LDL'.
 class MultilevelSteinerSolver {
@@ -46,6 +52,19 @@ class MultilevelSteinerSolver {
     return static_cast<int>(state_->hierarchy.num_levels());
   }
 
+  /// The hierarchy this cycle runs over (for reports and inspection).
+  [[nodiscard]] const LaminarHierarchy& hierarchy() const noexcept {
+    return state_->hierarchy;
+  }
+
+  /// Wall time spent per level across every apply() so far: entries
+  /// [0, num_levels()) are the V-cycle levels, the last entry is the
+  /// coarsest direct solve. Updated by the applying thread only; read it
+  /// between solves, not concurrently with one.
+  [[nodiscard]] std::vector<LevelCycleStats> cycle_stats() const {
+    return state_->cycle_stats;
+  }
+
   /// Total vertices across all levels divided by n (grid-complexity metric).
   [[nodiscard]] double operator_complexity() const;
 
@@ -56,6 +75,7 @@ class MultilevelSteinerSolver {
     std::vector<std::vector<double>> inv_diag;  ///< per level
     std::vector<std::unique_ptr<ChebyshevSmoother>> chebyshev;  ///< per level
     std::unique_ptr<LaplacianDirectSolver> coarsest_solver;
+    std::vector<LevelCycleStats> cycle_stats;  ///< levels + coarsest
   };
 
   void cycle(int level, std::span<const double> r, std::span<double> z) const;

@@ -9,6 +9,8 @@
 #include "hicond/graph/quotient.hpp"
 #include "hicond/la/csr.hpp"
 #include "hicond/la/sdd.hpp"
+#include "hicond/obs/metrics.hpp"
+#include "hicond/obs/trace.hpp"
 #include "hicond/util/parallel.hpp"
 
 namespace hicond {
@@ -89,6 +91,8 @@ Graph build_steiner_graph(const Graph& a, const Decomposition& p) {
 SteinerPreconditioner SteinerPreconditioner::build(const Graph& a,
                                                    const Decomposition& p) {
   validate_decomposition(a, p);
+  HICOND_SPAN("steiner.build");
+  obs::MetricsRegistry::global().counter_add("steiner.builds");
   SteinerPreconditioner sp;
   sp.assignment_ = p.assignment;
   const vidx n = a.num_vertices();

@@ -2,12 +2,16 @@
 
 #include "hicond/graph/connectivity.hpp"
 #include "hicond/la/vector_ops.hpp"
+#include "hicond/obs/trace.hpp"
+#include "hicond/util/timer.hpp"
 
 namespace hicond {
 
 LaplacianSolver::LaplacianSolver(Graph g,
                                  const LaplacianSolverOptions& options)
     : options_(options), graph_(std::make_shared<Graph>(std::move(g))) {
+  HICOND_SPAN("solver.setup");
+  const Timer setup_timer;
   HICOND_CHECK(graph_->num_vertices() >= 1, "empty graph");
   HICOND_RUN_VALIDATION(expensive, graph_->validate());
   HICOND_CHECK(is_connected(*graph_),
@@ -15,10 +19,12 @@ LaplacianSolver::LaplacianSolver(Graph g,
   solver_ = std::make_shared<MultilevelSteinerSolver>(
       MultilevelSteinerSolver::build(
           build_hierarchy(*graph_, options.hierarchy), options.multilevel));
+  setup_seconds_ = setup_timer.seconds();
 }
 
 SolveStats LaplacianSolver::solve(std::span<const double> b,
                                   std::span<double> x) const {
+  HICOND_SPAN("solver.solve");
   const Graph& g = *graph_;
   HICOND_CHECK(b.size() == static_cast<std::size_t>(g.num_vertices()),
                "rhs size mismatch");
@@ -26,10 +32,32 @@ SolveStats LaplacianSolver::solve(std::span<const double> b,
   auto a = [&g](std::span<const double> in, std::span<double> out) {
     g.laplacian_apply(in, out);
   };
-  return flexible_pcg_solve(a, solver_->as_operator(), b, x,
-                            {.max_iterations = options_.max_iterations,
-                             .rel_tolerance = options_.rel_tolerance,
-                             .project_constant = true});
+  const Timer solve_timer;
+  SolveStats stats =
+      flexible_pcg_solve(a, solver_->as_operator(), b, x,
+                         {.max_iterations = options_.max_iterations,
+                          .rel_tolerance = options_.rel_tolerance,
+                          .record_history = true,
+                          .project_constant = true});
+  solve_seconds_total_ += solve_timer.seconds();
+  ++num_solves_;
+  last_stats_ = stats;
+  return stats;
+}
+
+obs::SolverReport LaplacianSolver::report(
+    const obs::SolverReportOptions& options) const {
+  obs::SolverReport r = obs::make_solver_report(*solver_, options);
+  r.setup_seconds = setup_seconds_;
+  r.solves = num_solves_;
+  r.solve_seconds = solve_seconds_total_;
+  if (num_solves_ > 0) {
+    r.iterations = last_stats_.iterations;
+    r.converged = last_stats_.converged;
+    r.final_relative_residual = last_stats_.final_relative_residual;
+    r.residual_history = last_stats_.residual_history;
+  }
+  return r;
 }
 
 double LaplacianSolver::effective_resistance(vidx u, vidx v) const {

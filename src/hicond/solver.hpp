@@ -15,6 +15,7 @@
 
 #include "hicond/graph/graph.hpp"
 #include "hicond/la/cg.hpp"
+#include "hicond/obs/report.hpp"
 #include "hicond/partition/hierarchy.hpp"
 #include "hicond/precond/multilevel.hpp"
 
@@ -53,10 +54,28 @@ class LaplacianSolver {
     return solver_->operator_complexity();
   }
 
+  /// Wall time of hierarchy + preconditioner construction.
+  [[nodiscard]] double setup_seconds() const noexcept {
+    return setup_seconds_;
+  }
+
+  /// Structured report of the hierarchy (per-level sizes, phi distribution,
+  /// V-cycle timings) plus the most recent solve's iteration stats and
+  /// residual trace. Solve bookkeeping is updated by solve() without
+  /// synchronization: don't call report() concurrently with a solve.
+  [[nodiscard]] obs::SolverReport report(
+      const obs::SolverReportOptions& options = {}) const;
+
  private:
   LaplacianSolverOptions options_;
   std::shared_ptr<Graph> graph_;
   std::shared_ptr<MultilevelSteinerSolver> solver_;
+  double setup_seconds_ = 0.0;
+  // Last-solve bookkeeping for report(); mutated by the const solve()
+  // entry points (logically observational state).
+  mutable SolveStats last_stats_;
+  mutable int num_solves_ = 0;
+  mutable double solve_seconds_total_ = 0.0;
 };
 
 }  // namespace hicond

@@ -17,8 +17,17 @@ std::string format_duration(double seconds) {
     std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
   } else if (seconds < 1.0) {
     std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
-  } else {
+  } else if (seconds < 60.0) {
     std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (seconds < 3600.0) {
+    const long long min = static_cast<long long>(seconds) / 60;
+    std::snprintf(buf, sizeof buf, "%lld min %.1f s", min,
+                  seconds - static_cast<double>(min) * 60.0);
+  } else {
+    const long long h = static_cast<long long>(seconds) / 3600;
+    const long long min =
+        (static_cast<long long>(seconds) - h * 3600) / 60;
+    std::snprintf(buf, sizeof buf, "%lld h %lld min", h, min);
   }
   return buf;
 }

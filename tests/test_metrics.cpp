@@ -1,0 +1,218 @@
+// Tests for obs/metrics (registry semantics + JSON export) and obs/report
+// (LaplacianSolver round-trip: the report must be consistent with the
+// hierarchy it describes).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/obs/json.hpp"
+#include "hicond/obs/metrics.hpp"
+#include "hicond/obs/report.hpp"
+#include "hicond/solver.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("m.c"), 0);
+  registry.counter_add("m.c");
+  registry.counter_add("m.c", 4);
+  EXPECT_EQ(registry.counter("m.c"), 5);
+}
+
+TEST(Metrics, GaugesLastWriteWins) {
+  obs::MetricsRegistry registry;
+  registry.gauge_set("m.g", 1.5);
+  registry.gauge_set("m.g", -2.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("m.g"), -2.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("m.unset"), 0.0);
+}
+
+TEST(Metrics, HistogramsRecordSamples) {
+  obs::MetricsRegistry registry;
+  for (int i = 1; i <= 100; ++i) {
+    registry.histogram_record("m.h", static_cast<double>(i));
+  }
+  const Histogram h = registry.histogram("m.h");
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.stats().mean(), 50.5, 1e-12);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 15.0);  // log buckets: coarse mid-range
+  EXPECT_EQ(registry.histogram("m.never").count(), 0u);
+}
+
+TEST(Metrics, ClearEmptiesEverything) {
+  obs::MetricsRegistry registry;
+  registry.counter_add("m.c");
+  registry.gauge_set("m.g", 1.0);
+  registry.histogram_record("m.h", 1.0);
+  registry.clear();
+  EXPECT_EQ(registry.counter("m.c"), 0);
+  EXPECT_DOUBLE_EQ(registry.gauge("m.g"), 0.0);
+  EXPECT_EQ(registry.histogram("m.h").count(), 0u);
+}
+
+TEST(Metrics, ToJsonIsWellFormed) {
+  obs::MetricsRegistry registry;
+  registry.counter_add("m.count", 7);
+  registry.gauge_set("m.level", 3.0);
+  registry.histogram_record("m.time", 0.5);
+  registry.histogram_record("m.time", 2.0);
+  const obs::JsonValue doc = obs::parse_json(registry.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("m.count").number, 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("m.level").number, 3.0);
+  const obs::JsonValue& h = doc.at("histograms").at("m.time");
+  EXPECT_DOUBLE_EQ(h.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(h.at("min").number, 0.5);
+  EXPECT_DOUBLE_EQ(h.at("max").number, 2.0);
+  ASSERT_TRUE(h.at("buckets").is_array());
+  double bucket_total = 0.0;
+  for (const obs::JsonValue& b : h.at("buckets").array) {
+    EXPECT_GT(b.at("count").number, 0.0);  // zero buckets are omitted
+    EXPECT_LT(b.at("lo").number, b.at("hi").number);
+    bucket_total += b.at("count").number;
+  }
+  EXPECT_DOUBLE_EQ(bucket_total, 2.0);
+}
+
+TEST(Metrics, GlobalRegistryRecordsLibraryActivity) {
+  auto& global = obs::MetricsRegistry::global();
+  global.clear();
+  const Graph g = gen::grid2d(24, 24, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  const LaplacianSolver solver(g, {.hierarchy = {.coarsest_size = 64}});
+  EXPECT_GE(global.counter("hierarchy.builds"), 1);
+  EXPECT_GE(global.counter("multilevel.builds"), 1);
+  global.clear();
+}
+
+// ---------------------------------------------------------------------------
+// SolverReport round-trip
+// ---------------------------------------------------------------------------
+
+class SolverReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = gen::grid2d(32, 32, gen::WeightSpec::uniform(1.0, 2.0), 11);
+    solver_ = std::make_unique<LaplacianSolver>(
+        graph_, LaplacianSolverOptions{.hierarchy = {.coarsest_size = 64}});
+    const auto n = static_cast<std::size_t>(graph_.num_vertices());
+    b_.assign(n, 0.0);
+    Rng rng(17);
+    for (auto& v : b_) v = rng.uniform(-1.0, 1.0);
+    la::remove_mean(b_);
+    x_.assign(n, 0.0);
+    stats_ = solver_->solve(b_, x_);
+  }
+
+  Graph graph_;
+  std::unique_ptr<LaplacianSolver> solver_;
+  std::vector<double> b_;
+  std::vector<double> x_;
+  SolveStats stats_;
+};
+
+TEST_F(SolverReportTest, HierarchyShapeIsConsistent) {
+  const obs::SolverReport report = solver_->report();
+  ASSERT_FALSE(report.levels.empty());
+  EXPECT_EQ(report.vertices, graph_.num_vertices());
+  EXPECT_EQ(report.edges, graph_.num_edges());
+  EXPECT_EQ(static_cast<int>(report.levels.size()), report.num_levels);
+  // Level l's clusters are level l+1's vertices; the last level contracts
+  // into the coarsest graph.
+  for (std::size_t l = 0; l + 1 < report.levels.size(); ++l) {
+    EXPECT_EQ(report.levels[l].clusters, report.levels[l + 1].vertices);
+  }
+  EXPECT_EQ(report.levels.back().clusters, report.coarsest_vertices);
+  EXPECT_EQ(report.levels.front().vertices, graph_.num_vertices());
+  EXPECT_GE(report.operator_complexity, 1.0);
+}
+
+TEST_F(SolverReportTest, QualityDistributionIsSane) {
+  const obs::SolverReport report = solver_->report();
+  for (const obs::LevelReport& lv : report.levels) {
+    EXPECT_GT(lv.phi_min, 0.0);
+    EXPECT_LE(lv.phi_min, lv.phi_p50);
+    EXPECT_LE(lv.phi_p50, lv.phi_p90);
+    EXPECT_LE(lv.phi_p90, 1.0);
+    EXPECT_GE(lv.cut_fraction, 0.0);
+    EXPECT_LE(lv.cut_fraction, 1.0);
+    EXPECT_GT(lv.reduction, 1.0);
+  }
+}
+
+TEST_F(SolverReportTest, TimingAttributionIsConsistent) {
+  const obs::SolverReport report = solver_->report();
+  EXPECT_GT(report.setup_seconds, 0.0);
+  EXPECT_EQ(report.solves, 1);
+  EXPECT_GT(report.solve_seconds, 0.0);
+  // One V-cycle per PCG iteration plus possibly the iteration-0 precondition
+  // application; every level is visited once per cycle.
+  ASSERT_FALSE(report.levels.empty());
+  const std::int64_t cycles = report.levels.front().cycle_calls;
+  EXPECT_GE(cycles, static_cast<std::int64_t>(stats_.iterations));
+  for (const obs::LevelReport& lv : report.levels) {
+    EXPECT_EQ(lv.cycle_calls, cycles);
+    EXPECT_GE(lv.cycle_seconds, lv.cycle_seconds_exclusive);
+  }
+  EXPECT_EQ(report.coarsest_calls, cycles);
+  // Exclusive times plus the coarsest solve account for the inclusive root.
+  double exclusive_total = report.coarsest_seconds;
+  for (const obs::LevelReport& lv : report.levels) {
+    exclusive_total += lv.cycle_seconds_exclusive;
+  }
+  EXPECT_LE(exclusive_total,
+            report.levels.front().cycle_seconds * 1.5 + 1e-6);
+}
+
+TEST_F(SolverReportTest, ResidualTraceMatchesSolveAndConverges) {
+  const obs::SolverReport report = solver_->report();
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.iterations, stats_.iterations);
+  ASSERT_EQ(report.residual_history.size(),
+            static_cast<std::size_t>(stats_.iterations) + 1);
+  // PCG residuals need not decrease strictly step-to-step, but convergence
+  // means the final residual is far below the initial one.
+  EXPECT_LT(report.residual_history.back(),
+            report.residual_history.front() * 1e-6);
+  // ... and the trace never blows up: no entry exceeds the initial residual
+  // by more than a small factor.
+  for (const double r : report.residual_history) {
+    EXPECT_LE(r, report.residual_history.front() * 10.0);
+  }
+}
+
+TEST_F(SolverReportTest, JsonRoundTrip) {
+  const obs::SolverReport report = solver_->report();
+  const obs::JsonValue doc = obs::parse_json(report.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("vertices").number,
+                   static_cast<double>(graph_.num_vertices()));
+  EXPECT_EQ(doc.at("levels").array.size(), report.levels.size());
+  const obs::JsonValue& solve = doc.at("solve");
+  EXPECT_DOUBLE_EQ(solve.at("iterations").number,
+                   static_cast<double>(report.iterations));
+  EXPECT_TRUE(solve.at("converged").boolean);
+  EXPECT_EQ(solve.at("residual_history").array.size(),
+            report.residual_history.size());
+  // Text rendering mentions the shape too.
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("SolverReport"), std::string::npos);
+  EXPECT_NE(text.find("coarse"), std::string::npos);
+}
+
+TEST_F(SolverReportTest, SkippingQualityLeavesPhiUnset) {
+  const obs::SolverReport report =
+      solver_->report(obs::SolverReportOptions{.quality = false});
+  for (const obs::LevelReport& lv : report.levels) {
+    EXPECT_EQ(lv.phi_min, 0.0);
+    EXPECT_EQ(lv.phi_p50, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hicond

@@ -46,5 +46,18 @@ TEST(FormatDuration, KnownValues) {
   EXPECT_EQ(format_duration(2.5), "2.500 s");
 }
 
+TEST(FormatDuration, SubMicrosecond) {
+  EXPECT_EQ(format_duration(0.0), "0.0 ns");
+  EXPECT_EQ(format_duration(5e-10), "0.5 ns");
+  EXPECT_EQ(format_duration(2.5e-7), "250.0 ns");
+}
+
+TEST(FormatDuration, MinutesAndHours) {
+  EXPECT_EQ(format_duration(125.0), "2 min 5.0 s");
+  EXPECT_EQ(format_duration(3599.0), "59 min 59.0 s");
+  EXPECT_EQ(format_duration(3725.0), "1 h 2 min");
+  EXPECT_EQ(format_duration(90000.0), "25 h 0 min");
+}
+
 }  // namespace
 }  // namespace hicond

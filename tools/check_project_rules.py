@@ -27,6 +27,13 @@ Rules (each failure prints `path:line: [rule] message` and exits nonzero):
                       leading comment block); a module's .cpp includes its
                       own header first.
 
+  chrono-timing       Raw `std::chrono` / `#include <chrono>` timing is only
+                      allowed in util/timer.* and the observability layer
+                      (src/hicond/obs/).  Everything else must time through
+                      util/timer (Timer, time_best_of) or obs spans so
+                      measurements share one clock and show up in traces.
+                      tests/ are exempt (sleep_for in timer tests).
+
 Run: python3 tools/check_project_rules.py [root]
 """
 from __future__ import annotations
@@ -44,8 +51,14 @@ RAND_USE = re.compile(r"std::rand\b|\bsrand\s*\(|(?<![\w:])rand\s*\(")
 # Files allowed to contain raw `#pragma omp parallel` (the funnel itself).
 OMP_FUNNEL_ALLOWED = {"src/hicond/util/parallel.hpp"}
 
-# util/ is infrastructure, not an API boundary; exempt from check-coverage.
-CHECK_EXEMPT_DIRS = ("src/hicond/util/",)
+# util/ and obs/ are infrastructure, not an API boundary; exempt from
+# check-coverage.
+CHECK_EXEMPT_DIRS = ("src/hicond/util/", "src/hicond/obs/")
+
+# Only these may touch std::chrono directly; see the chrono-timing rule.
+CHRONO_ALLOWED_PREFIXES = ("src/hicond/util/timer.", "src/hicond/obs/",
+                           "tests/")
+CHRONO_USE = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
 
 
 def strip_comments(line: str) -> str:
@@ -120,6 +133,15 @@ def main() -> int:
                     err(path, lineno, "no-std-rand",
                         "std::rand/srand/rand() is forbidden; use "
                         "util/rng.hpp")
+
+            # --- chrono-timing ------------------------------------------
+            if not any(rel.startswith(p) for p in CHRONO_ALLOWED_PREFIXES):
+                for lineno, line in enumerate(lines, 1):
+                    if CHRONO_USE.search(strip_comments(line)):
+                        err(path, lineno, "chrono-timing",
+                            "raw std::chrono outside util/timer and obs/; "
+                            "use util/timer (Timer, time_best_of) or "
+                            "HICOND_SPAN")
 
             # --- check-coverage (library .cpp only) ---------------------
             if (

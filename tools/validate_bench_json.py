@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validate a hicond_bench result file against bench/baselines/schema.json.
+
+Hand-rolled validator for the small schema subset we use (no jsonschema
+dependency): type, required, properties, items, enum, minimum, and
+additionalPropertiesSchema (applied to every member not listed in
+properties -- used for the free-form per-case metrics object).
+
+Usage: validate_bench_json.py RESULT.json SCHEMA.json
+Exit 0 when valid, 1 with a list of violations otherwise.
+"""
+
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required member '{name}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalPropertiesSchema")
+        for name, member in value.items():
+            if name in props:
+                validate(member, props[name], f"{path}.{name}", errors)
+            elif extra is not None:
+                validate(member, extra, f"{path}.{name}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        document = json.load(f)
+    with open(argv[2], encoding="utf-8") as f:
+        schema = json.load(f)
+    errors = []
+    validate(document, schema, "$", errors)
+    if errors:
+        for e in errors:
+            print(f"SCHEMA VIOLATION {e}")
+        print(f"{argv[1]}: {len(errors)} schema violation(s)")
+        return 1
+    print(f"{argv[1]}: schema OK ({len(document.get('cases', []))} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
