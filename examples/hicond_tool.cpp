@@ -17,7 +17,11 @@
 //   --report           solve only: print the structured SolverReport
 //                      (per-level hierarchy + timing breakdown)
 //   --json             emit machine-readable JSON instead of text where
-//                      supported (decompose stats, solve report)
+//                      supported (decompose stats, solve report, certificate)
+//   --certify          decompose only: re-check the decomposition with the
+//                      independent certify/ oracle and print the certificate
+//                      (JSON with --json, text otherwise); exits nonzero if
+//                      certification fails
 //
 // The .wel format is the library's weighted edge list (see
 // hicond/graph/io.hpp).
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "hicond/certify/certify.hpp"
 #include "hicond/graph/connectivity.hpp"
 #include "hicond/graph/generators.hpp"
 #include "hicond/graph/io.hpp"
@@ -53,6 +58,7 @@ struct GlobalFlags {
   std::string trace_path;  ///< empty = tracing off
   bool report = false;
   bool json = false;
+  bool certify = false;
 };
 
 GlobalFlags g_flags;
@@ -64,7 +70,8 @@ int usage() {
                "  hicond_tool stats <graph.wel>\n"
                "  hicond_tool decompose <graph.wel> [k] [out.assignment]\n"
                "  hicond_tool solve <graph.wel> [precond]\n"
-               "global flags: --trace out.json | --report | --json\n");
+               "global flags: --trace out.json | --report | --json | "
+               "--certify\n");
   return 2;
 }
 
@@ -143,6 +150,19 @@ int cmd_decompose(int argc, char** argv) {
     }
     return 0;
   };
+  auto print_certificate = [&]() -> int {
+    if (!g_flags.certify) return 0;
+    // Structural targets only (phi = 0, rho = 1): the certificate still
+    // records independently recomputed conductance bounds per cluster.
+    const certify::Certificate cert =
+        certify::certify_decomposition(g, fd.decomposition, 0.0, 1.0);
+    if (g_flags.json) {
+      std::printf("%s\n", cert.to_json().c_str());
+    } else {
+      std::printf("%s", cert.to_text().c_str());
+    }
+    return cert.pass ? 0 : 1;
+  };
   if (g_flags.json) {
     obs::JsonWriter w;
     w.begin_object();
@@ -161,6 +181,7 @@ int cmd_decompose(int argc, char** argv) {
     w.kv("singletons", stats.num_singletons);
     w.end_object();
     std::printf("%s\n", w.str().c_str());
+    if (const int rc = print_certificate(); rc != 0) return rc;
     return write_assignment();
   }
   std::printf("clusters        %d (reduction %.2f) in %s\n",
@@ -173,6 +194,7 @@ int cmd_decompose(int argc, char** argv) {
   std::printf("cut fraction    %.4f\n", cut_weight_fraction(g, fd.decomposition));
   std::printf("max cluster     %d, singletons %d\n", stats.max_cluster_size,
               stats.num_singletons);
+  if (const int rc = print_certificate(); rc != 0) return rc;
   if (argc > 4) {
     if (const int rc = write_assignment(); rc != 0) return rc;
     std::printf("assignment written to %s\n", argv[4]);
@@ -272,6 +294,8 @@ int main(int argc, char** argv) {
       g_flags.report = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       g_flags.json = true;
+    } else if (std::strcmp(argv[i], "--certify") == 0) {
+      g_flags.certify = true;
     } else {
       args.push_back(argv[i]);
     }

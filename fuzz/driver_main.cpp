@@ -1,0 +1,136 @@
+// Standalone driver for the fuzz harnesses, used when the toolchain has no
+// libFuzzer runtime (the GCC-only CI image). Two modes:
+//
+//   fuzz_replay_<target> <file-or-dir>...
+//       Replay every corpus input through LLVMFuzzerTestOneInput, in sorted
+//       order for reproducibility. This is what the ctest registration runs.
+//
+//   fuzz_replay_<target> --mutate <seconds> <seed> <file-or-dir>...
+//       Time-budgeted random mutation of the corpus (bit flips, byte
+//       inserts/erases, truncation) -- a poor cousin of coverage guidance,
+//       but enough to shake out shallow parsing crashes in a CI smoke job.
+//
+// Any uncaught exception or sanitizer report aborts the process, which the
+// caller (ctest or the CI fuzz job) treats as a failure.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hicond/util/rng.hpp"
+#include "hicond/util/timer.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "fuzz driver: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+/// Expand file and directory arguments into a sorted list of input files.
+std::vector<std::filesystem::path> collect_inputs(
+    const std::vector<std::string>& args) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& arg : args) {
+    const std::filesystem::path p(arg);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "fuzz driver: no such input " << p << "\n";
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void mutate(Bytes& input, hicond::Rng& rng) {
+  const auto op = rng.uniform_index(4);
+  if (input.empty() || op == 1) {
+    // Insert a byte (also the only move available on an empty input).
+    const auto at = rng.uniform_index(input.size() + 1);
+    input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                 static_cast<std::uint8_t>(rng.next_u64()));
+    return;
+  }
+  const auto at = rng.uniform_index(input.size());
+  switch (op) {
+    case 0:  // flip a bit
+      input[at] ^= static_cast<std::uint8_t>(1U << rng.uniform_index(8));
+      break;
+    case 2:  // erase a byte
+      input.erase(input.begin() + static_cast<std::ptrdiff_t>(at));
+      break;
+    default:  // truncate
+      input.resize(at);
+      break;
+  }
+}
+
+int run_mutation(double budget_seconds, std::uint64_t seed,
+                 const std::vector<std::filesystem::path>& files) {
+  std::vector<Bytes> corpus;
+  corpus.reserve(files.size());
+  for (const auto& f : files) corpus.push_back(read_file(f));
+  if (corpus.empty()) corpus.emplace_back();  // mutate from the empty input
+
+  hicond::Rng rng(seed);
+  hicond::Timer timer;
+  std::uint64_t execs = 0;
+  while (timer.seconds() < budget_seconds) {
+    Bytes input = corpus[rng.uniform_index(corpus.size())];
+    const auto rounds = 1 + rng.uniform_index(8);
+    for (std::uint64_t r = 0; r < rounds; ++r) mutate(input, rng);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++execs;
+  }
+  std::cout << "fuzz driver: " << execs << " mutated execs in "
+            << timer.seconds() << " s (seed " << seed << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  double mutate_seconds = -1.0;
+  std::uint64_t seed = 0;
+  if (args.size() >= 3 && args[0] == "--mutate") {
+    mutate_seconds = std::stod(args[1]);
+    seed = std::stoull(args[2]);
+    args.erase(args.begin(), args.begin() + 3);
+  }
+  if (args.empty()) {
+    std::cerr << "usage: " << (argc > 0 ? argv[0] : "fuzz_replay")
+              << " [--mutate <seconds> <seed>] <file-or-dir>...\n";
+    return 2;
+  }
+
+  const auto files = collect_inputs(args);
+  for (const auto& f : files) {
+    const Bytes input = read_file(f);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::cout << "fuzz driver: replayed " << files.size() << " inputs\n";
+  if (mutate_seconds > 0.0) return run_mutation(mutate_seconds, seed, files);
+  return 0;
+}

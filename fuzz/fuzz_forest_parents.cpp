@@ -1,0 +1,41 @@
+// Fuzz target: RootedForest::from_parents. Decodes bytes into a parent
+// array (including -1 roots, self-parents, cycles, and out-of-range
+// indices) plus optional edge weights. Contract: reject with
+// invalid_argument_error or accept -- and anything accepted must pass
+// validate().
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz_util.hpp"
+#include "hicond/tree/rooted_tree.hpp"
+#include "hicond/util/common.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  hicond::fuzz::ByteReader r(data, size);
+  const auto n = static_cast<std::size_t>(r.u8() % 33);
+  const bool with_weights = (r.u8() & 1) != 0;
+
+  std::vector<hicond::vidx> parents(n);
+  for (auto& p : parents) {
+    // Window [-2, n]: -1 roots, valid parents, and both out-of-range sides.
+    p = static_cast<hicond::vidx>(r.u16() % (n + 3)) - 2;
+  }
+  std::vector<double> weights;
+  if (with_weights) {
+    weights.resize(n);
+    for (auto& w : weights) w = r.f64();
+  }
+
+  bool accepted = false;
+  hicond::RootedForest f;
+  try {
+    f = hicond::RootedForest::from_parents(parents, weights);
+    accepted = true;
+  } catch (const hicond::invalid_argument_error&) {
+  }
+  if (accepted) f.validate();  // accepted implies fully valid -- never throws
+  return 0;
+}

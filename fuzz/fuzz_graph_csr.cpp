@@ -1,0 +1,44 @@
+// Fuzz target: Graph::from_csr, the untrusted zero-copy interop entry
+// point. Decodes bytes into (n, offsets, targets, weights) spanning both
+// well-formed and wildly malformed shapes (ragged offsets, out-of-range
+// targets, NaN weights). Contract: reject with invalid_argument_error or
+// accept -- and anything accepted must pass the full validate() sweep.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz_util.hpp"
+#include "hicond/graph/graph.hpp"
+#include "hicond/util/common.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  hicond::fuzz::ByteReader r(data, size);
+  const auto n = static_cast<hicond::vidx>(r.u8() % 17);
+  const std::size_t arcs = r.u8() % 65;
+
+  std::vector<hicond::eidx> offsets(static_cast<std::size_t>(n) + 1);
+  for (auto& o : offsets) {
+    // Window [-16, 80]: covers negative, ragged, and past-the-end offsets.
+    o = static_cast<hicond::eidx>(r.u16() % 97) - 16;
+  }
+  std::vector<hicond::vidx> targets(arcs);
+  for (auto& t : targets) {
+    // Window [-8, 247]: in-range, negative, and out-of-range targets.
+    t = static_cast<hicond::vidx>(r.u8()) - 8;
+  }
+  std::vector<double> weights(arcs);
+  for (auto& w : weights) w = r.f64();
+
+  bool accepted = false;
+  hicond::Graph g;
+  try {
+    g = hicond::Graph::from_csr(n, std::move(offsets), std::move(targets),
+                                std::move(weights));
+    accepted = true;
+  } catch (const hicond::invalid_argument_error&) {
+  }
+  if (accepted) g.validate();  // accepted implies fully valid -- never throws
+  return 0;
+}

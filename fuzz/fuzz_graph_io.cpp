@@ -1,0 +1,69 @@
+// Fuzz target: the plain-text graph readers (edge list + METIS). Arbitrary
+// bytes are fed as the stream contents; the readers must either return a
+// valid graph or throw invalid_argument_error. A pre-scan clamps absurd
+// header counts so the harness probes parsing logic instead of timing out
+// on a single multi-gigabyte allocation the format legitimately requests.
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/graph/io.hpp"
+#include "hicond/util/common.hpp"
+
+namespace {
+
+/// True when the first non-comment line carries a number longer than six
+/// digits -- such headers declare >= 10^6 vertices/edges and only test the
+/// allocator, not the parser.
+bool header_is_huge(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start])) != 0) {
+      ++start;
+    }
+    if (start == line.size()) continue;
+    if (line[start] == '%' || line[start] == '#') continue;
+    std::size_t digits = 0;
+    for (std::size_t i = start; i < line.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(line[i])) != 0) {
+        if (++digits > 6) return true;
+      } else {
+        digits = 0;
+      }
+    }
+    return false;  // only the header line matters
+  }
+  return false;
+}
+
+void feed(const std::string& text, hicond::Graph (*reader)(std::istream&)) {
+  std::istringstream in(text);
+  try {
+    std::ignore = reader(in);
+  } catch (const hicond::invalid_argument_error&) {
+    // the documented rejection path
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  if (header_is_huge(text)) return 0;
+  feed(text, &hicond::read_graph);
+  feed(text, &hicond::read_metis);
+  return 0;
+}

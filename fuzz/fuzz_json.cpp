@@ -1,0 +1,23 @@
+// Fuzz target: obs::parse_json on arbitrary bytes. The parser's contract is
+// to either return a document or throw invalid_argument_error -- any other
+// exception, crash, hang, or sanitizer report is a bug (historically: stack
+// overflow on deeply nested input before the recursion-depth limit).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <tuple>
+
+#include "hicond/obs/json.hpp"
+#include "hicond/util/common.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    std::ignore = hicond::obs::parse_json(text);
+  } catch (const hicond::invalid_argument_error&) {
+    // the documented rejection path
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "hicond/certify/certificate.hpp"
+
+#include <cstdio>
+
+#include "hicond/obs/json.hpp"
+
+namespace hicond::certify {
+
+const char* to_string(CheckStatus s) noexcept {
+  switch (s) {
+    case CheckStatus::pass: return "pass";
+    case CheckStatus::fail: return "fail";
+    case CheckStatus::skipped: return "skipped";
+  }
+  return "unknown";
+}
+
+const Check* Certificate::find_check(const std::string& name) const {
+  for (const Check& c : checks) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void Certificate::finalize() {
+  HICOND_CHECK(!kind.empty(), "certificate kind must be set");
+  bool any = false;
+  bool ok = true;
+  for (const Check& c : checks) {
+    if (c.status == CheckStatus::skipped) continue;
+    any = true;
+    if (c.status == CheckStatus::fail) ok = false;
+  }
+  pass = any && ok;
+}
+
+std::string Certificate::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("kind", kind);
+  w.kv("pass", pass);
+  w.key("instance").begin_object();
+  w.kv("vertices", num_vertices);
+  w.kv("edges", static_cast<std::int64_t>(num_edges));
+  w.kv("total_volume", total_volume);
+  w.kv("clusters", num_clusters);
+  w.end_object();
+  w.key("targets").begin_object();
+  w.kv("phi", phi_target);
+  w.kv("rho", rho_target);
+  w.end_object();
+  w.key("checks").begin_array();
+  for (const Check& c : checks) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("status", to_string(c.status));
+    w.kv("measured", c.measured);
+    w.kv("bound", c.bound);
+    w.kv("relation", c.relation);
+    w.kv("method", c.method);
+    if (!c.detail.empty()) w.kv("detail", c.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("cluster_evidence").begin_array();
+  for (const ClusterEvidence& e : clusters) {
+    w.begin_object();
+    w.kv("cluster", e.cluster);
+    w.kv("size", e.size);
+    w.kv("closure_size", e.closure_size);
+    w.kv("phi_lower", e.phi_lower);
+    w.kv("phi_upper", e.phi_upper);
+    w.kv("exact", e.exact);
+    w.end_object();
+  }
+  w.end_array();
+  if (!note.empty()) w.kv("note", note);
+  w.end_object();
+  return w.str();
+}
+
+std::string Certificate::to_text() const {
+  std::string out = "certificate [" + kind + "]: ";
+  out += pass ? "PASS" : "FAIL";
+  out += '\n';
+  char buf[192];
+  for (const Check& c : checks) {
+    std::snprintf(buf, sizeof buf, "  %-24s %-7s %.6g %s %.6g (%s)\n",
+                  c.name.c_str(), to_string(c.status), c.measured,
+                  c.relation.c_str(), c.bound, c.method.c_str());
+    out += buf;
+    if (!c.detail.empty()) out += "    " + c.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace hicond::certify

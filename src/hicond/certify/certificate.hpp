@@ -1,0 +1,86 @@
+// Machine-readable certificates for the paper's guarantees.
+//
+// A Certificate is the output of the certify/ oracle layer: a list of named
+// checks, each comparing an independently *recomputed* quantity against a
+// bound from the paper (Theorem 2.1, Section 2, Theorem 3.5), plus the
+// per-cluster closure-conductance evidence the checks were derived from.
+// Certificates never throw on a failed bound -- a checker reports, it does
+// not abort -- and serialize to JSON through the one obs/json writer so the
+// schema stays consistent with every other exporter (see
+// docs/STATIC_ANALYSIS.md, "Certification & fuzzing", for the schema).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hicond/util/common.hpp"
+
+namespace hicond::certify {
+
+/// Outcome of one named check.
+enum class CheckStatus {
+  pass,     ///< measured quantity satisfies the bound
+  fail,     ///< measured quantity violates the bound
+  skipped,  ///< not applicable (e.g. support bound on a disconnected graph)
+};
+
+[[nodiscard]] const char* to_string(CheckStatus s) noexcept;
+
+/// One verified inequality: `measured relation bound` (e.g. phi >= 0.5).
+struct Check {
+  std::string name;     ///< stable identifier, e.g. "closure-conductance"
+  CheckStatus status = CheckStatus::skipped;
+  double measured = 0.0;   ///< oracle-recomputed quantity
+  double bound = 0.0;      ///< the bound it is compared against
+  std::string relation;    ///< ">=" or "<=": measured RELATION bound
+  std::string method;      ///< how `measured` was obtained (brute-force, ...)
+  std::string detail;      ///< free-text evidence, filled on failure
+};
+
+/// Per-cluster closure-conductance evidence backing the phi check.
+struct ClusterEvidence {
+  vidx cluster = 0;        ///< cluster id in the decomposition
+  vidx size = 0;           ///< vertices in the cluster
+  vidx closure_size = 0;   ///< vertices in the closure graph
+  double phi_lower = 0.0;  ///< certified lower bound on closure conductance
+  double phi_upper = 0.0;  ///< upper bound (== lower when exact)
+  bool exact = false;      ///< brute-forced (true) or spectral (false)
+};
+
+/// The certificate: input fingerprint, targets, checks and evidence.
+struct Certificate {
+  std::string kind;        ///< "decomposition" | "tree" | "steiner-support"
+  bool pass = false;       ///< conjunction of every non-skipped check
+
+  // Input fingerprint, so a certificate can be matched to its instance.
+  vidx num_vertices = 0;
+  eidx num_edges = 0;
+  double total_volume = 0.0;
+  vidx num_clusters = 0;
+
+  // Targets the instance was certified against.
+  double phi_target = 0.0;
+  double rho_target = 0.0;
+
+  std::vector<Check> checks;
+  std::vector<ClusterEvidence> clusters;
+
+  /// Note on conventions (e.g. the paper's phi = 1/2 for trees is stated
+  /// under its own conductance convention; see EXPERIMENTS.md).
+  std::string note;
+
+  /// Look up a check by name; nullptr when absent.
+  [[nodiscard]] const Check* find_check(const std::string& name) const;
+
+  /// Recompute `pass` from the checks (fail iff any check failed; a
+  /// certificate with zero non-skipped checks does not pass).
+  void finalize();
+
+  /// Serialize via obs::JsonWriter (schema in docs/STATIC_ANALYSIS.md).
+  [[nodiscard]] std::string to_json() const;
+
+  /// One paragraph of human-readable text, one line per check.
+  [[nodiscard]] std::string to_text() const;
+};
+
+}  // namespace hicond::certify

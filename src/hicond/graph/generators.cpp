@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hicond/graph/builder.hpp"
+#include "hicond/util/float_eq.hpp"
 
 namespace hicond::gen {
 
@@ -314,7 +315,7 @@ Graph oct_volume(vidx nx, vidx ny, vidx nz, const OctParams& params,
             static_cast<std::size_t>(nz) * 3);
   std::uint64_t counter = 0;
   auto speckle = [&](std::uint64_t c) {
-    if (params.speckle_sigma == 0.0) return 1.0;
+    if (exact_zero(params.speckle_sigma)) return 1.0;
     // Counter-based lognormal noise via two uniforms and Box-Muller.
     const double u1 = std::max(counter_uniform(seed, 2 * c, 0.0, 1.0),
                                0x1.0p-53);

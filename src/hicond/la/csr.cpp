@@ -4,6 +4,7 @@
 #include <cmath>
 #include <tuple>
 
+#include "hicond/util/float_eq.hpp"
 #include "hicond/util/parallel.hpp"
 
 namespace hicond {
@@ -28,7 +29,7 @@ void CsrMatrix::multiply_transpose(std::span<const double> x,
   std::fill(y.begin(), y.end(), 0.0);
   for (vidx i = 0; i < rows; ++i) {
     const double xi = x[static_cast<std::size_t>(i)];
-    if (xi == 0.0) continue;
+    if (exact_zero(xi)) continue;
     for (eidx k = offsets[static_cast<std::size_t>(i)];
          k < offsets[static_cast<std::size_t>(i) + 1]; ++k) {
       y[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])] +=

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "hicond/util/float_eq.hpp"
+
 namespace hicond {
 
 DenseMatrix DenseMatrix::identity(vidx n) {
@@ -46,7 +48,7 @@ DenseMatrix operator*(const DenseMatrix& a, const DenseMatrix& b) {
   for (vidx i = 0; i < a.rows_; ++i) {
     for (vidx k = 0; k < a.cols_; ++k) {
       const double aik = a(i, k);
-      if (aik == 0.0) continue;
+      if (exact_zero(aik)) continue;
       for (vidx j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
     }
   }

@@ -123,6 +123,11 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
+  /// Containers nested deeper than this are rejected. The parser recurses
+  /// once per level, so the limit is what bounds stack usage on adversarial
+  /// input ("[[[[..."); 128 is far beyond anything the exporters emit.
+  static constexpr int kMaxDepth = 128;
+
   JsonValue parse_document() {
     JsonValue v = parse_value();
     skip_ws();
@@ -193,11 +198,13 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 128 levels");
     JsonValue v;
     v.kind = JsonValue::Kind::object;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -212,17 +219,20 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return v;
     }
   }
 
   JsonValue parse_array() {
     expect('[');
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 128 levels");
     JsonValue v;
     v.kind = JsonValue::Kind::array;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -233,6 +243,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return v;
     }
   }
@@ -294,40 +305,44 @@ class Parser {
     }
   }
 
+  // RFC 8259 number grammar: optional '-' (no '+'), mandatory integer part,
+  // fraction and exponent each require at least one digit.
   JsonValue parse_number() {
     const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    bool any = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     auto digits = [&] {
+      std::size_t count = 0;
       while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
         ++pos_;
-        any = true;
+        ++count;
       }
+      return count;
     };
-    digits();
+    if (digits() == 0) fail("expected a value");
     if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
-      digits();
+      if (digits() == 0) fail("digits required after decimal point");
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
       ++pos_;
       if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
         ++pos_;
       }
-      digits();
+      if (digits() == 0) fail("digits required in exponent");
     }
-    if (!any) fail("expected a value");
     JsonValue v;
     v.kind = JsonValue::Kind::number;
     v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
                            nullptr);
+    // strtod saturates "1e999" to +inf; JSON has no non-finite numbers and
+    // every downstream consumer assumes finite values.
+    if (!std::isfinite(v.number)) fail("number out of double range");
     return v;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

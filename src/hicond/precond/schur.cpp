@@ -4,6 +4,7 @@
 
 #include "hicond/graph/builder.hpp"
 #include "hicond/graph/quotient.hpp"
+#include "hicond/util/float_eq.hpp"
 
 namespace hicond {
 
@@ -46,7 +47,7 @@ DenseMatrix schur_complement_dense(const Graph& g,
     const double pivot = l(v, v);
     HICOND_CHECK(pivot > 0.0, "singular pivot while eliminating");
     for (vidx i = 0; i < n; ++i) {
-      if (i == v || l(i, v) == 0.0) continue;
+      if (i == v || exact_zero(l(i, v))) continue;
       const double factor = l(i, v) / pivot;
       for (vidx j = 0; j < n; ++j) {
         l(i, j) -= factor * l(v, j);

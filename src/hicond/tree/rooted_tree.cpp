@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hicond/graph/connectivity.hpp"
+#include "hicond/util/float_eq.hpp"
 
 namespace hicond {
 
@@ -89,7 +90,8 @@ void RootedForest::validate() const {
     HICOND_CHECK(p != static_cast<vidx>(v), "vertex cannot be its own parent");
     if (p == -1) {
       ++num_roots;
-      HICOND_CHECK(parent_weight_[v] == 0.0, "root must have no parent edge");
+      HICOND_CHECK(exact_zero(parent_weight_[v]),
+                   "root must have no parent edge");
     } else {
       ++child_count[static_cast<std::size_t>(p)];
       HICOND_CHECK(std::isfinite(parent_weight_[v]) && parent_weight_[v] > 0.0,

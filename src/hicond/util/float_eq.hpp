@@ -1,0 +1,44 @@
+// Approved floating-point comparison helpers.
+//
+// The float-equal lint rule (tools/check_project_rules.py) forbids raw
+// `==` / `!=` against floating-point literals everywhere outside this
+// header: most such comparisons are bugs waiting for a rounding error.
+// The legitimate uses fall into two camps, and both get a named helper so
+// intent is visible at the call site:
+//  * exact_zero / exactly_equal -- sentinel and sparsity tests where the
+//    value is known to be bit-exact (never computed, only stored);
+//  * approx_equal / approx_zero -- tolerance comparisons with an explicit
+//    absolute/relative epsilon.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace hicond {
+
+/// True when `x` is exactly +0.0 or -0.0. For sparsity/sentinel tests on
+/// values that were stored, not computed.
+[[nodiscard]] constexpr bool exact_zero(double x) noexcept {
+  return x == 0.0;  // float-eq: exact (the approved helper itself)
+}
+
+/// Bit-for-bit equality of two doubles (modulo signed zero). For sentinel
+/// comparisons only; use approx_equal for computed quantities.
+[[nodiscard]] constexpr bool exactly_equal(double a, double b) noexcept {
+  return a == b;  // float-eq: exact (the approved helper itself)
+}
+
+/// |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+[[nodiscard]] inline bool approx_equal(double a, double b,
+                                       double abs_tol = 1e-12,
+                                       double rel_tol = 1e-9) noexcept {
+  return std::abs(a - b) <=
+         abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+/// |x| <= tol.
+[[nodiscard]] inline bool approx_zero(double x, double tol = 1e-12) noexcept {
+  return std::abs(x) <= tol;
+}
+
+}  // namespace hicond

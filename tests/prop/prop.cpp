@@ -1,0 +1,135 @@
+#include "prop.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+#include <vector>
+
+namespace hicond::prop {
+
+namespace {
+
+/// Evaluate the property, translating any exception into "violated".
+bool holds(const GraphProperty& property, const Graph& g, std::string* msg) {
+  try {
+    property(g);
+    return true;
+  } catch (const std::exception& e) {
+    if (msg != nullptr) *msg = e.what();
+    return false;
+  }
+}
+
+/// One pass of candidate mutations in fixed order; returns true and replaces
+/// `cur` when some candidate still violates the property.
+bool shrink_once(const GraphProperty& property, Graph& cur) {
+  const vidx n = cur.num_vertices();
+  // 1. Drop one vertex (scan in index order, keep the induced subgraph).
+  if (n > 1) {
+    std::vector<vidx> keep(static_cast<std::size_t>(n) - 1);
+    for (vidx v = 0; v < n; ++v) {
+      vidx w = 0;
+      for (vidx u = 0; u < n; ++u) {
+        if (u != v) keep[static_cast<std::size_t>(w++)] = u;
+      }
+      Graph cand = induced_subgraph(cur, keep);
+      if (!holds(property, cand, nullptr)) {
+        cur = std::move(cand);
+        return true;
+      }
+    }
+  }
+  // 2. Drop one edge (vertex count preserved).
+  const std::vector<WeightedEdge> edges = cur.edge_list();
+  if (!edges.empty()) {
+    std::vector<WeightedEdge> rest(edges.size() - 1);
+    for (std::size_t j = 0; j < edges.size(); ++j) {
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (i != j) rest[w++] = edges[i];
+      }
+      Graph cand(cur.num_vertices(), rest);
+      if (!holds(property, cand, nullptr)) {
+        cur = std::move(cand);
+        return true;
+      }
+    }
+  }
+  // 3. Forget the weights (all edges to weight 1 in one step).
+  bool any_nonunit = false;
+  std::vector<WeightedEdge> unit = edges;
+  for (WeightedEdge& e : unit) {
+    if (e.weight < 1.0 || e.weight > 1.0) any_nonunit = true;
+    e.weight = 1.0;
+  }
+  if (any_nonunit) {
+    Graph cand(cur.num_vertices(), unit);
+    if (!holds(property, cand, nullptr)) {
+      cur = std::move(cand);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string PropResult::describe() const {
+  if (ok) return "property held on " + std::to_string(cases_run) + " cases";
+  std::string out = "property FAILED (case seed " +
+                    std::to_string(failing_seed) + ", original size " +
+                    std::to_string(original_size) + ")";
+  out += "\n  shrunk in " + std::to_string(shrink_steps) + " steps to " +
+         std::to_string(minimal.num_vertices()) + " vertices / " +
+         std::to_string(minimal.num_edges()) + " edges";
+  for (const WeightedEdge& e : minimal.edge_list()) {
+    out += "\n    edge " + std::to_string(e.u) + " -- " + std::to_string(e.v) +
+           " (w=" + std::to_string(e.weight) + ")";
+  }
+  out += "\n  failure: " + message;
+  return out;
+}
+
+PropResult check_property(const GraphGen& gen, const GraphProperty& property,
+                          const PropOptions& options) {
+  HICOND_CHECK(options.cases > 0, "need at least one case");
+  HICOND_CHECK(options.min_size >= 0 && options.max_size >= options.min_size,
+               "invalid size range");
+  PropResult result;
+  for (int i = 0; i < options.cases; ++i) {
+    const std::uint64_t case_seed =
+        options.seed + static_cast<std::uint64_t>(i);
+    Rng rng(case_seed);
+    const auto span =
+        static_cast<std::uint64_t>(options.max_size - options.min_size) + 1;
+    const vidx n =
+        options.min_size + static_cast<vidx>(rng.uniform_index(span));
+    Graph g = gen(rng, n);
+    ++result.cases_run;
+    if (holds(property, g, &result.message)) continue;
+
+    result.ok = false;
+    result.failing_seed = case_seed;
+    result.original_size = g.num_vertices();
+    if (options.shrink) {
+      while (result.shrink_steps < options.max_shrink_steps &&
+             shrink_once(property, g)) {
+        ++result.shrink_steps;
+      }
+    }
+    // Re-evaluate once so `message` describes the *minimal* instance.
+    holds(property, g, &result.message);
+    result.minimal = std::move(g);
+    return result;
+  }
+  return result;
+}
+
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  const std::vector<WeightedEdge> ea = a.edge_list();
+  const std::vector<WeightedEdge> eb = b.edge_list();
+  return ea == eb;  // CSR order is canonical for equal structures
+}
+
+}  // namespace hicond::prop

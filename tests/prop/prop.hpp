@@ -1,0 +1,65 @@
+// Property-based testing over random graphs: generators, deterministic
+// seeds, and greedy input shrinking on failure.
+//
+// A property is any callable that throws on violation (gtest assertions do
+// not propagate across the framework boundary, so properties signal failure
+// by exception -- std::runtime_error with a descriptive message is the
+// convention; any std::exception counts as a failure). check_property draws
+// `cases` graphs from the generator under per-case seeds derived from
+// PropOptions::seed, and on the first failure shrinks the counterexample
+// greedily: drop a vertex (induced subgraph), drop an edge, or reset all
+// weights to 1, accepting any mutation that still fails, until a fixed
+// point. Shrinking uses no randomness and scans candidates in a fixed
+// order, so the minimal counterexample is deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "hicond/graph/graph.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond::prop {
+
+/// Draw a graph of roughly `n` vertices (generators may round, e.g. to grid
+/// dimensions) using `rng` for every random choice.
+using GraphGen = std::function<Graph(Rng& rng, vidx n)>;
+
+/// Throws (any std::exception) to signal the property is violated.
+using GraphProperty = std::function<void(const Graph&)>;
+
+struct PropOptions {
+  int cases = 50;            ///< graphs to draw
+  vidx min_size = 2;         ///< smallest requested size
+  vidx max_size = 40;        ///< largest requested size
+  std::uint64_t seed = 7;    ///< master seed; case i uses seed + i
+  bool shrink = true;        ///< minimize the first counterexample
+  int max_shrink_steps = 10000;  ///< accepted-mutation budget
+};
+
+struct PropResult {
+  bool ok = true;
+  int cases_run = 0;            ///< cases completed before success/failure
+  std::uint64_t failing_seed = 0;  ///< per-case seed of the counterexample
+  vidx original_size = 0;       ///< vertices in the unshrunk counterexample
+  int shrink_steps = 0;         ///< accepted mutations during shrinking
+  Graph minimal;                ///< shrunk counterexample (empty when ok)
+  std::string message;          ///< exception text on the minimal instance
+
+  /// One-paragraph failure report for gtest's `<<` diagnostics.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Run `property` on `options.cases` graphs drawn from `gen`. Returns at the
+/// first failure (after shrinking); result.ok == true means every case held.
+[[nodiscard]] PropResult check_property(const GraphGen& gen,
+                                        const GraphProperty& property,
+                                        const PropOptions& options = {});
+
+/// True when the two graphs are structurally identical (same vertex count
+/// and identical sorted edge lists, weights compared exactly) -- used to
+/// assert shrinking determinism.
+[[nodiscard]] bool same_graph(const Graph& a, const Graph& b);
+
+}  // namespace hicond::prop

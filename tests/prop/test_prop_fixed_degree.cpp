@@ -1,0 +1,77 @@
+// Properties of the Section 3.1 fixed-degree decomposition: structural
+// validity, unimodality of the kept forest, and the Theorem 3.5 support
+// bound, all checked through the certify oracle layer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hicond/certify/certify.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "prop.hpp"
+
+namespace hicond {
+namespace {
+
+Graph fixed_degree_instance(Rng& rng, vidx n) {
+  const std::uint64_t s = rng.next_u64();
+  const auto side = static_cast<vidx>(
+      std::max(3.0, std::sqrt(static_cast<double>(std::max<vidx>(n, 9)))));
+  switch (rng.uniform_index(3)) {
+    case 0: return gen::torus2d(side, side, gen::WeightSpec::uniform(1, 4), s);
+    case 1:
+      return gen::grid2d(side, side, gen::WeightSpec::lognormal(0.0, 1.0), s);
+    default: {
+      vidx m = std::max<vidx>(n, 6);
+      if ((m * 4) % 2 != 0) ++m;  // n * d must be even
+      return gen::random_regular(m, 4, gen::WeightSpec::uniform(0.5, 2.0), s);
+    }
+  }
+}
+
+TEST(prop_fixed_degree, DecompositionIsValidAndForestIsUnimodal) {
+  const auto property = [](const Graph& g) {
+    if (g.num_vertices() == 0) return;
+    const FixedDegreeResult fd = fixed_degree_decomposition(g);
+    fd.decomposition.validate(g);  // throws on structural violation
+    if (!is_unimodal_forest(fd.perturbed_forest)) {
+      throw std::runtime_error("kept forest is not unimodal");
+    }
+    const certify::Certificate cert =
+        certify::certify_decomposition(g, fd.decomposition, 0.0, 1.0);
+    if (!cert.pass) throw std::runtime_error(cert.to_text());
+  };
+  prop::PropOptions o;
+  o.cases = 30;
+  o.min_size = 4;
+  o.max_size = 80;
+  o.seed = 301;
+  const prop::PropResult r =
+      prop::check_property(fixed_degree_instance, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(prop_fixed_degree, SteinerSupportBoundHolds) {
+  const auto property = [](const Graph& g) {
+    if (g.num_vertices() < 2 || !is_connected(g)) return;  // vacuous mutant
+    const FixedDegreeResult fd = fixed_degree_decomposition(g);
+    const certify::Certificate cert =
+        certify::certify_steiner_support(g, fd.decomposition);
+    if (!cert.pass) throw std::runtime_error(cert.to_text());
+  };
+  prop::PropOptions o;
+  o.cases = 20;
+  o.min_size = 4;
+  o.max_size = 64;
+  o.seed = 302;
+  const prop::PropResult r =
+      prop::check_property(fixed_degree_instance, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+}  // namespace
+}  // namespace hicond

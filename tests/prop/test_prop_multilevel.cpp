@@ -1,0 +1,82 @@
+// Property: the multilevel Steiner V-cycle is a working preconditioner on
+// random connected weighted graphs -- flexible PCG must converge to a tight
+// relative residual in a bounded number of iterations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/partition/hierarchy.hpp"
+#include "hicond/precond/multilevel.hpp"
+#include "prop.hpp"
+
+namespace hicond {
+namespace {
+
+Graph solver_instance(Rng& rng, vidx n) {
+  const std::uint64_t s = rng.next_u64();
+  const auto side = static_cast<vidx>(
+      std::max(2.0, std::sqrt(static_cast<double>(std::max<vidx>(n, 4)))));
+  switch (rng.uniform_index(3)) {
+    case 0: return gen::grid2d(side, side, gen::WeightSpec::uniform(1, 5), s);
+    case 1:
+      return gen::grid2d(side, side, gen::WeightSpec::lognormal(0.0, 2.0), s);
+    default:
+      return gen::random_planar_triangulation(
+          std::max<vidx>(n, 3), gen::WeightSpec::uniform(0.5, 2.0), s);
+  }
+}
+
+TEST(prop_multilevel, VcyclePreconditionedPcgConverges) {
+  const auto property = [](const Graph& g) {
+    const vidx n = g.num_vertices();
+    if (n < 2 || !is_connected(g)) return;  // vacuous mutant
+    HierarchyOptions ho;
+    ho.coarsest_size = 16;
+    MultilevelSteinerSolver solver =
+        MultilevelSteinerSolver::build(build_hierarchy(g, ho));
+
+    const auto sz = static_cast<std::size_t>(n);
+    std::vector<double> b(sz);
+    Rng rhs_rng(12345);  // fixed: the property must be deterministic
+    for (double& x : b) x = rhs_rng.uniform(-1.0, 1.0);
+    la::remove_mean(b);  // keep the singular system consistent
+    std::vector<double> x(sz, 0.0);
+
+    const auto apply_a = [&g](std::span<const double> in,
+                              std::span<double> out) {
+      g.laplacian_apply(in, out);
+    };
+    CgOptions co;
+    co.rel_tolerance = 1e-8;
+    co.max_iterations = 200;
+    co.project_constant = true;
+    const SolveStats stats =
+        flexible_pcg_solve(apply_a, solver.as_operator(), b, x, co);
+    if (!stats.converged) {
+      throw std::runtime_error(
+          "flexible PCG with the multilevel Steiner preconditioner stalled "
+          "at relative residual " +
+          std::to_string(stats.final_relative_residual) + " after " +
+          std::to_string(stats.iterations) + " iterations");
+    }
+  };
+  prop::PropOptions o;
+  o.cases = 15;
+  o.min_size = 4;
+  o.max_size = 120;
+  o.seed = 501;
+  const prop::PropResult r = prop::check_property(solver_instance, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,73 @@
+// Properties of the Theorem 2.2/2.3 planar pipeline on random maximal
+// planar triangulations: the cut stage must leave a forest, the resulting
+// decomposition must be structurally sound, and the Steiner support bound
+// must certify.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hicond/certify/certify.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/partition/planar.hpp"
+#include "prop.hpp"
+
+namespace hicond {
+namespace {
+
+Graph planar_instance(Rng& rng, vidx n) {
+  const std::uint64_t s = rng.next_u64();
+  const gen::WeightSpec w = (rng.uniform_index(2) == 0)
+                                ? gen::WeightSpec::unit()
+                                : gen::WeightSpec::uniform(0.5, 3.0);
+  return gen::random_planar_triangulation(std::max<vidx>(n, 3), w, s);
+}
+
+PlanarDecompOptions fast_options() {
+  PlanarDecompOptions o;
+  o.measure_k = false;  // skip the Lanczos k estimate; not under test here
+  return o;
+}
+
+TEST(prop_planar, PipelineLeavesForestAndValidDecomposition) {
+  const auto property = [](const Graph& g) {
+    if (g.num_vertices() < 2 || !is_connected(g)) return;  // vacuous mutant
+    const PlanarDecompResult pd = planar_decomposition(g, fast_options());
+    pd.decomposition.validate(g);
+    if (!is_forest(pd.forest)) {
+      throw std::runtime_error("cut stage left a cycle in the forest");
+    }
+    const certify::Certificate cert =
+        certify::certify_decomposition(g, pd.decomposition, 0.0, 1.0);
+    if (!cert.pass) throw std::runtime_error(cert.to_text());
+  };
+  prop::PropOptions o;
+  o.cases = 25;
+  o.min_size = 3;
+  o.max_size = 70;
+  o.seed = 401;
+  const prop::PropResult r = prop::check_property(planar_instance, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(prop_planar, SteinerSupportBoundHolds) {
+  const auto property = [](const Graph& g) {
+    if (g.num_vertices() < 2 || !is_connected(g)) return;
+    const PlanarDecompResult pd = planar_decomposition(g, fast_options());
+    const certify::Certificate cert =
+        certify::certify_steiner_support(g, pd.decomposition);
+    if (!cert.pass) throw std::runtime_error(cert.to_text());
+  };
+  prop::PropOptions o;
+  o.cases = 15;
+  o.min_size = 4;
+  o.max_size = 60;
+  o.seed = 402;
+  const prop::PropResult r = prop::check_property(planar_instance, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+}  // namespace
+}  // namespace hicond

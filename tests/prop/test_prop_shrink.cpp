@@ -1,0 +1,90 @@
+// The shrinking machinery itself: a deliberately-failing property must be
+// minimized to a tiny counterexample, deterministically under a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hicond/graph/generators.hpp"
+#include "prop.hpp"
+
+namespace hicond {
+namespace {
+
+Graph weighted_tree(Rng& rng, vidx n) {
+  return gen::random_tree(std::max<vidx>(n, 6),
+                          gen::WeightSpec::uniform(0.5, 3.0), rng.next_u64());
+}
+
+// Violated by every tree with >= 3 vertices, so the very first case fails
+// and the shrinker has real work to do.
+void at_most_one_edge(const Graph& g) {
+  if (g.num_edges() >= 2) {
+    throw std::runtime_error("graph has at least two edges");
+  }
+}
+
+prop::PropOptions shrink_options() {
+  prop::PropOptions o;
+  o.cases = 20;
+  o.min_size = 10;
+  o.max_size = 40;
+  o.seed = 13;
+  return o;
+}
+
+TEST(prop_shrink, FailingPropertyShrinksToMinimalGraph) {
+  const prop::PropResult r =
+      prop::check_property(weighted_tree, at_most_one_edge, shrink_options());
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.cases_run, 1);  // the first case already fails
+  EXPECT_GE(r.original_size, 10);
+  EXPECT_GT(r.shrink_steps, 0);
+  // The 2-edge violation fits in a handful of vertices.
+  EXPECT_LE(r.minimal.num_vertices(), 8);
+  EXPECT_EQ(r.minimal.num_edges(), 2);
+  // The weight-forgetting mutation must have fired: the counterexample does
+  // not depend on the random weights.
+  for (const WeightedEdge& e : r.minimal.edge_list()) {
+    EXPECT_DOUBLE_EQ(e.weight, 1.0);
+  }
+  EXPECT_NE(r.message.find("two edges"), std::string::npos);
+}
+
+TEST(prop_shrink, ShrinkingIsDeterministicUnderFixedSeed) {
+  const prop::PropResult r1 =
+      prop::check_property(weighted_tree, at_most_one_edge, shrink_options());
+  const prop::PropResult r2 =
+      prop::check_property(weighted_tree, at_most_one_edge, shrink_options());
+  ASSERT_FALSE(r1.ok);
+  ASSERT_FALSE(r2.ok);
+  EXPECT_EQ(r1.failing_seed, r2.failing_seed);
+  EXPECT_EQ(r1.shrink_steps, r2.shrink_steps);
+  EXPECT_EQ(r1.message, r2.message);
+  EXPECT_TRUE(prop::same_graph(r1.minimal, r2.minimal));
+}
+
+TEST(prop_shrink, PassingPropertyRunsEveryCaseAndDoesNotShrink) {
+  const auto always_holds = [](const Graph&) {};
+  prop::PropOptions o = shrink_options();
+  const prop::PropResult r =
+      prop::check_property(weighted_tree, always_holds, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+  EXPECT_EQ(r.cases_run, o.cases);
+  EXPECT_EQ(r.shrink_steps, 0);
+  EXPECT_EQ(r.minimal.num_vertices(), 0);
+}
+
+TEST(prop_shrink, ShrinkCanBeDisabled) {
+  prop::PropOptions o = shrink_options();
+  o.shrink = false;
+  const prop::PropResult r =
+      prop::check_property(weighted_tree, at_most_one_edge, o);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.shrink_steps, 0);
+  EXPECT_EQ(r.minimal.num_vertices(), r.original_size);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -1,0 +1,72 @@
+// Properties of the Theorem 2.1 tree decomposition, certify-checked on
+// random forests with random weights.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hicond/certify/certify.hpp"
+#include "hicond/graph/connectivity.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/tree/tree_decomposition.hpp"
+#include "prop.hpp"
+
+namespace hicond {
+namespace {
+
+Graph random_forest_like(Rng& rng, vidx n) {
+  const std::uint64_t s = rng.next_u64();
+  switch (rng.uniform_index(4)) {
+    case 0: return gen::random_tree(std::max<vidx>(n, 1), {}, s);
+    case 1: return gen::random_pruefer_tree(std::max<vidx>(n, 2), {}, s);
+    case 2:
+      return gen::random_tree(std::max<vidx>(n, 1),
+                              gen::WeightSpec::uniform(0.25, 4.0), s);
+    default:
+      return gen::random_tree(std::max<vidx>(n, 1),
+                              gen::WeightSpec::lognormal(0.0, 1.5), s);
+  }
+}
+
+TEST(prop_tree, DecompositionEarnsItsCertificate) {
+  // Shrinking removes vertices/edges, turning trees into forests -- the
+  // certifier accepts forests, so every mutant stays a meaningful case.
+  const auto property = [](const Graph& t) {
+    const Decomposition d = tree_decomposition(t);
+    const certify::Certificate cert = certify::certify_tree_decomposition(t, d);
+    if (!cert.pass) throw std::runtime_error(cert.to_text());
+  };
+  prop::PropOptions o;
+  o.cases = 60;
+  o.min_size = 1;
+  o.max_size = 48;
+  o.seed = 101;
+  const prop::PropResult r =
+      prop::check_property(random_forest_like, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(prop_tree, ReductionFactorMeetsTheoremOnSingleTrees) {
+  const auto property = [](const Graph& t) {
+    // Vacuous on mutants that are no longer single trees of >= 6 vertices.
+    if (!is_tree(t) || t.num_vertices() < 6) return;
+    const Decomposition d = tree_decomposition(t);
+    if (d.reduction_factor() < 6.0 / 5.0 - 1e-9) {
+      throw std::runtime_error("rho = " +
+                               std::to_string(d.reduction_factor()) +
+                               " below the Theorem 2.1 bound 6/5");
+    }
+  };
+  prop::PropOptions o;
+  o.cases = 60;
+  o.min_size = 6;
+  o.max_size = 64;
+  o.seed = 202;
+  const prop::PropResult r =
+      prop::check_property(random_forest_like, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+}  // namespace
+}  // namespace hicond

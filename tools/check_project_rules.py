@@ -34,6 +34,18 @@ Rules (each failure prints `path:line: [rule] message` and exits nonzero):
                       measurements share one clock and show up in traces.
                       tests/ are exempt (sleep_for in timer tests).
 
+  float-equal         `==` / `!=` against a floating-point literal is
+                      forbidden in library, bench, example and fuzz code;
+                      use util/float_eq.hpp (exact_zero, exactly_equal,
+                      approx_equal).  Genuinely exact comparisons carry a
+                      `// float-eq: exact` annotation.  tests/ are exempt
+                      (gtest macros do their own comparison plumbing).
+
+  certify-coverage    Every public header in src/hicond/certify/ must have a
+                      sibling .cpp that uses the HICOND_CHECK family — the
+                      certificate oracle is the layer of last resort and must
+                      validate its own inputs.
+
 Run: python3 tools/check_project_rules.py [root]
 """
 from __future__ import annotations
@@ -59,6 +71,15 @@ CHECK_EXEMPT_DIRS = ("src/hicond/util/", "src/hicond/obs/")
 CHRONO_ALLOWED_PREFIXES = ("src/hicond/util/timer.", "src/hicond/obs/",
                            "tests/")
 CHRONO_USE = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
+
+# `== 0.0`, `1.5 !=`, `!= 1e-9`, ... on either side of the operator.
+FLOAT_LITERAL = r"[-+]?(?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)"
+FLOAT_EQ = re.compile(
+    rf"(?:==|!=)\s*{FLOAT_LITERAL}|{FLOAT_LITERAL}\s*(?:==|!=)"
+)
+# The approved helper and the per-line escape hatch; see util/float_eq.hpp.
+FLOAT_EQ_EXEMPT_FILES = {"src/hicond/util/float_eq.hpp"}
+FLOAT_EQ_ANNOTATION = "float-eq: exact"
 
 
 def strip_comments(line: str) -> str:
@@ -91,7 +112,7 @@ def main() -> int:
         return 2
 
     scan_dirs = [src]
-    for extra in ("tests", "bench", "examples"):
+    for extra in ("tests", "bench", "examples", "fuzz"):
         d = root / extra
         if d.is_dir():
             scan_dirs.append(d)
@@ -134,6 +155,20 @@ def main() -> int:
                         "std::rand/srand/rand() is forbidden; use "
                         "util/rng.hpp")
 
+            # --- float-equal --------------------------------------------
+            if (
+                rel not in FLOAT_EQ_EXEMPT_FILES
+                and not rel.startswith("tests/")
+            ):
+                for lineno, line in enumerate(lines, 1):
+                    if FLOAT_EQ_ANNOTATION in line:
+                        continue
+                    if FLOAT_EQ.search(strip_comments(line)):
+                        err(path, lineno, "float-equal",
+                            "==/!= against a floating-point literal; use "
+                            "util/float_eq.hpp (exact_zero, exactly_equal, "
+                            "approx_equal) or annotate '// float-eq: exact'")
+
             # --- chrono-timing ------------------------------------------
             if not any(rel.startswith(p) for p in CHRONO_ALLOWED_PREFIXES):
                 for lineno, line in enumerate(lines, 1):
@@ -153,6 +188,22 @@ def main() -> int:
                 err(path, 1, "check-coverage",
                     "no HICOND_CHECK/HICOND_VALIDATE in this translation "
                     "unit; public entry points must validate inputs")
+
+            # --- certify-coverage ---------------------------------------
+            if path.suffix == ".hpp" and rel.startswith(
+                "src/hicond/certify/"
+            ):
+                sibling = path.with_suffix(".cpp")
+                if not sibling.exists():
+                    err(path, 1, "certify-coverage",
+                        "certify/ header without a sibling .cpp; the oracle "
+                        "layer must have a checked implementation")
+                elif not CHECK_MACROS.search(sibling.read_text(
+                        encoding="utf-8")):
+                    err(path, 1, "certify-coverage",
+                        f"{sibling.relative_to(root)} has no "
+                        "HICOND_CHECK/HICOND_VALIDATE; the certificate "
+                        "oracle must validate its inputs")
 
             # --- include-hygiene ----------------------------------------
             if path.suffix in (".hpp", ".h") and rel.startswith("src/"):

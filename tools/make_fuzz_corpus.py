@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Regenerate the committed fuzz seed corpus under fuzz/corpus/.
+
+The binary targets (graph_csr, forest_parents) consume bytes through
+hicond::fuzz::ByteReader (fuzz/fuzz_util.hpp); the encoders here mirror that
+decoding exactly and must be kept in sync with it. Deterministic: running
+this script twice produces identical files.
+"""
+from __future__ import annotations
+
+import pathlib
+import struct
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+CORPUS = ROOT / "fuzz" / "corpus"
+
+
+def u8(v: int) -> bytes:
+    return struct.pack("<B", v & 0xFF)
+
+
+def u16(v: int) -> bytes:
+    return struct.pack("<H", v & 0xFFFF)
+
+
+def f64(v: float) -> bytes:
+    return struct.pack("<d", v)
+
+
+def f64_bits(bits: int) -> bytes:
+    return struct.pack("<Q", bits)
+
+
+def write(target: str, name: str, payload: bytes) -> None:
+    path = CORPUS / target / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(payload)
+    print(f"wrote {path.relative_to(ROOT)} ({len(payload)} bytes)")
+
+
+# ---------------------------------------------------------------------------
+# json: raw text fed straight to obs::parse_json.
+# ---------------------------------------------------------------------------
+def make_json() -> None:
+    write(
+        "json",
+        "valid_nested",
+        b'{"run":{"id":17,"ok":true,"phi":[0.25,1.0e-3,-4],'
+        b'"note":null,"tags":["a","b"]}}',
+    )
+    write("json", "escapes", b'{"s":"a\\"b\\\\c\\n\\t\\u0041\\u00e9"}')
+    write("json", "numbers", b"[0,-0,3.5,1e3,1E-3,2.25e+2,9007199254740993]")
+    write("json", "truncated_object", b'{"a":[1,2')
+    write("json", "unterminated_string", b'{"a":"never closed')
+    # Regression: before the recursion-depth limit this overflowed the stack.
+    write("json", "deep_nesting", b"[" * 200 + b"1" + b"]" * 200)
+    # Regression: strtod overflow yields +inf, which is not valid JSON.
+    write("json", "overflow_1e999", b"[1e999]")
+    write("json", "bad_token", b"{tru: 1}")
+    write("json", "empty", b"")
+
+
+# ---------------------------------------------------------------------------
+# graph_csr: n = u8 % 17; arcs = u8 % 65; offsets (n+1) x u16 with value
+# (u16 % 97) - 16; targets arcs x u8 with value u8 - 8; weights arcs x f64.
+# ---------------------------------------------------------------------------
+def csr_input(n: int, offsets: list[int], targets: list[int],
+              weights: list[float | bytes]) -> bytes:
+    out = u8(n) + u8(len(targets))
+    assert len(offsets) == n + 1
+    for o in offsets:
+        out += u16(o + 16)
+    for t in targets:
+        out += u8(t + 8)
+    for w in weights:
+        out += w if isinstance(w, bytes) else f64(w)
+    return out
+
+
+def make_graph_csr() -> None:
+    # Weighted triangle: per-vertex sorted adjacency, symmetric weights.
+    write(
+        "graph_csr",
+        "valid_triangle",
+        csr_input(3, [0, 2, 4, 6], [1, 2, 0, 2, 0, 1],
+                  [1.0, 3.0, 1.0, 2.0, 3.0, 2.0]),
+    )
+    write("graph_csr", "empty_graph", csr_input(0, [0], [], []))
+    write(
+        "graph_csr",
+        "ragged_offsets",
+        csr_input(3, [0, 4, 2, 6], [1, 2, 0, 2, 0, 1],
+                  [1.0] * 6),
+    )
+    write(
+        "graph_csr",
+        "negative_target",
+        csr_input(2, [0, 1, 2], [-3, 0], [1.0, 1.0]),
+    )
+    write(
+        "graph_csr",
+        "nan_weight",
+        csr_input(2, [0, 1, 2], [1, 0],
+                  [f64_bits(0x7FF8000000000001), 1.0]),
+    )
+    write(
+        "graph_csr",
+        "asymmetric_weight",
+        csr_input(2, [0, 1, 2], [1, 0], [1.0, 2.0]),
+    )
+    write("graph_csr", "short_read", u8(9))
+
+
+# ---------------------------------------------------------------------------
+# forest_parents: n = u8 % 33; flags = u8 (bit0 = weights present); parents
+# n x u16 with value (u16 % (n + 3)) - 2; optional weights n x f64.
+# ---------------------------------------------------------------------------
+def forest_input(n: int, flags: int, parents: list[int],
+                 weights: list[float | bytes] | None = None) -> bytes:
+    out = u8(n) + u8(flags)
+    assert len(parents) == n
+    for p in parents:
+        out += u16(p + 2)
+    for w in weights or []:
+        out += w if isinstance(w, bytes) else f64(w)
+    return out
+
+
+def make_forest_parents() -> None:
+    write("forest_parents", "valid_two_trees",
+          forest_input(5, 0, [-1, 0, 0, 1, -1]))
+    write("forest_parents", "valid_weighted",
+          forest_input(4, 1, [-1, 0, 1, 2], [0.0, 1.0, 2.5, 0.25]))
+    write("forest_parents", "self_parent", forest_input(3, 0, [-1, 1, 0]))
+    write("forest_parents", "two_cycle", forest_input(4, 0, [-1, 2, 1, 0]))
+    write("forest_parents", "out_of_range", forest_input(3, 0, [-1, 3, 0]))
+    write("forest_parents", "negative_parent", forest_input(3, 0, [-1, -2, 0]))
+    write("forest_parents", "nan_weight",
+          forest_input(2, 1, [-1, 0],
+                       [1.0, f64_bits(0x7FF8000000000000)]))
+    write("forest_parents", "empty_forest", forest_input(0, 0, []))
+
+
+# ---------------------------------------------------------------------------
+# graph_io: raw text fed to both read_graph and read_metis.
+# ---------------------------------------------------------------------------
+def make_graph_io() -> None:
+    write("graph_io", "valid_edge_list",
+          b"3 3\n0 1 1.0\n1 2 2.0\n0 2 3.0\n")
+    write("graph_io", "valid_metis",
+          b"% a metis-format triangle\n3 3 1\n2 1 3 3\n1 1 3 2\n1 3 2 2\n")
+    write("graph_io", "comments_and_blanks",
+          b"# header comment\n\n2 1\n% inner comment\n0 1 4.5\n")
+    write("graph_io", "truncated_edges", b"4 3\n0 1 1.0\n")
+    write("graph_io", "self_loop", b"2 1\n0 0 1.0\n")
+    write("graph_io", "bad_index", b"2 1\n0 7 1.0\n")
+    write("graph_io", "garbage", b"not a graph at all\n")
+    # Header just under the harness's 6-digit clamp: large but parseable.
+    write("graph_io", "large_header", b"999999 1\n0 1 1.0\n")
+
+
+def main() -> None:
+    make_json()
+    make_graph_csr()
+    make_forest_parents()
+    make_graph_io()
+
+
+if __name__ == "__main__":
+    main()
