@@ -46,11 +46,14 @@ namespace {
 
 using namespace hicond;
 
-constexpr int kSchemaVersion = 1;
+// Schema v2: every case records the OpenMP thread count it ran with, and
+// suites carry explicit thread-scaling variants (name suffix "/tN").
+constexpr int kSchemaVersion = 2;
 
 struct CaseResult {
   std::string name;
   int repeats = 0;
+  int threads = 1;  ///< OpenMP threads the case ran with
   double best_seconds = 0.0;
   double p50_seconds = 0.0;
   double p90_seconds = 0.0;
@@ -60,7 +63,24 @@ struct CaseResult {
 struct BenchCase {
   std::string name;
   std::function<CaseResult(int repeats)> run;
+  int threads = 0;  ///< force this OpenMP thread count; 0 = ambient
 };
+
+/// Thread-scaling variant of a case: runs with exactly `t` OpenMP threads
+/// under the name "<base>/t<t>". The parallel paths are deterministic at any
+/// fixed thread count, so the quality metrics must match across variants.
+BenchCase with_threads(BenchCase c, int t) {
+  c.name += "/t" + std::to_string(t);
+  c.threads = t;
+  auto base_run = std::move(c.run);
+  const std::string name = c.name;
+  c.run = [base_run = std::move(base_run), name](int repeats) {
+    CaseResult r = base_run(repeats);
+    r.name = name;
+    return r;
+  };
+  return c;
+}
 
 /// Time `op` `repeats` times; `setup` runs once outside the timed region.
 template <typename Op>
@@ -229,19 +249,33 @@ struct Suite {
 };
 
 Suite make_suite(const std::string& name) {
+  // Thread-scaling variants pin the two hottest kernels (SpMV and the tree
+  // decomposition) at 1/4/8 threads so baselines track parallel speedup.
   if (name == "smoke") {
     return {name,
             5,
             {case_laplacian_apply(12), case_fixed_degree(12),
              case_tree_decomposition(20000), case_hierarchy(48),
-             case_steiner_apply(10), case_solve_multilevel(48)}};
+             case_steiner_apply(10), case_solve_multilevel(48),
+             with_threads(case_laplacian_apply(12), 1),
+             with_threads(case_laplacian_apply(12), 4),
+             with_threads(case_laplacian_apply(12), 8),
+             with_threads(case_tree_decomposition(20000), 1),
+             with_threads(case_tree_decomposition(20000), 4),
+             with_threads(case_tree_decomposition(20000), 8)}};
   }
   if (name == "full") {
     return {name,
             7,
             {case_laplacian_apply(32), case_fixed_degree(32),
              case_tree_decomposition(200000), case_hierarchy(128),
-             case_steiner_apply(20), case_solve_multilevel(128)}};
+             case_steiner_apply(20), case_solve_multilevel(128),
+             with_threads(case_laplacian_apply(32), 1),
+             with_threads(case_laplacian_apply(32), 4),
+             with_threads(case_laplacian_apply(32), 8),
+             with_threads(case_tree_decomposition(200000), 1),
+             with_threads(case_tree_decomposition(200000), 4),
+             with_threads(case_tree_decomposition(200000), 8)}};
   }
   std::fprintf(stderr, "unknown suite '%s' (available: smoke, full)\n",
                name.c_str());
@@ -275,6 +309,7 @@ std::string results_to_json(const std::string& suite,
     w.begin_object();
     w.kv("name", r.name);
     w.kv("repeats", r.repeats);
+    w.kv("threads", r.threads);
     w.kv("best_seconds", r.best_seconds);
     w.kv("p50_seconds", r.p50_seconds);
     w.kv("p90_seconds", r.p90_seconds);
@@ -297,6 +332,7 @@ std::vector<CaseResult> results_from_json(const obs::JsonValue& doc) {
     CaseResult r;
     r.name = c.at("name").string;
     r.repeats = static_cast<int>(c.at("repeats").number);
+    r.threads = static_cast<int>(c.at("threads").number);
     r.best_seconds = c.at("best_seconds").number;
     r.p50_seconds = c.at("p50_seconds").number;
     r.p90_seconds = c.at("p90_seconds").number;
@@ -425,10 +461,16 @@ int main(int argc, char** argv) {
   } else if (!suite_name.empty()) {
     const Suite suite = make_suite(suite_name);
     const int k = repeats > 0 ? repeats : suite.default_repeats;
+    const int ambient_threads = num_threads();
     for (const BenchCase& c : suite.cases) {
-      std::printf("running %s (best of %d)...\n", c.name.c_str(), k);
+      const int case_threads = c.threads > 0 ? c.threads : ambient_threads;
+      std::printf("running %s (best of %d, %d thread%s)...\n", c.name.c_str(),
+                  k, case_threads, case_threads == 1 ? "" : "s");
       std::fflush(stdout);
+      if (c.threads > 0) omp_set_num_threads(c.threads);
       CaseResult r = c.run(k);
+      if (c.threads > 0) omp_set_num_threads(ambient_threads);
+      r.threads = case_threads;
       std::printf("  best %s  p50 %s  p90 %s\n",
                   format_duration(r.best_seconds).c_str(),
                   format_duration(r.p50_seconds).c_str(),

@@ -6,7 +6,26 @@ namespace hicond {
 
 ClosureGraph closure_graph(const Graph& g, std::span<const vidx> cluster) {
   HICOND_CHECK(!cluster.empty(), "closure of empty cluster");
-  std::vector<vidx> map(static_cast<std::size_t>(g.num_vertices()), -1);
+  // Thread-local scratch for the vertex -> local-id map. The tree
+  // decomposition scores many tiny closures per run, and a fresh O(n)
+  // allocation per call would dominate; only the entries this cluster
+  // touches are reset on exit (exception-safe via the guard, which also
+  // covers the HICOND_CHECK throws below).
+  static thread_local std::vector<vidx> map;
+  if (map.size() < static_cast<std::size_t>(g.num_vertices())) {
+    map.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  }
+  struct ResetGuard {
+    std::vector<vidx>& scratch;
+    std::span<const vidx> touched;
+    ~ResetGuard() {
+      for (const vidx v : touched) {
+        if (v >= 0 && static_cast<std::size_t>(v) < scratch.size()) {
+          scratch[static_cast<std::size_t>(v)] = -1;
+        }
+      }
+    }
+  } guard{map, cluster};
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     const vidx v = cluster[i];
     HICOND_CHECK(v >= 0 && v < g.num_vertices(), "cluster vertex out of range");

@@ -1,6 +1,9 @@
 #include "hicond/graph/quotient.hpp"
 
-#include "hicond/graph/builder.hpp"
+#include <algorithm>
+
+#include "hicond/partition/cluster_index.hpp"
+#include "hicond/util/parallel.hpp"
 
 namespace hicond {
 
@@ -17,19 +20,63 @@ Graph quotient_graph(const Graph& g, std::span<const vidx> assignment) {
   HICOND_CHECK(assignment.size() == static_cast<std::size_t>(g.num_vertices()),
                "assignment size mismatch");
   const vidx m = num_clusters(assignment);
-  GraphBuilder b(m);
-  for (vidx v = 0; v < g.num_vertices(); ++v) {
-    const vidx cv = assignment[static_cast<std::size_t>(v)];
-    const auto nbrs = g.neighbors(v);
-    const auto ws = g.weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (v < nbrs[i]) {
+  const ClusterIndex idx = ClusterIndex::build(assignment, m);
+
+  // Owner-computes assembly: cluster c builds its own adjacency row from the
+  // crossing edges of its members. Every undirected inter-cluster edge is
+  // seen from both endpoint clusters, so the rows come out symmetric (up to
+  // summation rounding, which is deterministic: members ascending, arcs in
+  // CSR order, stable sort by target cluster).
+  struct Arc {
+    vidx to;
+    double weight;
+  };
+  std::vector<std::vector<Arc>> rows(static_cast<std::size_t>(m));
+  parallel_for_interleaved(static_cast<std::size_t>(m), [&](std::size_t c) {
+    std::vector<Arc>& row = rows[c];
+    for (const vidx v : idx.members(static_cast<vidx>(c))) {
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const vidx cu = assignment[static_cast<std::size_t>(nbrs[i])];
-        if (cu != cv) b.add_edge(cv, cu, ws[i]);
+        if (cu != static_cast<vidx>(c)) row.push_back({cu, ws[i]});
       }
     }
+    std::stable_sort(row.begin(), row.end(),
+                     [](const Arc& a, const Arc& b) { return a.to < b.to; });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < row.size();) {
+      Arc merged = row[i];
+      std::size_t j = i + 1;
+      while (j < row.size() && row[j].to == merged.to) {
+        merged.weight += row[j].weight;
+        ++j;
+      }
+      row[out++] = merged;
+      i = j;
+    }
+    row.resize(out);
+  });
+
+  std::vector<eidx> offsets(static_cast<std::size_t>(m) + 1, 0);
+  for (vidx c = 0; c < m; ++c) {
+    offsets[static_cast<std::size_t>(c) + 1] =
+        offsets[static_cast<std::size_t>(c)] +
+        static_cast<eidx>(rows[static_cast<std::size_t>(c)].size());
   }
-  return b.build();
+  std::vector<vidx> targets(static_cast<std::size_t>(offsets.back()));
+  std::vector<double> weights(static_cast<std::size_t>(offsets.back()));
+  parallel_for(static_cast<std::size_t>(m), [&](std::size_t c) {
+    auto k = static_cast<std::size_t>(offsets[c]);
+    for (const Arc& a : rows[c]) {
+      targets[k] = a.to;
+      weights[k] = a.weight;
+      ++k;
+    }
+  });
+  // from_csr revalidates the assembled structure (symmetry included).
+  return Graph::from_csr(m, std::move(offsets), std::move(targets),
+                         std::move(weights));
 }
 
 std::vector<std::vector<vidx>> cluster_members(std::span<const vidx> assignment,

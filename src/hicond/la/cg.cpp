@@ -5,6 +5,7 @@
 #include "hicond/la/vector_ops.hpp"
 #include "hicond/obs/metrics.hpp"
 #include "hicond/obs/trace.hpp"
+#include "hicond/util/parallel.hpp"
 
 namespace hicond {
 
@@ -43,7 +44,7 @@ SolveStats cg_impl(const LinearOperator& a, const LinearOperator* m_inv,
 
   // r = b - A x.
   a(x, r);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  parallel_for(n, [&](std::size_t i) { r[i] = b[i] - r[i]; });
   project(r);
 
   std::vector<double> b_proj(b.begin(), b.end());
@@ -97,9 +98,10 @@ SolveStats cg_impl(const LinearOperator& a, const LinearOperator* m_inv,
     double beta;
     const double rz_new = la::dot(r, z);
     if (flexible) {
-      // Polak-Ribiere: beta = r'(z - z_prev) / rz.
-      double rz_prev_dot = 0.0;
-      for (std::size_t i = 0; i < n; ++i) rz_prev_dot += r[i] * z_prev[i];
+      // Polak-Ribiere: beta = r'(z - z_prev) / rz. Fixed-block reduction:
+      // same rounding at every thread count.
+      const double rz_prev_dot =
+          parallel_sum(n, [&](std::size_t i) { return r[i] * z_prev[i]; });
       beta = (rz_new - rz_prev_dot) / rz;
       z_prev = z;
     } else {

@@ -12,10 +12,10 @@ double estimate_jacobi_lambda_max(const Graph& g, int iterations) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
   if (n < 2) return 2.0;
   std::vector<double> inv_diag(n, 0.0);
-  for (std::size_t v = 0; v < n; ++v) {
+  parallel_for(n, [&](std::size_t v) {
     const double vol = g.vol(static_cast<vidx>(v));
     if (vol > 0.0) inv_diag[v] = 1.0 / vol;
-  }
+  });
   Rng rng(31);
   std::vector<double> x(n);
   for (auto& v : x) v = rng.uniform(-1.0, 1.0);
@@ -43,10 +43,10 @@ ChebyshevSmoother::ChebyshevSmoother(const Graph& g, int degree,
   lambda_lo_ = lambda_hi_ / band_fraction;
   const auto n = static_cast<std::size_t>(g.num_vertices());
   inv_diag_.assign(n, 0.0);
-  for (std::size_t v = 0; v < n; ++v) {
+  parallel_for(n, [&](std::size_t v) {
     const double vol = g.vol(static_cast<vidx>(v));
     if (vol > 0.0) inv_diag_[v] = 1.0 / vol;
-  }
+  });
 }
 
 void ChebyshevSmoother::smooth(std::span<const double> r,

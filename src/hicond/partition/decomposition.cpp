@@ -6,6 +6,7 @@
 #include "hicond/graph/conductance.hpp"
 #include "hicond/graph/connectivity.hpp"
 #include "hicond/graph/quotient.hpp"
+#include "hicond/util/parallel.hpp"
 
 namespace hicond {
 
@@ -53,22 +54,25 @@ std::vector<double> per_vertex_gamma(const Graph& g, const Decomposition& d) {
   validate_decomposition(g, d);
   const vidx n = g.num_vertices();
   std::vector<double> gamma(static_cast<std::size_t>(n), 0.0);
-  for (vidx v = 0; v < n; ++v) {
+  // Owner-computes: each vertex sums its own row in CSR order, so the
+  // result is identical at every thread count.
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+    const auto v = static_cast<vidx>(i);
     if (g.vol(v) <= 0.0) {
-      gamma[static_cast<std::size_t>(v)] = 1.0;  // isolated: vacuous
-      continue;
+      gamma[i] = 1.0;  // isolated: vacuous
+      return;
     }
-    const vidx cv = d.assignment[static_cast<std::size_t>(v)];
+    const vidx cv = d.assignment[i];
     double internal = 0.0;
     const auto nbrs = g.neighbors(v);
     const auto ws = g.weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (d.assignment[static_cast<std::size_t>(nbrs[i])] == cv) {
-        internal += ws[i];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (d.assignment[static_cast<std::size_t>(nbrs[k])] == cv) {
+        internal += ws[k];
       }
     }
-    gamma[static_cast<std::size_t>(v)] = internal / g.vol(v);
-  }
+    gamma[i] = internal / g.vol(v);
+  });
   return gamma;
 }
 
@@ -83,19 +87,38 @@ DecompositionStats evaluate_decomposition(const Graph& g,
   stats.min_phi_upper = kInfiniteConductance;
   stats.phi_exact = true;
   const auto members = cluster_members(d.assignment, d.num_clusters);
-  for (const auto& cluster : members) {
-    stats.max_cluster_size =
-        std::max(stats.max_cluster_size, static_cast<vidx>(cluster.size()));
-    if (cluster.size() == 1) ++stats.num_singletons;
+  // Per-cluster closure/connectivity evaluation is independent across
+  // clusters; each slot of `per_cluster` has a unique writer, and the final
+  // min/count folding runs serially in cluster order, so the stats do not
+  // depend on the thread schedule.
+  struct ClusterEval {
+    char disconnected = 0;
+    char exact = 1;
+    double lower = kInfiniteConductance;
+    double upper = kInfiniteConductance;
+  };
+  std::vector<ClusterEval> per_cluster(members.size());
+  parallel_for_interleaved(members.size(), [&](std::size_t c) {
+    const auto& cluster = members[c];
     const ClosureGraph closure = closure_graph(g, cluster);
     // A cluster must induce a connected subgraph; check on the closure's
     // cluster part.
     const Graph induced = induced_subgraph(g, cluster);
-    if (!is_connected(induced)) ++stats.num_disconnected_clusters;
+    ClusterEval& e = per_cluster[c];
+    e.disconnected = is_connected(induced) ? 0 : 1;
     const ConductanceBounds b = conductance_bounds(closure.graph, exact_limit);
-    stats.min_phi_lower = std::min(stats.min_phi_lower, b.lower);
-    stats.min_phi_upper = std::min(stats.min_phi_upper, b.upper);
-    if (!b.exact) stats.phi_exact = false;
+    e.lower = b.lower;
+    e.upper = b.upper;
+    e.exact = b.exact ? 1 : 0;
+  });
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    stats.max_cluster_size = std::max(
+        stats.max_cluster_size, static_cast<vidx>(members[c].size()));
+    if (members[c].size() == 1) ++stats.num_singletons;
+    if (per_cluster[c].disconnected) ++stats.num_disconnected_clusters;
+    stats.min_phi_lower = std::min(stats.min_phi_lower, per_cluster[c].lower);
+    stats.min_phi_upper = std::min(stats.min_phi_upper, per_cluster[c].upper);
+    if (!per_cluster[c].exact) stats.phi_exact = false;
   }
   stats.mean_cluster_size =
       d.num_clusters > 0 ? static_cast<double>(g.num_vertices()) /
@@ -110,32 +133,44 @@ DecompositionStats evaluate_decomposition(const Graph& g,
 
 double cut_weight_fraction(const Graph& g, const Decomposition& d) {
   validate_decomposition(g, d);
-  double crossing = 0.0;
-  double total = 0.0;
-  for (vidx v = 0; v < g.num_vertices(); ++v) {
-    const vidx cv = d.assignment[static_cast<std::size_t>(v)];
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  // Fixed-block reductions (parallel_sum) keep the rounding identical at
+  // every thread count.
+  const double total = parallel_sum(n, [&](std::size_t i) {
+    const auto v = static_cast<vidx>(i);
     const auto nbrs = g.neighbors(v);
     const auto ws = g.weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (v < nbrs[i]) {
-        total += ws[i];
-        if (d.assignment[static_cast<std::size_t>(nbrs[i])] != cv) {
-          crossing += ws[i];
-        }
+    double row = 0.0;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (v < nbrs[k]) row += ws[k];
+    }
+    return row;
+  });
+  const double crossing = parallel_sum(n, [&](std::size_t i) {
+    const auto v = static_cast<vidx>(i);
+    const vidx cv = d.assignment[i];
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    double row = 0.0;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (v < nbrs[k] &&
+          d.assignment[static_cast<std::size_t>(nbrs[k])] != cv) {
+        row += ws[k];
       }
     }
-  }
+    return row;
+  });
   return total > 0.0 ? crossing / total : 0.0;
 }
 
 double average_gamma(const Graph& g, const Decomposition& d) {
   const auto gamma = per_vertex_gamma(g, d);
-  double weighted = 0.0;
-  double total_vol = 0.0;
-  for (vidx v = 0; v < g.num_vertices(); ++v) {
-    weighted += g.vol(v) * gamma[static_cast<std::size_t>(v)];
-    total_vol += g.vol(v);
-  }
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const double weighted = parallel_sum(n, [&](std::size_t v) {
+    return g.vol(static_cast<vidx>(v)) * gamma[v];
+  });
+  const double total_vol = parallel_sum(
+      n, [&](std::size_t v) { return g.vol(static_cast<vidx>(v)); });
   return total_vol > 0.0 ? weighted / total_vol : 0.0;
 }
 
@@ -157,10 +192,10 @@ Decomposition compose(const Decomposition& d1, const Decomposition& d2) {
   // assign() instead of resize(): sidesteps a GCC 12 -Wnull-dereference
   // false positive in the value-initializing resize path.
   out.assignment.assign(d1.assignment.size(), 0);
-  for (std::size_t v = 0; v < d1.assignment.size(); ++v) {
-    out.assignment[v] = d2.assignment[static_cast<std::size_t>(
-        d1.assignment[v])];
-  }
+  parallel_for(d1.assignment.size(), [&](std::size_t v) {
+    out.assignment[v] =
+        d2.assignment[static_cast<std::size_t>(d1.assignment[v])];
+  });
   return out;
 }
 

@@ -84,22 +84,24 @@ Graph heaviest_incident_edge_forest(const Graph& g, std::uint64_t seed,
 
 bool is_unimodal_forest(const Graph& forest) {
   // An edge (u, v) is a local minimum if u has a strictly heavier incident
-  // edge and so does v. Unimodal <=> no local-minimum edge exists.
+  // edge and so does v. Unimodal <=> no local-minimum edge exists. The
+  // per-vertex test only reads the forest, so the sweep is parallel.
   const vidx n = forest.num_vertices();
-  for (vidx v = 0; v < n; ++v) {
+  return !parallel_any(static_cast<std::size_t>(n), [&](std::size_t i) {
+    const auto v = static_cast<vidx>(i);
     const auto nbrs = forest.neighbors(v);
     const auto ws = forest.weights(v);
     double vmax = 0.0;
     for (double w : ws) vmax = std::max(vmax, w);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (ws[i] >= vmax) continue;  // heaviest at v: cannot be local min
-      const vidx u = nbrs[i];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (ws[k] >= vmax) continue;  // heaviest at v: cannot be local min
+      const vidx u = nbrs[k];
       double umax = 0.0;
       for (double w : forest.weights(u)) umax = std::max(umax, w);
-      if (ws[i] < umax) return false;  // lighter than both endpoints' max
+      if (ws[k] < umax) return true;  // lighter than both endpoints' max
     }
-  }
-  return true;
+    return false;
+  });
 }
 
 FixedDegreeResult fixed_degree_decomposition(const Graph& g,

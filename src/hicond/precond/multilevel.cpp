@@ -22,11 +22,13 @@ MultilevelSteinerSolver MultilevelSteinerSolver::build(
   s.state_->options = options;
   for (const auto& level : s.state_->hierarchy.levels) {
     std::vector<double> inv(static_cast<std::size_t>(level.graph.num_vertices()));
-    for (vidx v = 0; v < level.graph.num_vertices(); ++v) {
-      inv[static_cast<std::size_t>(v)] =
-          level.graph.vol(v) > 0.0 ? 1.0 / level.graph.vol(v) : 0.0;
-    }
+    parallel_for(inv.size(), [&](std::size_t v) {
+      const double vol = level.graph.vol(static_cast<vidx>(v));
+      inv[v] = vol > 0.0 ? 1.0 / vol : 0.0;
+    });
     s.state_->inv_diag.push_back(std::move(inv));
+    s.state_->restriction.push_back(ClusterIndex::build(
+        level.decomposition.assignment, level.decomposition.num_clusters));
     if (options.smoother == SmootherKind::chebyshev) {
       s.state_->chebyshev.push_back(std::make_unique<ChebyshevSmoother>(
           level.graph, options.chebyshev_degree));
@@ -99,13 +101,12 @@ void MultilevelSteinerSolver::cycle(int level, std::span<const double> r,
   // Pre-smoothing from z = 0.
   la::fill(z, 0.0);
   smooth_pass(z);
-  // Coarse correction on the residual.
+  // Coarse correction on the residual. The restriction is parallel over
+  // clusters (owner-computes; see ClusterIndex).
   a.laplacian_apply(z, work);
   parallel_for(n, [&](std::size_t i) { residual[i] = r[i] - work[i]; });
   std::vector<double> rc(m, 0.0);
-  for (std::size_t v = 0; v < n; ++v) {
-    rc[static_cast<std::size_t>(assignment[v])] += residual[v];
-  }
+  st.restriction[static_cast<std::size_t>(level)].restrict_sum(residual, rc);
   std::vector<double> zc(m, 0.0);
   cycle(level + 1, rc, zc);
   parallel_for(n, [&](std::size_t v) {
@@ -135,7 +136,7 @@ void MultilevelSteinerSolver::apply(std::span<const double> r,
   std::vector<double> correction(r.size());
   for (int c = 1; c < st.options.cycles; ++c) {
     a.laplacian_apply(z, work);
-    for (std::size_t i = 0; i < work.size(); ++i) work[i] = r[i] - work[i];
+    parallel_for(work.size(), [&](std::size_t i) { work[i] = r[i] - work[i]; });
     cycle(0, work, correction);
     la::axpy(1.0, correction, z);
   }

@@ -13,6 +13,7 @@
 #include "hicond/la/cg.hpp"
 #include "hicond/la/chebyshev.hpp"
 #include "hicond/la/sparse_cholesky.hpp"
+#include "hicond/partition/cluster_index.hpp"
 #include "hicond/partition/hierarchy.hpp"
 
 namespace hicond {
@@ -73,6 +74,8 @@ class MultilevelSteinerSolver {
     LaminarHierarchy hierarchy;
     MultilevelOptions options;
     std::vector<std::vector<double>> inv_diag;  ///< per level
+    /// Per-level cluster-major index driving the parallel restriction.
+    std::vector<ClusterIndex> restriction;
     std::vector<std::unique_ptr<ChebyshevSmoother>> chebyshev;  ///< per level
     std::unique_ptr<LaplacianDirectSolver> coarsest_solver;
     std::vector<LevelCycleStats> cycle_stats;  ///< levels + coarsest

@@ -98,11 +98,13 @@ SteinerPreconditioner SteinerPreconditioner::build(const Graph& a,
   const vidx n = a.num_vertices();
   sp.inv_diag_.resize(static_cast<std::size_t>(n));
   sp.vol_.resize(static_cast<std::size_t>(n));
-  for (vidx v = 0; v < n; ++v) {
-    sp.vol_[static_cast<std::size_t>(v)] = a.vol(v);
-    sp.inv_diag_[static_cast<std::size_t>(v)] =
-        a.vol(v) > 0.0 ? 1.0 / a.vol(v) : 0.0;
-  }
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t v) {
+    const double vol = a.vol(static_cast<vidx>(v));
+    sp.vol_[v] = vol;
+    sp.inv_diag_[v] = vol > 0.0 ? 1.0 / vol : 0.0;
+  });
+  sp.index_ = std::make_shared<ClusterIndex>(
+      ClusterIndex::build(p.assignment, p.num_clusters));
   sp.quotient_ = std::make_shared<Graph>(quotient_graph(a, p.assignment));
   HICOND_CHECK(sp.quotient_->num_vertices() == p.num_clusters,
                "quotient size mismatch");
@@ -120,11 +122,9 @@ void SteinerPreconditioner::apply(std::span<const double> r,
   const std::size_t n = inv_diag_.size();
   HICOND_CHECK(r.size() == n && z.size() == n, "size mismatch");
   const auto m = static_cast<std::size_t>(quotient_->num_vertices());
-  // Restriction: rq = R' r (cluster-wise sums).
+  // Restriction: rq = R' r, parallel over clusters (owner-computes).
   std::vector<double> rq(m, 0.0);
-  for (std::size_t v = 0; v < n; ++v) {
-    rq[static_cast<std::size_t>(assignment_[v])] += r[v];
-  }
+  index_->restrict_sum(r, rq);
   // Quotient solve.
   const std::vector<double> yq = quotient_solver_->solve(rq);
   // Prolongation + diagonal part.
@@ -138,15 +138,14 @@ LinearOperator SteinerPreconditioner::as_operator() const {
   // Capture shared state by value so the operator is self-contained.
   auto assignment = assignment_;
   auto inv_diag = inv_diag_;
+  auto index = index_;
   auto quotient_solver = quotient_solver_;
-  return [assignment, inv_diag, quotient_solver](std::span<const double> r,
-                                                 std::span<double> z) {
+  return [assignment, inv_diag, index, quotient_solver](
+             std::span<const double> r, std::span<double> z) {
     const std::size_t n = inv_diag.size();
     std::vector<double> rq(static_cast<std::size_t>(quotient_solver->dim()),
                            0.0);
-    for (std::size_t v = 0; v < n; ++v) {
-      rq[static_cast<std::size_t>(assignment[v])] += r[v];
-    }
+    index->restrict_sum(r, rq);
     const std::vector<double> yq = quotient_solver->solve(rq);
     parallel_for(n, [&](std::size_t v) {
       z[v] = inv_diag[v] * r[v] +

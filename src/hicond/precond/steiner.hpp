@@ -24,6 +24,7 @@
 #include "hicond/la/cg.hpp"
 #include "hicond/la/dense.hpp"
 #include "hicond/la/sparse_cholesky.hpp"
+#include "hicond/partition/cluster_index.hpp"
 #include "hicond/partition/decomposition.hpp"
 
 namespace hicond {
@@ -57,6 +58,8 @@ class SteinerPreconditioner {
   std::vector<vidx> assignment_;
   std::vector<double> inv_diag_;  ///< 1 / vol_A(v), 0 for isolated vertices
   std::vector<double> vol_;       ///< vol_A(v) (the T_i leaf weights)
+  /// Cluster-major member index for the parallel restriction R' r.
+  std::shared_ptr<ClusterIndex> index_;
   std::shared_ptr<Graph> quotient_;
   std::shared_ptr<LaplacianDirectSolver> quotient_solver_;
 };

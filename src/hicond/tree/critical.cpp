@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hicond/util/parallel.hpp"
+
 namespace hicond {
 
 std::vector<char> critical_vertices(const RootedForest& forest, int m) {
@@ -11,17 +13,18 @@ std::vector<char> critical_vertices(const RootedForest& forest, int m) {
   auto bucket = [m](vidx size) {
     return (static_cast<long long>(size) + m - 1) / m;
   };
-  for (vidx v = 0; v < n; ++v) {
-    if (forest.is_leaf(v)) continue;
-    bool is_critical = true;
+  // The ceiling test reads only precomputed subtree sizes and each vertex
+  // writes only its own flag (owner-computes).
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+    const auto v = static_cast<vidx>(i);
+    if (forest.is_leaf(v)) return;
     for (vidx w : forest.children(v)) {
       if (bucket(forest.subtree_size(v)) <= bucket(forest.subtree_size(w))) {
-        is_critical = false;
-        break;
+        return;
       }
     }
-    if (is_critical) critical[static_cast<std::size_t>(v)] = 1;
-  }
+    critical[i] = 1;
+  });
   // Roots of non-trivial components anchor the decomposition even when the
   // ceiling condition ties (e.g. a 3-vertex path); mark them critical.
   for (vidx r : forest.roots()) {
@@ -67,6 +70,71 @@ std::vector<Bridge> bridge_decomposition(const Graph& tree,
         std::unique(b.attachments.begin(), b.attachments.end()),
         b.attachments.end());
   }
+  return bridges;
+}
+
+std::vector<Bridge> bridge_decomposition(const Graph& tree,
+                                         std::span<const char> critical,
+                                         const RootedForest& forest) {
+  const vidx n = tree.num_vertices();
+  HICOND_CHECK(critical.size() == static_cast<std::size_t>(n),
+               "critical flag size mismatch");
+  HICOND_CHECK(forest.num_vertices() == n, "forest size mismatch");
+  // Each non-critical vertex chases its parent pointer while the parent is
+  // also non-critical; O(log depth) doubling rounds leave rep[v] at the
+  // topmost vertex of v's bridge piece, which acts as the representative.
+  std::vector<vidx> rep(static_cast<std::size_t>(n), -1);
+  std::vector<vidx> rep_next(static_cast<std::size_t>(n), -1);
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+    const auto v = static_cast<vidx>(i);
+    if (critical[i]) return;
+    const vidx p = forest.parent(v);
+    rep[i] = (p >= 0 && !critical[static_cast<std::size_t>(p)]) ? p : v;
+  });
+  bool changed = n > 0;
+  while (changed) {
+    parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+      rep_next[i] =
+          rep[i] >= 0 ? rep[static_cast<std::size_t>(rep[i])] : vidx{-1};
+    });
+    changed = parallel_any(static_cast<std::size_t>(n), [&](std::size_t i) {
+      return rep_next[i] != rep[i];
+    });
+    rep.swap(rep_next);
+  }
+  // Serial id pass over vertices in ascending order: pieces are numbered by
+  // their minimum interior vertex, matching the BFS overload exactly, and
+  // the interior lists come out already sorted.
+  std::vector<vidx> id_of_top(static_cast<std::size_t>(n), -1);
+  vidx num_bridges = 0;
+  for (vidx v = 0; v < n; ++v) {
+    const vidx top = rep[static_cast<std::size_t>(v)];
+    if (top < 0) continue;
+    if (id_of_top[static_cast<std::size_t>(top)] == -1) {
+      id_of_top[static_cast<std::size_t>(top)] = num_bridges++;
+    }
+  }
+  std::vector<Bridge> bridges(static_cast<std::size_t>(num_bridges));
+  for (vidx v = 0; v < n; ++v) {
+    const vidx top = rep[static_cast<std::size_t>(v)];
+    if (top < 0) continue;
+    bridges[static_cast<std::size_t>(
+                id_of_top[static_cast<std::size_t>(top)])]
+        .interior.push_back(v);
+  }
+  // Attachment gathering touches only the bridge's own rows.
+  parallel_for_interleaved(bridges.size(), [&](std::size_t i) {
+    Bridge& b = bridges[i];
+    for (const vidx v : b.interior) {
+      for (const vidx u : tree.neighbors(v)) {
+        if (critical[static_cast<std::size_t>(u)]) b.attachments.push_back(u);
+      }
+    }
+    std::sort(b.attachments.begin(), b.attachments.end());
+    b.attachments.erase(
+        std::unique(b.attachments.begin(), b.attachments.end()),
+        b.attachments.end());
+  });
   return bridges;
 }
 

@@ -31,8 +31,18 @@ struct Bridge {
 };
 
 /// Decompose the forest into bridges. Edges whose endpoints are both
-/// critical form no bridge (they are boundaries already).
+/// critical form no bridge (they are boundaries already). Serial BFS
+/// reference implementation; bridge ids are ordered by the minimum interior
+/// vertex of the piece.
 [[nodiscard]] std::vector<Bridge> bridge_decomposition(
     const Graph& tree, std::span<const char> critical);
+
+/// Parallel bridge decomposition via pointer jumping on the rooted forest's
+/// parent pointers (the Theorem 2.1 contraction step). Produces exactly the
+/// same bridges, in the same order, as the serial overload; `forest` must be
+/// a rooting of `tree`.
+[[nodiscard]] std::vector<Bridge> bridge_decomposition(
+    const Graph& tree, std::span<const char> critical,
+    const RootedForest& forest);
 
 }  // namespace hicond

@@ -6,23 +6,23 @@ namespace hicond {
 
 std::vector<vidx> list_ranking(std::span<const vidx> next) {
   const std::size_t n = next.size();
+  const bool bad = parallel_any(n, [&](std::size_t i) {
+    const vidx nx = next[i];
+    return !(nx == -1 || (nx >= 0 && static_cast<std::size_t>(nx) < n));
+  });
+  HICOND_CHECK(!bad, "bad successor index");
   std::vector<vidx> rank(n);
   std::vector<vidx> jump(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const vidx nx = next[i];
-    HICOND_CHECK(nx == -1 || (nx >= 0 && static_cast<std::size_t>(nx) < n),
-                 "bad successor index");
-    rank[i] = nx == -1 ? 0 : 1;
-    jump[i] = nx;
-  }
+  parallel_for(n, [&](std::size_t i) {
+    rank[i] = next[i] == -1 ? 0 : 1;
+    jump[i] = next[i];
+  });
   // Pointer jumping: O(log n) rounds; each round reads the previous
   // round's arrays only, so the per-round sweep is safely parallel.
   std::vector<vidx> rank_next(n);
   std::vector<vidx> jump_next(n);
   bool active = n > 0;
   while (active) {
-    active = false;
-    bool any = false;
     parallel_for(n, [&](std::size_t i) {
       if (jump[i] == -1) {
         rank_next[i] = rank[i];
@@ -35,13 +35,7 @@ std::vector<vidx> list_ranking(std::span<const vidx> next) {
     });
     rank.swap(rank_next);
     jump.swap(jump_next);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (jump[i] != -1) {
-        any = true;
-        break;
-      }
-    }
-    active = any;
+    active = parallel_any(n, [&](std::size_t i) { return jump[i] != -1; });
   }
   return rank;
 }
@@ -50,14 +44,21 @@ EulerTour euler_tour(const RootedForest& forest) {
   const vidx n = forest.num_vertices();
   EulerTour tour;
   tour.edge_of_child.assign(static_cast<std::size_t>(n), -1);
+  // Edge ids come from a cheap serial prefix count over non-roots; the
+  // per-arc successor assembly below is the heavy part and runs parallel.
   vidx num_edges = 0;
   for (vidx v = 0; v < n; ++v) {
     if (!forest.is_root(v)) {
-      tour.edge_of_child[static_cast<std::size_t>(v)] = num_edges;
-      tour.child_of_edge.push_back(v);
-      ++num_edges;
+      tour.edge_of_child[static_cast<std::size_t>(v)] = num_edges++;
     }
   }
+  tour.child_of_edge.assign(static_cast<std::size_t>(num_edges), -1);
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t v) {
+    const vidx e = tour.edge_of_child[v];
+    if (e != -1) {
+      tour.child_of_edge[static_cast<std::size_t>(e)] = static_cast<vidx>(v);
+    }
+  });
   tour.next.assign(static_cast<std::size_t>(num_edges) * 2, -1);
   auto down = [&tour](vidx child) {
     return 2 * tour.edge_of_child[static_cast<std::size_t>(child)];
@@ -66,27 +67,29 @@ EulerTour euler_tour(const RootedForest& forest) {
     return 2 * tour.edge_of_child[static_cast<std::size_t>(child)] + 1;
   };
   // Successor rules (see header): the tour enters a child, walks its
-  // children left to right, and leaves.
-  for (vidx v = 0; v < n; ++v) {
+  // children left to right, and leaves. Every slot has a unique writer --
+  // next[down(v)] is written by v itself, next[up(c)] by c's parent -- so
+  // the sweep is owner-computes parallel.
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+    const auto v = static_cast<vidx>(i);
     const auto children = forest.children(v);
     if (!forest.is_root(v)) {
       // Down-arc into v continues to v's first child or bounces back up.
       tour.next[static_cast<std::size_t>(down(v))] =
           children.empty() ? up(v) : down(children.front());
-    } else if (!children.empty()) {
-      // Roots: chain their children; the tour of the component starts at
-      // down(children.front()) and ends at up(children.back()).
     }
     // After returning from child c, continue with the next sibling or leave.
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      const vidx c = children[i];
-      if (i + 1 < children.size()) {
-        tour.next[static_cast<std::size_t>(up(c))] = down(children[i + 1]);
+    // For roots the tour of the component starts at down(children.front())
+    // and ends at up(children.back()).
+    for (std::size_t k = 0; k < children.size(); ++k) {
+      const vidx c = children[k];
+      if (k + 1 < children.size()) {
+        tour.next[static_cast<std::size_t>(up(c))] = down(children[k + 1]);
       } else if (!forest.is_root(v)) {
         tour.next[static_cast<std::size_t>(up(c))] = up(v);
       }  // else: end of the component tour (-1).
     }
-  }
+  });
   tour.rank = list_ranking(tour.next);
   return tour;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
 
 #include "hicond/graph/closure.hpp"
 #include "hicond/graph/conductance.hpp"
@@ -10,33 +11,30 @@
 #include "hicond/obs/trace.hpp"
 #include "hicond/tree/critical.hpp"
 #include "hicond/tree/rooted_tree.hpp"
+#include "hicond/util/parallel.hpp"
 
 namespace hicond {
 
 namespace {
 
-/// Mutable state of the clustering under construction.
-struct Builder {
+/// Clustering decisions for one bridge, produced by the parallel planning
+/// pass and applied by the serial commit pass. Cluster ids are not allocated
+/// during planning; the commit assigns them in bridge order, which makes the
+/// decomposition independent of the thread schedule.
+struct BridgePlan {
+  bool skip = false;  ///< interior already clustered (small component)
+  std::vector<std::vector<vidx>> clusters;  ///< new clusters, in emit order
+  /// u joins the (already committed) cluster of a critical vertex.
+  std::vector<std::pair<vidx, vidx>> attaches;
+  /// u joins the cluster of an interior vertex clustered earlier within the
+  /// same bridge (leftover merge of the large-bridge fallback).
+  std::vector<std::pair<vidx, vidx>> merges;
+};
+
+/// Read-only scoring context shared by the per-bridge planners.
+struct Planner {
   const Graph& g;
   const TreeDecompOptions& opts;
-  std::vector<vidx> assignment;
-  vidx next_cluster = 0;
-
-  explicit Builder(const Graph& graph, const TreeDecompOptions& o)
-      : g(graph), opts(o),
-        assignment(static_cast<std::size_t>(graph.num_vertices()), -1) {}
-
-  vidx emit_cluster(std::span<const vidx> verts) {
-    const vidx id = next_cluster++;
-    for (vidx v : verts) assignment[static_cast<std::size_t>(v)] = id;
-    return id;
-  }
-
-  void attach(vidx u, vidx critical_vertex) {
-    const vidx c = assignment[static_cast<std::size_t>(critical_vertex)];
-    HICOND_ASSERT(c >= 0);
-    assignment[static_cast<std::size_t>(u)] = c;
-  }
 
   /// Exact (or conservatively lower-bounded) closure conductance of a
   /// candidate cluster.
@@ -74,52 +72,51 @@ struct Builder {
   }
 };
 
-/// External (non-interior) incident weight of u, i.e. weight to critical
-/// attachments of the bridge.
-double external_weight(const Graph& g, vidx u,
-                       std::span<const char> in_interior) {
+/// Incident weight of u leaving the 2-vertex interior {u, other}, i.e.
+/// weight to critical attachments of the bridge.
+double external_weight_of_pair(const Graph& g, vidx u, vidx other) {
   double w = 0.0;
   const auto nbrs = g.neighbors(u);
   const auto ws = g.weights(u);
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    if (!in_interior[static_cast<std::size_t>(nbrs[i])]) w += ws[i];
+    if (nbrs[i] != other) w += ws[i];
   }
   return w;
 }
 
-void handle_single(Builder& b, vidx u, std::span<const char> critical) {
-  const auto [c, w] = b.heaviest_critical_neighbor(u, critical);
+void plan_single(const Planner& p, vidx u, std::span<const char> critical,
+                 BridgePlan& plan) {
+  const auto [c, w] = p.heaviest_critical_neighbor(u, critical);
+  (void)w;
   if (c >= 0) {
-    b.attach(u, c);
+    plan.attaches.emplace_back(u, c);
   } else {
     // Isolated vertex (its own component): unavoidable singleton.
-    const std::array<vidx, 1> self{u};
-    b.emit_cluster(self);
+    plan.clusters.push_back({u});
   }
 }
 
-void handle_pair(Builder& b, vidx u1, vidx u2, std::span<const char> critical,
-                 std::span<const char> in_interior) {
-  const double w = b.g.edge_weight(u1, u2);
+void plan_pair(const Planner& p, vidx u1, vidx u2,
+               std::span<const char> critical, BridgePlan& plan) {
+  const double w = p.g.edge_weight(u1, u2);
   HICOND_ASSERT(w > 0.0);
-  const double b1 = external_weight(b.g, u1, in_interior);
-  const double b2 = external_weight(b.g, u2, in_interior);
-  if (w >= b.opts.pair_slack * std::min(b1, b2)) {
-    const std::array<vidx, 2> pair{u1, u2};
-    b.emit_cluster(pair);
+  const double b1 = external_weight_of_pair(p.g, u1, u2);
+  const double b2 = external_weight_of_pair(p.g, u2, u1);
+  if (w >= p.opts.pair_slack * std::min(b1, b2)) {
+    plan.clusters.push_back({u1, u2});
     return;
   }
   // Both boundary weights positive here, so both have critical neighbours.
-  handle_single(b, u1, critical);
-  handle_single(b, u2, critical);
+  plan_single(p, u1, critical, plan);
+  plan_single(p, u2, critical, plan);
 }
 
 /// Candidate resolution for a 3-vertex bridge interior: enumerate every
 /// feasible split into connected clusters (size >= 2) and attachments,
 /// score by the minimum of exact closure conductances and attachment
-/// sparsities, and apply the best.
-void handle_triple(Builder& b, std::span<const vidx> interior,
-                   std::span<const char> critical) {
+/// sparsities, and plan the best.
+void plan_triple(const Planner& p, std::span<const vidx> interior,
+                 std::span<const char> critical, BridgePlan& plan) {
   struct Candidate {
     std::vector<std::vector<vidx>> clusters;
     std::vector<vidx> attachments;
@@ -128,7 +125,7 @@ void handle_triple(Builder& b, std::span<const vidx> interior,
   };
   std::vector<Candidate> candidates;
 
-  auto adjacent = [&](vidx a, vidx c) { return b.g.has_edge(a, c); };
+  auto adjacent = [&](vidx a, vidx c) { return p.g.has_edge(a, c); };
   const vidx u0 = interior[0];
   const vidx u1 = interior[1];
   const vidx u2 = interior[2];
@@ -151,16 +148,16 @@ void handle_triple(Builder& b, std::span<const vidx> interior,
     double score = kInfiniteConductance;
     bool feasible = true;
     for (vidx u : cand.attachments) {
-      const auto [c, w] = b.heaviest_critical_neighbor(u, critical);
+      const auto [c, w] = p.heaviest_critical_neighbor(u, critical);
       if (c < 0) {
         feasible = false;
         break;
       }
-      score = std::min(score, b.attach_sparsity(u, w));
+      score = std::min(score, p.attach_sparsity(u, w));
     }
     if (!feasible) continue;
     for (const auto& cluster : cand.clusters) {
-      score = std::min(score, b.closure_phi(cluster));
+      score = std::min(score, p.closure_phi(cluster));
     }
     cand.score = score;
     if (best == nullptr || cand.score > best->score ||
@@ -169,69 +166,78 @@ void handle_triple(Builder& b, std::span<const vidx> interior,
     }
   }
   HICOND_ASSERT(best != nullptr);
-  for (const auto& cluster : best->clusters) b.emit_cluster(cluster);
+  for (auto& cluster : best->clusters) {
+    plan.clusters.push_back(std::move(cluster));
+  }
   for (vidx u : best->attachments) {
-    const auto [c, w] = b.heaviest_critical_neighbor(u, critical);
+    const auto [c, w] = p.heaviest_critical_neighbor(u, critical);
     (void)w;
-    b.attach(u, c);
+    plan.attaches.emplace_back(u, c);
   }
 }
 
 /// Generic fallback for unexpectedly large bridge interiors: bottom-up
 /// packing of the interior subtree into clusters of size >= 2, with a single
 /// possible leftover attached to a critical neighbour (or merged into an
-/// adjacent cluster).
-void handle_large(Builder& b, std::span<const vidx> interior,
-                  std::span<const char> critical) {
+/// adjacent planned cluster).
+void plan_large(const Planner& p, std::span<const vidx> interior,
+                std::span<const char> critical, BridgePlan& plan) {
   std::vector<vidx> old_to_new;
-  const Graph sub = induced_subgraph(b.g, interior, &old_to_new);
+  const Graph sub = induced_subgraph(p.g, interior, &old_to_new);
   const RootedForest rf = RootedForest::build(sub);
   const auto order = rf.top_down_order();
-  std::vector<char> clustered(interior.size(), 0);
+  // local_cluster[lv] = index into plan.clusters, -1 while pending.
+  std::vector<vidx> local_cluster(interior.size(), -1);
   // Reverse BFS: children first. pending(v) = v plus unclustered children.
   for (std::size_t i = order.size(); i-- > 0;) {
     const vidx lv = order[i];
     std::vector<vidx> pending{interior[static_cast<std::size_t>(lv)]};
     for (vidx lc : rf.children(lv)) {
-      if (!clustered[static_cast<std::size_t>(lc)]) {
+      if (local_cluster[static_cast<std::size_t>(lc)] == -1) {
         pending.push_back(interior[static_cast<std::size_t>(lc)]);
       }
     }
     if (pending.size() >= 2) {
-      b.emit_cluster(pending);
-      clustered[static_cast<std::size_t>(lv)] = 1;
-      for (vidx lc : rf.children(lv)) clustered[static_cast<std::size_t>(lc)] = 1;
+      const auto id = static_cast<vidx>(plan.clusters.size());
+      plan.clusters.push_back(std::move(pending));
+      local_cluster[static_cast<std::size_t>(lv)] = id;
+      for (vidx lc : rf.children(lv)) {
+        if (local_cluster[static_cast<std::size_t>(lc)] == -1) {
+          local_cluster[static_cast<std::size_t>(lc)] = id;
+        }
+      }
     }
     // else: leave lv pending for its parent.
   }
   // Leftover roots (pending singletons).
   for (vidx lr : rf.roots()) {
-    if (clustered[static_cast<std::size_t>(lr)]) continue;
+    if (local_cluster[static_cast<std::size_t>(lr)] != -1) continue;
     const vidx u = interior[static_cast<std::size_t>(lr)];
-    const auto [c, w] = b.heaviest_critical_neighbor(u, critical);
+    const auto [c, w] = p.heaviest_critical_neighbor(u, critical);
     (void)w;
     if (c >= 0) {
-      b.attach(u, c);
+      plan.attaches.emplace_back(u, c);
+      continue;
+    }
+    // Merge into the adjacent planned cluster with the heaviest edge. All
+    // neighbours of u are interior here (it has no critical neighbour), so
+    // the candidates are exactly the locally clustered vertices.
+    vidx target = -1;
+    double best_w = -1.0;
+    const auto nbrs = p.g.neighbors(u);
+    const auto ws = p.g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vidx ln = old_to_new[static_cast<std::size_t>(nbrs[i])];
+      if (ln >= 0 && local_cluster[static_cast<std::size_t>(ln)] >= 0 &&
+          ws[i] > best_w) {
+        best_w = ws[i];
+        target = nbrs[i];
+      }
+    }
+    if (target >= 0) {
+      plan.merges.emplace_back(u, target);
     } else {
-      // Merge into the adjacent cluster with the heaviest edge.
-      vidx target = -1;
-      double best_w = -1.0;
-      const auto nbrs = b.g.neighbors(u);
-      const auto ws = b.g.weights(u);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const vidx cl =
-            b.assignment[static_cast<std::size_t>(nbrs[i])];
-        if (cl >= 0 && ws[i] > best_w) {
-          best_w = ws[i];
-          target = cl;
-        }
-      }
-      if (target >= 0) {
-        b.assignment[static_cast<std::size_t>(u)] = target;
-      } else {
-        const std::array<vidx, 1> self{u};
-        b.emit_cluster(self);
-      }
+      plan.clusters.push_back({u});
     }
   }
 }
@@ -248,7 +254,13 @@ Decomposition tree_decomposition(const Graph& forest,
   result.assignment.assign(static_cast<std::size_t>(n), -1);
   if (n == 0) return result;
 
-  Builder b(forest, options);
+  std::vector<vidx> assignment(static_cast<std::size_t>(n), -1);
+  vidx next_cluster = 0;
+  auto emit_cluster = [&](std::span<const vidx> verts) {
+    const vidx id = next_cluster++;
+    for (vidx v : verts) assignment[static_cast<std::size_t>(v)] = id;
+  };
+
   const std::vector<vidx> comp = connected_components(forest);
   const vidx num_comp = 1 + *std::max_element(comp.begin(), comp.end());
   std::vector<vidx> comp_size(static_cast<std::size_t>(num_comp), 0);
@@ -264,53 +276,70 @@ Decomposition tree_decomposition(const Graph& forest,
     }
   }
   for (const auto& cluster : small) {
-    if (!cluster.empty()) b.emit_cluster(cluster);
+    if (!cluster.empty()) emit_cluster(cluster);
   }
 
   const RootedForest rf = RootedForest::build(forest);
   std::vector<char> critical = critical_vertices(rf, 3);
   // Restrict to large components; small ones are done.
-  for (vidx v = 0; v < n; ++v) {
-    if (comp_size[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])] <=
-        3) {
-      critical[static_cast<std::size_t>(v)] = 0;
-    }
-  }
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t v) {
+    if (comp_size[static_cast<std::size_t>(comp[v])] <= 3) critical[v] = 0;
+  });
   // One cluster per critical vertex.
   for (vidx v = 0; v < n; ++v) {
     if (critical[static_cast<std::size_t>(v)]) {
       const std::array<vidx, 1> self{v};
-      b.emit_cluster(self);
+      emit_cluster(self);
     }
   }
 
-  std::vector<char> in_interior(static_cast<std::size_t>(n), 0);
-  const auto bridges = bridge_decomposition(forest, critical);
-  for (const Bridge& bridge : bridges) {
-    const auto& interior = bridge.interior;
-    if (b.assignment[static_cast<std::size_t>(interior.front())] != -1) {
-      continue;  // part of a small component, already clustered
+  // Bridges come from the parallel pointer-jumping overload; the planning
+  // pass is independent per bridge (it reads only the graph, the critical
+  // flags and the already-fixed small-component assignments), so the
+  // schedule cannot influence any decision.
+  const auto bridges = bridge_decomposition(forest, critical, rf);
+  const Planner planner{forest, options};
+  std::vector<BridgePlan> plans(bridges.size());
+  parallel_for_interleaved(bridges.size(), [&](std::size_t i) {
+    const auto& interior = bridges[i].interior;
+    BridgePlan& plan = plans[i];
+    if (assignment[static_cast<std::size_t>(interior.front())] != -1) {
+      plan.skip = true;  // part of a small component, already clustered
+      return;
     }
-    for (vidx v : interior) in_interior[static_cast<std::size_t>(v)] = 1;
     switch (interior.size()) {
       case 1:
-        handle_single(b, interior[0], critical);
+        plan_single(planner, interior[0], critical, plan);
         break;
       case 2:
-        handle_pair(b, interior[0], interior[1], critical, in_interior);
+        plan_pair(planner, interior[0], interior[1], critical, plan);
         break;
       case 3:
-        handle_triple(b, interior, critical);
+        plan_triple(planner, interior, critical, plan);
         break;
       default:
-        handle_large(b, interior, critical);
+        plan_large(planner, interior, critical, plan);
         break;
     }
-    for (vidx v : interior) in_interior[static_cast<std::size_t>(v)] = 0;
+  });
+  // Serial commit in bridge order: allocates cluster ids deterministically.
+  for (const BridgePlan& plan : plans) {
+    if (plan.skip) continue;
+    for (const auto& cluster : plan.clusters) emit_cluster(cluster);
+    for (const auto& [u, c] : plan.attaches) {
+      const vidx id = assignment[static_cast<std::size_t>(c)];
+      HICOND_ASSERT(id >= 0);
+      assignment[static_cast<std::size_t>(u)] = id;
+    }
+    for (const auto& [u, t] : plan.merges) {
+      const vidx id = assignment[static_cast<std::size_t>(t)];
+      HICOND_ASSERT(id >= 0);
+      assignment[static_cast<std::size_t>(u)] = id;
+    }
   }
 
-  result.assignment = std::move(b.assignment);
-  result.num_clusters = b.next_cluster;
+  result.assignment = std::move(assignment);
+  result.num_clusters = next_cluster;
   HICOND_RUN_VALIDATION(expensive, result.validate(forest));
   return result;
 }

@@ -2,7 +2,15 @@
 //
 // The algorithms in this library are described in the paper in the PRAM
 // model (linear work, O(log n) depth). We realize them on shared memory with
-// OpenMP; every primitive here is deterministic for a fixed thread count.
+// OpenMP under a strict determinism policy (docs/PARALLELISM.md):
+//
+//  * owner-computes partitioning -- every parallel loop writes only slots
+//    indexed by its own iteration variable; no atomics-ordered accumulation
+//    into shared floats, no `reduction` clauses;
+//  * fixed-block reductions -- parallel_sum splits [0, n) into blocks of
+//    kReductionBlock iterations and combines the block partials in block
+//    order, so floating-point results are bitwise identical for EVERY
+//    thread count, not just for repeated runs at a fixed count.
 //
 // All `#pragma omp parallel` regions in the library are funneled through
 // parallel_region() (enforced by tools/check_project_rules.py) so that a
@@ -12,6 +20,7 @@
 // enclosing region as orphaned constructs.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <omp.h>
@@ -71,27 +80,82 @@ void parallel_for(std::size_t n, Fn&& fn) {
   });
 }
 
-/// Parallel sum-reduction of fn(i) over [0, n). The per-thread partials are
-/// combined in thread-id order, so the result is deterministic for a fixed
-/// thread count (a `reduction` clause would also hide the combine from
-/// ThreadSanitizer; see util/tsan.hpp).
+/// Parallel for over [0, n) with a round-robin static schedule
+/// (schedule(static, 1)). Use when iteration costs vary wildly (per-bridge
+/// planning, per-cluster closure evaluation): neighbouring expensive
+/// iterations land on different threads. Owner-computes writes keyed by `i`
+/// stay deterministic under any schedule.
+template <typename Fn>
+void parallel_for_interleaved(std::size_t n, Fn&& fn) {
+  parallel_region([&] {
+#pragma omp for schedule(static, 1) nowait
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+  });
+}
+
+/// Block size of the deterministic sum reduction. Fixed by the input length
+/// only -- never by the thread count -- so the combine tree is identical on
+/// every machine.
+inline constexpr std::size_t kReductionBlock = 2048;
+
+/// Parallel sum-reduction of fn(i) over [0, n).
+///
+/// The range is split into fixed blocks of kReductionBlock iterations; each
+/// block is summed serially by whichever thread owns it and the block
+/// partials are combined in block order. Both levels of the combine depend
+/// only on n, making the result bitwise identical across thread counts --
+/// the property the thread-matrix tests pin. (A `reduction` clause would
+/// combine in team order, which varies with the thread count, and would also
+/// hide the combine from ThreadSanitizer; see util/tsan.hpp.)
 template <typename Fn>
 double parallel_sum(std::size_t n, Fn&& fn) {
-  std::vector<double> partial(static_cast<std::size_t>(num_threads()), 0.0);
+  if (n == 0) return 0.0;
+  const std::size_t blocks = (n + kReductionBlock - 1) / kReductionBlock;
+  if (blocks == 1) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += fn(i);
+    return total;
+  }
+  std::vector<double> partial(blocks, 0.0);
   parallel_region([&] {
-    double local = 0.0;
 #pragma omp for schedule(static) nowait
-    for (std::size_t i = 0; i < n; ++i) {
-      local += fn(i);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t lo = b * kReductionBlock;
+      const std::size_t hi = std::min(n, lo + kReductionBlock);
+      double local = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) local += fn(i);
+      partial[b] = local;
     }
-    partial[static_cast<std::size_t>(omp_get_thread_num())] = local;
   });
   double total = 0.0;
   for (const double p : partial) total += p;
   return total;
 }
 
+/// Parallel existence test: true when fn(i) holds for any i in [0, n).
+/// Order-independent (bool OR is commutative), so thread-count invariant.
+template <typename Fn>
+bool parallel_any(std::size_t n, Fn&& fn) {
+  std::vector<char> partial(static_cast<std::size_t>(num_threads()), 0);
+  parallel_region([&] {
+    char local = 0;
+#pragma omp for schedule(static) nowait
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!local && fn(i)) local = 1;
+    }
+    partial[static_cast<std::size_t>(omp_get_thread_num())] = local;
+  });
+  for (const char p : partial) {
+    if (p) return true;
+  }
+  return false;
+}
+
 /// Parallel max-reduction of fn(i) over [0, n). Returns `init` when n == 0.
+/// max over doubles is commutative and associative (no rounding), so the
+/// per-thread combine is thread-count invariant as is.
 template <typename Fn>
 double parallel_max(std::size_t n, double init, Fn&& fn) {
   std::vector<double> partial(static_cast<std::size_t>(num_threads()), init);

@@ -3,10 +3,12 @@
 // bound, all checked through the certify oracle layer.
 
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "hicond/certify/certify.hpp"
 #include "hicond/graph/connectivity.hpp"
@@ -50,6 +52,52 @@ TEST(prop_fixed_degree, DecompositionIsValidAndForestIsUnimodal) {
   o.min_size = 4;
   o.max_size = 80;
   o.seed = 301;
+  const prop::PropResult r =
+      prop::check_property(fixed_degree_instance, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(prop_fixed_degree, ParallelDecompositionThreadCountInvariantAndCertified) {
+  // The parallel heaviest-incident-edge pick and unimodality sweep must
+  // produce the same decomposition at every thread count, and that shared
+  // answer must pass the certify oracle. Checked at two counts per drawn
+  // graph; counterexamples shrink as usual.
+  const auto property = [](const Graph& g) {
+    if (g.num_vertices() == 0) return;
+    const int ambient = omp_get_max_threads();
+    struct Restore {
+      int ambient;
+      ~Restore() { omp_set_num_threads(ambient); }
+    } restore{ambient};
+    Decomposition reference;
+    for (const int threads : {1, 4}) {
+      omp_set_num_threads(threads);
+      const FixedDegreeResult fd = fixed_degree_decomposition(g);
+      if (!is_unimodal_forest(fd.perturbed_forest)) {
+        throw std::runtime_error("threads=" + std::to_string(threads) +
+                                 ": kept forest is not unimodal");
+      }
+      const certify::Certificate cert =
+          certify::certify_decomposition(g, fd.decomposition, 0.0, 1.0);
+      if (!cert.pass) {
+        throw std::runtime_error("threads=" + std::to_string(threads) + "\n" +
+                                 cert.to_text());
+      }
+      if (threads == 1) {
+        reference = fd.decomposition;
+      } else if (fd.decomposition.assignment != reference.assignment ||
+                 fd.decomposition.num_clusters != reference.num_clusters) {
+        throw std::runtime_error(
+            "decomposition differs between 1 and " +
+            std::to_string(threads) + " threads");
+      }
+    }
+  };
+  prop::PropOptions o;
+  o.cases = 25;
+  o.min_size = 4;
+  o.max_size = 72;
+  o.seed = 304;
   const prop::PropResult r =
       prop::check_property(fixed_degree_instance, property, o);
   EXPECT_TRUE(r.ok) << r.describe();

@@ -2,9 +2,11 @@
 // random forests with random weights.
 
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "hicond/certify/certify.hpp"
 #include "hicond/graph/connectivity.hpp"
@@ -42,6 +44,48 @@ TEST(prop_tree, DecompositionEarnsItsCertificate) {
   o.min_size = 1;
   o.max_size = 48;
   o.seed = 101;
+  const prop::PropResult r =
+      prop::check_property(random_forest_like, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+TEST(prop_tree, ParallelDecompositionThreadCountInvariantAndCertified) {
+  // Drive the parallel tree-contraction paths (pointer-jumping bridge
+  // decomposition, per-bridge planning) at two thread counts on every drawn
+  // forest. The decomposition must be identical across counts (determinism
+  // policy) and must earn its Theorem 2.1 certificate at each; shrinking
+  // yields a minimal forest whenever either fails.
+  const auto property = [](const Graph& t) {
+    const int ambient = omp_get_max_threads();
+    struct Restore {
+      int ambient;
+      ~Restore() { omp_set_num_threads(ambient); }
+    } restore{ambient};
+    Decomposition reference;
+    for (const int threads : {1, 4}) {
+      omp_set_num_threads(threads);
+      const Decomposition d = tree_decomposition(t);
+      const certify::Certificate cert =
+          certify::certify_tree_decomposition(t, d);
+      if (!cert.pass) {
+        throw std::runtime_error("threads=" + std::to_string(threads) + "\n" +
+                                 cert.to_text());
+      }
+      if (threads == 1) {
+        reference = d;
+      } else if (d.assignment != reference.assignment ||
+                 d.num_clusters != reference.num_clusters) {
+        throw std::runtime_error(
+            "decomposition differs between 1 and " +
+            std::to_string(threads) + " threads");
+      }
+    }
+  };
+  prop::PropOptions o;
+  o.cases = 40;
+  o.min_size = 1;
+  o.max_size = 48;
+  o.seed = 303;
   const prop::PropResult r =
       prop::check_property(random_forest_like, property, o);
   EXPECT_TRUE(r.ok) << r.describe();

@@ -1,0 +1,233 @@
+// Thread-matrix determinism tests for the parallel hot paths.
+//
+// The library promises more than "no data races": under the determinism
+// policy of docs/PARALLELISM.md (owner-computes writes, fixed-block
+// reductions) every parallel code path produces BITWISE identical results
+// (a) across repeated runs at a fixed OMP_NUM_THREADS, and (b) across
+// different thread counts altogether. These tests pin both properties on
+// the end-to-end pipeline -- decomposition, quotient/Steiner assembly, and
+// the PCG solve -- and additionally push each thread count's decomposition
+// through the PR 3 certify oracle so equivalence is checked against the
+// paper's guarantees, not just against another run of the same code.
+//
+// <omp.h> is used directly only to set/restore the ambient thread count;
+// all parallelism still goes through util/parallel.hpp (lint-enforced).
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <span>
+#include <vector>
+
+#include "hicond/certify/certify.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/graph/graph.hpp"
+#include "hicond/graph/quotient.hpp"
+#include "hicond/la/cg.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/partition/decomposition.hpp"
+#include "hicond/partition/fixed_degree.hpp"
+#include "hicond/precond/multilevel.hpp"
+#include "hicond/precond/steiner.hpp"
+#include "hicond/tree/tree_decomposition.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+/// The thread counts the determinism matrix runs: serial, small team, and
+/// an oversubscribed team (the container may have fewer cores than 8 --
+/// oversubscription is exactly the schedule perturbation we want).
+constexpr int kThreadMatrix[] = {1, 2, 8};
+
+/// Run `fn()` with the OpenMP thread count forced to `threads`, restoring
+/// the ambient setting afterwards (exceptions propagate after restore).
+template <typename Fn>
+auto with_thread_count(int threads, Fn&& fn) {
+  const int ambient = omp_get_max_threads();
+  omp_set_num_threads(threads);
+  struct Restore {
+    int ambient;
+    ~Restore() { omp_set_num_threads(ambient); }
+  } restore{ambient};
+  return fn();
+}
+
+std::vector<double> mean_free_rhs(vidx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  return b;
+}
+
+// --- repeated runs at a fixed thread count --------------------------------
+
+TEST(ThreadDeterminism, TreeDecompositionBitIdenticalAcrossRepeats) {
+  const Graph tree = gen::random_tree(4000, {}, 7);
+  for (const int t : kThreadMatrix) {
+    with_thread_count(t, [&] {
+      const Decomposition first = tree_decomposition(tree);
+      for (int rep = 0; rep < 3; ++rep) {
+        const Decomposition again = tree_decomposition(tree);
+        EXPECT_EQ(again.num_clusters, first.num_clusters) << "threads=" << t;
+        EXPECT_EQ(again.assignment, first.assignment) << "threads=" << t;
+      }
+      return 0;
+    });
+  }
+}
+
+TEST(ThreadDeterminism, SteinerApplyBitIdenticalAcrossRepeats) {
+  const Graph g = gen::grid2d(20, 20, gen::WeightSpec::uniform(1.0, 4.0), 11);
+  const auto fd = fixed_degree_decomposition(g);
+  const SteinerPreconditioner sp =
+      SteinerPreconditioner::build(g, fd.decomposition);
+  const auto r = mean_free_rhs(g.num_vertices(), 13);
+  for (const int t : kThreadMatrix) {
+    with_thread_count(t, [&] {
+      std::vector<double> z0(r.size());
+      sp.apply(r, z0);
+      for (int rep = 0; rep < 3; ++rep) {
+        std::vector<double> z(r.size());
+        sp.apply(r, z);
+        EXPECT_EQ(z, z0) << "threads=" << t;  // bitwise, not approx
+      }
+      return 0;
+    });
+  }
+}
+
+// --- invariance across thread counts --------------------------------------
+
+TEST(ThreadDeterminism, TreeDecompositionCertifiedAtEveryThreadCount) {
+  const Graph tree = gen::random_tree(3000, gen::WeightSpec::uniform(0.5, 2.0),
+                                      21);
+  const Decomposition base =
+      with_thread_count(1, [&] { return tree_decomposition(tree); });
+  for (const int t : kThreadMatrix) {
+    const Decomposition d =
+        with_thread_count(t, [&] { return tree_decomposition(tree); });
+    // Fixed-block reductions + owner-computes make the result invariant
+    // across thread counts, which subsumes certificate equivalence ...
+    EXPECT_EQ(d.num_clusters, base.num_clusters) << "threads=" << t;
+    EXPECT_EQ(d.assignment, base.assignment) << "threads=" << t;
+    // ... but certify anyway: equality proves t-independence, the oracle
+    // proves the shared answer actually meets Theorem 2.1.
+    const certify::Certificate cert =
+        certify::certify_tree_decomposition(tree, d);
+    EXPECT_TRUE(cert.pass) << "threads=" << t << "\n" << cert.to_text();
+  }
+}
+
+TEST(ThreadDeterminism, FixedDegreeCertifiedAtEveryThreadCount) {
+  const Graph g = gen::grid2d(18, 18, gen::WeightSpec::lognormal(0.0, 1.0), 31);
+  const FixedDegreeResult base =
+      with_thread_count(1, [&] { return fixed_degree_decomposition(g); });
+  for (const int t : kThreadMatrix) {
+    const FixedDegreeResult fd =
+        with_thread_count(t, [&] { return fixed_degree_decomposition(g); });
+    EXPECT_EQ(fd.decomposition.num_clusters, base.decomposition.num_clusters)
+        << "threads=" << t;
+    EXPECT_EQ(fd.decomposition.assignment, base.decomposition.assignment)
+        << "threads=" << t;
+    const certify::Certificate cert =
+        certify::certify_decomposition(g, fd.decomposition, 0.0, 1.0);
+    EXPECT_TRUE(cert.pass) << "threads=" << t << "\n" << cert.to_text();
+  }
+}
+
+TEST(ThreadDeterminism, EvaluationStatsBitIdenticalAcrossThreadCounts) {
+  const Graph g = gen::grid2d(14, 14, gen::WeightSpec::uniform(1.0, 3.0), 41);
+  const auto fd = fixed_degree_decomposition(g);
+  const DecompositionStats base = with_thread_count(
+      1, [&] { return evaluate_decomposition(g, fd.decomposition); });
+  const double base_cut = with_thread_count(
+      1, [&] { return cut_weight_fraction(g, fd.decomposition); });
+  const double base_gamma = with_thread_count(
+      1, [&] { return average_gamma(g, fd.decomposition); });
+  for (const int t : kThreadMatrix) {
+    const DecompositionStats s = with_thread_count(
+        t, [&] { return evaluate_decomposition(g, fd.decomposition); });
+    EXPECT_EQ(s.num_clusters, base.num_clusters) << "threads=" << t;
+    EXPECT_EQ(s.min_phi_lower, base.min_phi_lower) << "threads=" << t;
+    EXPECT_EQ(s.min_phi_upper, base.min_phi_upper) << "threads=" << t;
+    EXPECT_EQ(s.min_gamma, base.min_gamma) << "threads=" << t;
+    EXPECT_EQ(with_thread_count(
+                  t, [&] { return cut_weight_fraction(g, fd.decomposition); }),
+              base_cut)
+        << "threads=" << t;
+    EXPECT_EQ(with_thread_count(
+                  t, [&] { return average_gamma(g, fd.decomposition); }),
+              base_gamma)
+        << "threads=" << t;
+  }
+}
+
+TEST(ThreadDeterminism, QuotientGraphBitIdenticalAcrossThreadCounts) {
+  const Graph g = gen::grid3d(7, 7, 7, gen::WeightSpec::uniform(1.0, 2.0), 51);
+  const auto fd = fixed_degree_decomposition(g);
+  const Graph base = with_thread_count(
+      1, [&] { return quotient_graph(g, fd.decomposition.assignment); });
+  for (const int t : kThreadMatrix) {
+    const Graph q = with_thread_count(
+        t, [&] { return quotient_graph(g, fd.decomposition.assignment); });
+    ASSERT_EQ(q.num_vertices(), base.num_vertices()) << "threads=" << t;
+    for (vidx v = 0; v < q.num_vertices(); ++v) {
+      ASSERT_EQ(q.neighbors(v).size(), base.neighbors(v).size())
+          << "threads=" << t << " v=" << v;
+      for (std::size_t i = 0; i < q.neighbors(v).size(); ++i) {
+        EXPECT_EQ(q.neighbors(v)[i], base.neighbors(v)[i]);
+        EXPECT_EQ(q.weights(v)[i], base.weights(v)[i]);  // bitwise
+      }
+    }
+  }
+}
+
+TEST(ThreadDeterminism, PcgSolveBitIdenticalAcrossThreadCounts) {
+  // End to end: decompose, build the Steiner preconditioner, run PCG. Every
+  // dot product routes through the fixed-block parallel_sum, so iterates --
+  // and therefore the iteration count -- are thread-count invariant.
+  const Graph g = gen::grid2d(16, 16, gen::WeightSpec::uniform(1.0, 5.0), 61);
+  const auto b = mean_free_rhs(g.num_vertices(), 63);
+  auto solve = [&] {
+    const auto fd = fixed_degree_decomposition(g);
+    const SteinerPreconditioner sp =
+        SteinerPreconditioner::build(g, fd.decomposition);
+    auto a = [&](std::span<const double> x, std::span<double> y) {
+      g.laplacian_apply(x, y);
+    };
+    std::vector<double> x(b.size(), 0.0);
+    const auto stats =
+        pcg_solve(a, sp.as_operator(), b, x,
+                  {.max_iterations = 500, .rel_tolerance = 1e-9,
+                   .project_constant = true});
+    EXPECT_TRUE(stats.converged);
+    return std::make_pair(stats.iterations, x);
+  };
+  const auto [base_iters, base_x] = with_thread_count(1, solve);
+  for (const int t : kThreadMatrix) {
+    const auto [iters, x] = with_thread_count(t, solve);
+    EXPECT_EQ(iters, base_iters) << "threads=" << t;
+    EXPECT_EQ(x, base_x) << "threads=" << t;  // bitwise
+  }
+}
+
+TEST(ThreadDeterminism, MultilevelCycleBitIdenticalAcrossThreadCounts) {
+  const Graph g = gen::grid2d(24, 24, gen::WeightSpec::uniform(1.0, 2.0), 71);
+  const auto r = mean_free_rhs(g.num_vertices(), 73);
+  auto run = [&] {
+    const MultilevelSteinerSolver s = MultilevelSteinerSolver::build(
+        build_hierarchy(g, {.coarsest_size = 32}));
+    std::vector<double> z(r.size());
+    s.apply(r, z);
+    return z;
+  };
+  const std::vector<double> base = with_thread_count(1, run);
+  for (const int t : kThreadMatrix) {
+    EXPECT_EQ(with_thread_count(t, run), base) << "threads=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace hicond

@@ -14,6 +14,14 @@ Rules (each failure prints `path:line: [rule] message` and exits nonzero):
                       `parallel_region()` / `parallel_for()` so fork/join
                       happens-before annotations for TSan stay in one place.
 
+  omp-determinism     `#pragma omp atomic`, `#pragma omp critical` and
+                      OpenMP `reduction(...)` clauses are forbidden outside
+                      util/parallel.hpp.  Their accumulation order depends on
+                      the runtime schedule, which breaks the project's
+                      run-to-run determinism policy; use owner-computes
+                      partitioning or the fixed-block reductions in
+                      util/parallel.hpp (parallel_sum, parallel_any).
+
   no-std-rand         `std::rand` / `srand` / bare `rand(` are forbidden;
                       use util/rng.hpp (counter-based, deterministic,
                       thread-safe).
@@ -146,6 +154,15 @@ def main() -> int:
                             "raw '#pragma omp parallel' outside "
                             "util/parallel.hpp; use parallel_region() / "
                             "parallel_for()")
+                if rel not in OMP_FUNNEL_ALLOWED and (
+                    "atomic" in tokens
+                    or "critical" in tokens
+                    or "reduction(" in clause.replace(" ", "")
+                ):
+                    err(path, lineno, "omp-determinism",
+                        "schedule-ordered accumulation (atomic/critical/"
+                        "reduction) outside util/parallel.hpp; use "
+                        "owner-computes writes or parallel_sum/parallel_any")
 
             # --- no-std-rand --------------------------------------------
             for lineno, line in enumerate(lines, 1):
