@@ -35,6 +35,9 @@
 #include "hicond/partition/fixed_degree.hpp"
 #include "hicond/partition/hierarchy.hpp"
 #include "hicond/precond/steiner.hpp"
+#include "hicond/serve/batch.hpp"
+#include "hicond/serve/cache.hpp"
+#include "hicond/serve/snapshot.hpp"
 #include "hicond/solver.hpp"
 #include "hicond/tree/tree_decomposition.hpp"
 #include "hicond/util/parallel.hpp"
@@ -242,6 +245,99 @@ BenchCase case_solve_multilevel(vidx side) {
   }};
 }
 
+std::vector<std::vector<double>> serve_bench_rhs(vidx n, int k) {
+  std::vector<std::vector<double>> rhs;
+  rhs.reserve(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    Rng rng(1000 + static_cast<std::uint64_t>(j));
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    la::remove_mean(b);
+    rhs.push_back(std::move(b));
+  }
+  return rhs;
+}
+
+BenchCase case_serve_solve_cold(vidx side) {
+  const std::string name = "serve_solve_cold/grid2d_" + std::to_string(side);
+  return {name, [name, side](int repeats) {
+    const Graph g =
+        gen::grid2d(side, side, gen::WeightSpec::uniform(1.0, 2.0), 7);
+    const std::uint64_t fp = serve::graph_fingerprint(g);
+    const LaplacianSolverOptions opt{.hierarchy = {.coarsest_size = 64}};
+    const auto rhs = serve_bench_rhs(g.num_vertices(), 1);
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      // Fresh cache per sample: every request pays the hierarchy build.
+      serve::HierarchyCache cache(std::size_t{64} << 20);
+      const auto lookup = cache.get_or_build(fp, g, opt);
+      const auto batch = serve::batch_solve(*lookup.solver, rhs);
+      if (first) {
+        out.metrics = {
+            {"vertices", static_cast<double>(g.num_vertices())},
+            {"cache_hit", lookup.hit ? 1.0 : 0.0},
+            {"setup_seconds", lookup.build_seconds},
+            {"iterations", static_cast<double>(batch.stats[0].iterations)},
+            {"converged", batch.stats[0].converged ? 1.0 : 0.0}};
+      }
+    });
+  }};
+}
+
+BenchCase case_serve_solve_warm(vidx side) {
+  const std::string name = "serve_solve_warm/grid2d_" + std::to_string(side);
+  return {name, [name, side](int repeats) {
+    const Graph g =
+        gen::grid2d(side, side, gen::WeightSpec::uniform(1.0, 2.0), 7);
+    const std::uint64_t fp = serve::graph_fingerprint(g);
+    const LaplacianSolverOptions opt{.hierarchy = {.coarsest_size = 64}};
+    const auto rhs = serve_bench_rhs(g.num_vertices(), 1);
+    serve::HierarchyCache cache(std::size_t{64} << 20);
+    const auto cold = cache.get_or_build(fp, g, opt);  // populate
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const auto lookup = cache.get_or_build(fp, g, opt);
+      const auto batch = serve::batch_solve(*lookup.solver, rhs);
+      if (first) {
+        out.metrics = {
+            {"vertices", static_cast<double>(g.num_vertices())},
+            {"cache_hit", lookup.hit ? 1.0 : 0.0},
+            {"cold_setup_seconds", cold.build_seconds},
+            {"warm_setup_seconds", lookup.build_seconds},
+            {"iterations", static_cast<double>(batch.stats[0].iterations)},
+            {"converged", batch.stats[0].converged ? 1.0 : 0.0}};
+      }
+    });
+  }};
+}
+
+BenchCase case_serve_batch(vidx side, int k) {
+  const std::string name = "serve_batch_rhs" + std::to_string(k) +
+                           "/grid2d_" + std::to_string(side);
+  return {name, [name, side, k](int repeats) {
+    const Graph g =
+        gen::grid2d(side, side, gen::WeightSpec::uniform(1.0, 2.0), 7);
+    const LaplacianSolver solver(g, {.hierarchy = {.coarsest_size = 64}});
+    const auto rhs = serve_bench_rhs(g.num_vertices(), k);
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const auto batch = serve::batch_solve(solver, rhs);
+      if (first) {
+        double total_iterations = 0.0;
+        for (const SolveStats& s : batch.stats) {
+          total_iterations += static_cast<double>(s.iterations);
+        }
+        out.metrics = {
+            {"vertices", static_cast<double>(g.num_vertices())},
+            {"rhs", static_cast<double>(k)},
+            {"iterations_total", total_iterations},
+            {"converged_all",
+             std::all_of(batch.stats.begin(), batch.stats.end(),
+                         [](const SolveStats& s) { return s.converged; })
+                 ? 1.0
+                 : 0.0}};
+      }
+    });
+  }};
+}
+
 struct Suite {
   std::string name;
   int default_repeats;
@@ -257,6 +353,8 @@ Suite make_suite(const std::string& name) {
             {case_laplacian_apply(12), case_fixed_degree(12),
              case_tree_decomposition(20000), case_hierarchy(48),
              case_steiner_apply(10), case_solve_multilevel(48),
+             case_serve_solve_cold(48), case_serve_solve_warm(48),
+             case_serve_batch(48, 1), case_serve_batch(48, 8),
              with_threads(case_laplacian_apply(12), 1),
              with_threads(case_laplacian_apply(12), 4),
              with_threads(case_laplacian_apply(12), 8),
@@ -270,6 +368,8 @@ Suite make_suite(const std::string& name) {
             {case_laplacian_apply(32), case_fixed_degree(32),
              case_tree_decomposition(200000), case_hierarchy(128),
              case_steiner_apply(20), case_solve_multilevel(128),
+             case_serve_solve_cold(128), case_serve_solve_warm(128),
+             case_serve_batch(128, 1), case_serve_batch(128, 8),
              with_threads(case_laplacian_apply(32), 1),
              with_threads(case_laplacian_apply(32), 4),
              with_threads(case_laplacian_apply(32), 8),

@@ -10,6 +10,11 @@
 //   hicond_tool solve <graph.wel> [precond]
 //       solve A x = b (random mean-free b) with precond in
 //       {none, jacobi, steiner, multilevel, subgraph}
+//   hicond_tool snapshot-convert <in> <out>
+//       convert between graph formats by extension: .hsnap (binary
+//       snapshot, hicond/serve/snapshot.hpp), .metis/.graph, .wel
+//   hicond_tool fingerprint <graph>
+//       print the 16-hex-digit content fingerprint (the serve cache key)
 //
 // Global flags (accepted anywhere on the command line):
 //   --trace out.json   record scoped spans, write a Chrome trace-event file
@@ -46,6 +51,7 @@
 #include "hicond/precond/multilevel.hpp"
 #include "hicond/precond/steiner.hpp"
 #include "hicond/precond/subgraph.hpp"
+#include "hicond/serve/snapshot.hpp"
 #include "hicond/solver.hpp"
 #include "hicond/util/rng.hpp"
 #include "hicond/util/timer.hpp"
@@ -70,6 +76,10 @@ int usage() {
                "  hicond_tool stats <graph.wel>\n"
                "  hicond_tool decompose <graph.wel> [k] [out.assignment]\n"
                "  hicond_tool solve <graph.wel> [precond]\n"
+               "  hicond_tool snapshot-convert <in> <out>\n"
+               "  hicond_tool fingerprint <graph>\n"
+               "(.hsnap = binary snapshot, .metis/.graph = METIS, "
+               "otherwise .wel)\n"
                "global flags: --trace out.json | --report | --json | "
                "--certify\n");
   return 2;
@@ -277,6 +287,56 @@ int cmd_solve(int argc, char** argv) {
   return stats.converged ? 0 : 1;
 }
 
+// Extension-dispatched reader shared by snapshot-convert and fingerprint:
+// .hsnap is the binary snapshot, .metis/.graph the METIS text format,
+// anything else the weighted edge list.
+Graph read_any_graph(const std::string& path) {
+  if (path.ends_with(".hsnap")) return serve::read_snapshot_file(path);
+  if (path.ends_with(".metis") || path.ends_with(".graph")) {
+    return read_metis_file(path);
+  }
+  return read_graph_file(path);
+}
+
+int cmd_snapshot_convert(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string in = argv[2];
+  const std::string out = argv[3];
+  const Graph g = read_any_graph(in);
+  if (out.ends_with(".hsnap")) {
+    serve::write_snapshot_file(out, g);
+  } else if (out.ends_with(".metis") || out.ends_with(".graph")) {
+    write_metis_file(out, g);
+  } else {
+    write_graph_file(out, g);
+  }
+  std::fprintf(stderr, "%s -> %s (n=%lld, m=%lld, fingerprint %s)\n",
+               in.c_str(), out.c_str(),
+               static_cast<long long>(g.num_vertices()),
+               static_cast<long long>(g.num_edges()),
+               serve::fingerprint_hex(serve::graph_fingerprint(g)).c_str());
+  return 0;
+}
+
+int cmd_fingerprint(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Graph g = read_any_graph(argv[2]);
+  const std::uint64_t fp = serve::graph_fingerprint(g);
+  if (g_flags.json) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("path", argv[2]);
+    w.kv("fingerprint", serve::fingerprint_hex(fp));
+    w.kv("n", static_cast<std::int64_t>(g.num_vertices()));
+    w.kv("m", static_cast<std::int64_t>(g.num_edges()));
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%s\n", serve::fingerprint_hex(fp).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,6 +381,12 @@ int main(int argc, char** argv) {
     rc = cmd_decompose(n_args, args.data());
   } else if (std::strcmp(args[1], "solve") == 0) {
     rc = cmd_solve(n_args, args.data());
+  } else if (std::strcmp(args[1], "snapshot-convert") == 0 ||
+             std::strcmp(args[1], "--snapshot-convert") == 0) {
+    rc = cmd_snapshot_convert(n_args, args.data());
+  } else if (std::strcmp(args[1], "fingerprint") == 0 ||
+             std::strcmp(args[1], "--fingerprint") == 0) {
+    rc = cmd_fingerprint(n_args, args.data());
   } else {
     rc = usage();
   }

@@ -120,6 +120,15 @@ class Graph {
   /// y = A_G x where A_G is the graph Laplacian; parallel over vertices.
   void laplacian_apply(std::span<const double> x, std::span<double> y) const;
 
+  /// Y = A_G X for k vectors stored column-major (column j occupies
+  /// [j*n, (j+1)*n)). One CSR pass serves all k columns, so the row
+  /// metadata (offsets, targets, weights) is read once instead of k times;
+  /// each column's accumulation order matches laplacian_apply exactly, so
+  /// column j of Y is bitwise identical to a single-vector apply of column
+  /// j of X (the batched-serving determinism guarantee).
+  void laplacian_apply_block(std::span<const double> x, std::span<double> y,
+                             int k) const;
+
   /// Quadratic form x' A_G x = sum over edges of w(u,v) (x_u - x_v)^2.
   [[nodiscard]] double laplacian_quadratic(std::span<const double> x) const;
 

@@ -1,0 +1,198 @@
+#include "hicond/la/cg_block.hpp"
+
+#include <cmath>
+
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/obs/metrics.hpp"
+#include "hicond/obs/trace.hpp"
+#include "hicond/util/parallel.hpp"
+
+namespace hicond {
+
+namespace {
+
+/// Copy the listed columns of a k-wide column-major block into a compact
+/// `cols.size()`-wide block (and back). Pure moves of bytes: gathering
+/// active columns before a block application cannot perturb their values.
+void gather_columns(std::span<const double> src, std::size_t n,
+                    std::span<const int> cols, std::span<double> dst) {
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto j = static_cast<std::size_t>(cols[c]);
+    la::copy(src.subspan(j * n, n), dst.subspan(c * n, n));
+  }
+}
+
+void scatter_columns(std::span<const double> src, std::size_t n,
+                     std::span<const int> cols, std::span<double> dst) {
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto j = static_cast<std::size_t>(cols[c]);
+    la::copy(src.subspan(c * n, n), dst.subspan(j * n, n));
+  }
+}
+
+}  // namespace
+
+BlockOperator block_operator_from(LinearOperator op) {
+  return [op = std::move(op)](std::span<const double> x, std::span<double> y,
+                              int k) {
+    HICOND_CHECK(k >= 1, "block width must be positive");
+    const std::size_t n = x.size() / static_cast<std::size_t>(k);
+    for (int j = 0; j < k; ++j) {
+      const auto o = static_cast<std::size_t>(j) * n;
+      op(x.subspan(o, n), y.subspan(o, n));
+    }
+  };
+}
+
+std::vector<SolveStats> batched_flexible_pcg_solve(
+    const BlockOperator& a, const BlockOperator& m_inv,
+    std::span<const double> b, std::span<double> x, int k,
+    const CgOptions& opt) {
+  HICOND_SPAN("cg.batched_solve");
+  HICOND_CHECK(k >= 1, "batched solve needs at least one right-hand side");
+  HICOND_CHECK(b.size() % static_cast<std::size_t>(k) == 0,
+               "rhs block size not a multiple of k");
+  const std::size_t n = b.size() / static_cast<std::size_t>(k);
+  HICOND_CHECK(x.size() == b.size(), "solution block size mismatch");
+  const auto uk = static_cast<std::size_t>(k);
+
+  std::vector<SolveStats> stats(uk);
+  // Per-column state, column-major like the inputs. Every per-column
+  // operation below is the exact la/ kernel cg_impl (la/cg.cpp) applies to
+  // its full-vector state, called on the column's span in the same order;
+  // the block operators preserve per-column bitwise behaviour by contract.
+  std::vector<double> r(uk * n);
+  std::vector<double> z(uk * n);
+  std::vector<double> p(uk * n);
+  std::vector<double> ap(uk * n);
+  std::vector<double> z_prev(uk * n);
+  std::vector<double> rz(uk, 0.0);
+  std::vector<double> b_norm(uk, 0.0);
+  std::vector<double> stop(uk, 0.0);
+  std::vector<double> r_norm(uk, 0.0);
+
+  auto col = [n](std::span<double> block, std::size_t j) {
+    return block.subspan(j * n, n);
+  };
+  auto ccol = [n](std::span<const double> block, std::size_t j) {
+    return block.subspan(j * n, n);
+  };
+  auto project = [&](std::span<double> v) {
+    if (opt.project_constant) la::remove_mean(v);
+  };
+
+  // r = b - A x, all columns at once (every column is live here).
+  a(x, r, k);
+  std::vector<int> active;
+  active.reserve(uk);
+  for (std::size_t j = 0; j < uk; ++j) {
+    auto rj = col(r, j);
+    const auto bj = ccol(b, j);
+    parallel_for(n, [&](std::size_t i) { rj[i] = bj[i] - rj[i]; });
+    project(rj);
+    std::vector<double> b_proj(bj.begin(), bj.end());
+    project(b_proj);
+    b_norm[j] = la::norm2(b_proj);
+    stop[j] = opt.rel_tolerance * (b_norm[j] > 0.0 ? b_norm[j] : 1.0);
+    r_norm[j] = la::norm2(rj);
+    if (opt.record_history) stats[j].residual_history.push_back(r_norm[j]);
+    if (r_norm[j] <= stop[j]) {
+      stats[j].converged = true;
+    } else {
+      active.push_back(static_cast<int>(j));
+    }
+  }
+
+  // Workspace for compacted active-column block applications.
+  std::vector<double> gather_in(uk * n);
+  std::vector<double> gather_out(uk * n);
+  auto apply_block_on = [&](const BlockOperator& op,
+                            std::span<const double> src,
+                            std::span<double> dst) {
+    const int ka = static_cast<int>(active.size());
+    if (ka == 0) return;
+    const std::size_t len = static_cast<std::size_t>(ka) * n;
+    gather_columns(src, n, active, std::span(gather_in).subspan(0, len));
+    op(std::span<const double>(gather_in).subspan(0, len),
+       std::span(gather_out).subspan(0, len), ka);
+    scatter_columns(std::span<const double>(gather_out).subspan(0, len), n,
+                    active, dst);
+  };
+
+  // Initial preconditioner application and first search direction.
+  apply_block_on(m_inv, r, z);
+  for (const int ji : active) {
+    const auto j = static_cast<std::size_t>(ji);
+    project(col(z, j));
+    la::copy(ccol(z, j), col(p, j));
+    rz[j] = la::dot(ccol(r, j), ccol(z, j));
+    la::copy(ccol(z, j), col(z_prev, j));
+  }
+
+  for (int it = 1; it <= opt.max_iterations && !active.empty(); ++it) {
+    apply_block_on(a, p, ap);
+    std::vector<int> still_active;
+    still_active.reserve(active.size());
+    for (const int ji : active) {
+      const auto j = static_cast<std::size_t>(ji);
+      auto apj = col(ap, j);
+      project(apj);
+      const double p_ap = la::dot(ccol(p, j), apj);
+      if (!(p_ap > 0.0)) {
+        continue;  // indefinite/null direction: freeze, report no convergence
+      }
+      const double alpha = rz[j] / p_ap;
+      la::axpy(alpha, ccol(p, j), col(x, j));
+      la::axpy(-alpha, apj, col(r, j));
+      project(col(r, j));
+      r_norm[j] = la::norm2(ccol(r, j));
+      if (opt.record_history) stats[j].residual_history.push_back(r_norm[j]);
+      stats[j].iterations = it;
+      if (r_norm[j] <= stop[j]) {
+        stats[j].converged = true;
+        continue;
+      }
+      still_active.push_back(ji);
+    }
+    active = std::move(still_active);
+    if (active.empty()) break;
+
+    apply_block_on(m_inv, r, z);
+    still_active.clear();
+    still_active.reserve(active.size());
+    for (const int ji : active) {
+      const auto j = static_cast<std::size_t>(ji);
+      auto zj = col(z, j);
+      project(zj);
+      const double rz_new = la::dot(ccol(r, j), zj);
+      // Polak-Ribiere beta, same fixed-block reduction as cg_impl.
+      const auto rj = ccol(r, j);
+      const auto zpj = ccol(z_prev, j);
+      const double rz_prev_dot =
+          parallel_sum(n, [&](std::size_t i) { return rj[i] * zpj[i]; });
+      const double beta = (rz_new - rz_prev_dot) / rz[j];
+      la::copy(ccol(z, j), col(z_prev, j));
+      rz[j] = rz_new;
+      if (!(std::abs(rz[j]) > 0.0)) continue;  // stagnated: freeze
+      la::xpby(ccol(z, j), beta, col(p, j));
+      still_active.push_back(ji);
+    }
+    active = std::move(still_active);
+  }
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter_add("cg.batched_solves");
+  for (std::size_t j = 0; j < uk; ++j) {
+    stats[j].final_relative_residual =
+        b_norm[j] > 0.0 ? r_norm[j] / b_norm[j] : r_norm[j];
+    metrics.counter_add("cg.solves");
+    metrics.counter_add("cg.iterations", stats[j].iterations);
+    if (stats[j].iterations > 0) {
+      metrics.histogram_record("cg.iterations_per_solve",
+                               static_cast<double>(stats[j].iterations));
+    }
+  }
+  return stats;
+}
+
+}  // namespace hicond

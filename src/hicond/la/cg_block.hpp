@@ -1,0 +1,44 @@
+// Batched (multi-RHS) flexible PCG.
+//
+// k right-hand sides on ONE operator share every pass over the operator's
+// data: the blocked SpMV reads the CSR arrays once per iteration for all
+// still-active columns, and the blocked preconditioner traverses the
+// multilevel hierarchy once per iteration instead of once per RHS. The
+// batching is *lockstep with per-column state*: each column carries its own
+// scalar recurrence (alpha, beta, residual norm) computed by the same la/
+// kernels in the same order as a single flexible_pcg_solve, and a column
+// that converges (or breaks down) is frozen out of subsequent block
+// applications. Column j of the result is therefore bitwise identical to
+// the vector a standalone flexible_pcg_solve on (b_j, x_j) produces -- the
+// determinism contract tests/test_serve.cpp pins at 1 and 8 threads.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hicond/la/cg.hpp"
+
+namespace hicond {
+
+/// Y = Op(X) for k vectors stored column-major (column j occupies
+/// [j*n, (j+1)*n) of both spans). Must agree bitwise, per column, with the
+/// operator's single-vector application for the batched-solve determinism
+/// guarantee to hold.
+using BlockOperator =
+    std::function<void(std::span<const double>, std::span<double>, int)>;
+
+/// Wrap a single-vector operator as a (column-looping) block operator --
+/// trivially bitwise-faithful, with none of the amortization.
+[[nodiscard]] BlockOperator block_operator_from(LinearOperator op);
+
+/// Flexible PCG over k right-hand sides stored column-major in `b`; `x`
+/// holds the initial guesses on entry and the solutions on exit. Returns
+/// one SolveStats per column, each identical to what flexible_pcg_solve
+/// would report for that column alone.
+std::vector<SolveStats> batched_flexible_pcg_solve(
+    const BlockOperator& a, const BlockOperator& m_inv,
+    std::span<const double> b, std::span<double> x, int k,
+    const CgOptions& options = {});
+
+}  // namespace hicond

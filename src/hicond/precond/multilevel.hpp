@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "hicond/la/cg.hpp"
+#include "hicond/la/cg_block.hpp"
 #include "hicond/la/chebyshev.hpp"
 #include "hicond/la/sparse_cholesky.hpp"
 #include "hicond/partition/cluster_index.hpp"
@@ -47,7 +48,17 @@ class MultilevelSteinerSolver {
   /// z = M^{-1} r (one or more symmetric V-cycles starting from z = 0).
   void apply(std::span<const double> r, std::span<double> z) const;
 
+  /// Z = M^{-1} R for k residuals stored column-major (column j occupies
+  /// [j*n, (j+1)*n)). One hierarchy traversal serves all k columns: each
+  /// level's graph, inverse diagonal and restriction index are walked once
+  /// per cycle instead of once per RHS, with the SpMVs blocked through
+  /// Graph::laplacian_apply_block. Column j is bitwise identical to
+  /// apply(r_j, z_j) -- the serving layer's batching contract.
+  void apply_block(std::span<const double> r, std::span<double> z,
+                   int k) const;
+
   [[nodiscard]] LinearOperator as_operator() const;
+  [[nodiscard]] BlockOperator as_block_operator() const;
 
   [[nodiscard]] int num_levels() const noexcept {
     return static_cast<int>(state_->hierarchy.num_levels());
@@ -82,6 +93,8 @@ class MultilevelSteinerSolver {
   };
 
   void cycle(int level, std::span<const double> r, std::span<double> z) const;
+  void cycle_block(int level, std::span<const double> r, std::span<double> z,
+                   int k) const;
 
   std::shared_ptr<State> state_;
 };

@@ -1,0 +1,164 @@
+#include "hicond/serve/cache.hpp"
+
+#include <cstdio>
+
+#include "hicond/obs/metrics.hpp"
+#include "hicond/serve/snapshot.hpp"
+#include "hicond/util/timer.hpp"
+
+namespace hicond::serve {
+
+namespace {
+
+void append_double(std::string& out, const char* name, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s=%.17g;", name, v);
+  out += buf;
+}
+
+void append_int(std::string& out, const char* name, long long v) {
+  out += name;
+  out += '=';
+  out += std::to_string(v);
+  out += ';';
+}
+
+std::size_t graph_bytes(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto arcs = static_cast<std::size_t>(g.num_arcs());
+  // offsets + vol (8B each per vertex), targets (4B) + weights (8B) per arc.
+  return (n + 1) * 8 + n * 8 + arcs * 12;
+}
+
+void record_gauges(const HierarchyCache::Stats& s) {
+  auto& m = obs::MetricsRegistry::global();
+  m.gauge_set("serve.cache.bytes", static_cast<double>(s.bytes));
+  m.gauge_set("serve.cache.entries", static_cast<double>(s.entries));
+}
+
+}  // namespace
+
+std::string solver_options_key(const LaplacianSolverOptions& options) {
+  std::string key;
+  key.reserve(256);
+  const HierarchyOptions& h = options.hierarchy;
+  append_int(key, "fd.max_cluster_size", h.contraction.max_cluster_size);
+  append_int(key, "fd.seed", static_cast<long long>(h.contraction.seed));
+  append_int(key, "fd.perturb", h.contraction.perturb ? 1 : 0);
+  append_int(key, "h.coarsest_size", h.coarsest_size);
+  append_int(key, "h.max_levels", h.max_levels);
+  append_int(key, "h.refine", h.refine ? 1 : 0);
+  append_double(key, "r.gamma_floor", h.refinement.gamma_floor);
+  append_int(key, "r.max_rounds", h.refinement.max_rounds);
+  const MultilevelOptions& ml = options.multilevel;
+  append_int(key, "ml.smoother", static_cast<long long>(ml.smoother));
+  append_int(key, "ml.smoothing_steps", ml.smoothing_steps);
+  append_double(key, "ml.jacobi_weight", ml.jacobi_weight);
+  append_int(key, "ml.chebyshev_degree", ml.chebyshev_degree);
+  append_int(key, "ml.cycles", ml.cycles);
+  append_double(key, "rel_tolerance", options.rel_tolerance);
+  append_int(key, "max_iterations", options.max_iterations);
+  return key;
+}
+
+std::size_t approx_solver_bytes(const LaplacianSolver& solver) {
+  std::size_t total = graph_bytes(solver.graph());
+  const LaminarHierarchy& h = solver.multilevel().hierarchy();
+  for (const HierarchyLevel& lv : h.levels) {
+    const auto n = static_cast<std::size_t>(lv.graph.num_vertices());
+    // Level graph + decomposition assignment (4B) + inv_diag (8B) +
+    // cluster-major restriction index (4B members + 8B offsets bound).
+    total += graph_bytes(lv.graph) + n * 4 + n * 8 + n * 12;
+  }
+  const auto nc = static_cast<std::size_t>(h.coarsest.num_vertices());
+  // Coarsest graph + its LDL' factor (liberally 3 nonzeros per row).
+  total += graph_bytes(h.coarsest) + nc * 3 * 12;
+  return total;
+}
+
+HierarchyCache::HierarchyCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {
+  HICOND_CHECK(budget_bytes > 0, "cache budget must be positive");
+}
+
+HierarchyCache::Lookup HierarchyCache::get_or_build(
+    std::uint64_t fingerprint, const Graph& graph,
+    const LaplacianSolverOptions& options) {
+  HICOND_VALIDATE(expensive, graph_fingerprint(graph) == fingerprint,
+                  "cache fingerprint does not match the supplied graph");
+  const std::string key =
+      fingerprint_hex(fingerprint) + "|" + solver_options_key(options);
+  auto& metrics = obs::MetricsRegistry::global();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      metrics.counter_add("serve.cache.hits");
+      return {it->second->solver, /*hit=*/true, 0.0};
+    }
+  }
+  // Build outside the lock: hierarchy construction is the expensive part
+  // and must not serialize against concurrent cache hits.
+  const Timer build_timer;
+  auto solver = std::make_shared<const LaplacianSolver>(graph, options);
+  const double build_seconds = build_timer.seconds();
+  const std::size_t bytes = approx_solver_bytes(*solver);
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    if (const auto it = index_.find(key); it != index_.end()) {
+      // A concurrent builder won the race; keep its entry.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return {it->second->solver, /*hit=*/false, build_seconds};
+    }
+    lru_.push_front(Entry{key, solver, bytes});
+    index_[key] = lru_.begin();
+    bytes_ += bytes;
+    evict_to_budget_locked();
+    snapshot = Stats{hits_,          misses_,      evictions_,
+                     lru_.size(),    bytes_,       budget_bytes_};
+  }
+  metrics.counter_add("serve.cache.misses");
+  metrics.histogram_record("serve.cache.build_seconds", build_seconds);
+  record_gauges(snapshot);
+  return {std::move(solver), /*hit=*/false, build_seconds};
+}
+
+std::shared_ptr<const LaplacianSolver> HierarchyCache::peek(
+    std::uint64_t fingerprint, const LaplacianSolverOptions& options) const {
+  const std::string key =
+      fingerprint_hex(fingerprint) + "|" + solver_options_key(options);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->solver;
+}
+
+void HierarchyCache::evict_to_budget_locked() {
+  auto& metrics = obs::MetricsRegistry::global();
+  while (bytes_ > budget_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    metrics.counter_add("serve.cache.evictions");
+  }
+}
+
+HierarchyCache::Stats HierarchyCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hits_,       misses_, evictions_,
+          lru_.size(), bytes_,  budget_bytes_};
+}
+
+void HierarchyCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  record_gauges(Stats{hits_, misses_, evictions_, 0, 0, budget_bytes_});
+}
+
+}  // namespace hicond::serve

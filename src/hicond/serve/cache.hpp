@@ -1,0 +1,95 @@
+// LRU cache of built solver hierarchies, keyed by graph content + options.
+//
+// Theorem 3.5's point is that the [phi, rho] hierarchy and its Steiner
+// preconditioner are reusable across every right-hand side on the same
+// operator; a serving process should therefore pay build_hierarchy once per
+// (graph, options) pair and amortize it over the request stream. The cache
+// key is the snapshot fingerprint (bitwise content hash of the CSR arrays,
+// serve/snapshot.hpp) plus a canonical rendering of the solver options, so
+// a hit is only possible when the cold build would have been bit-for-bit
+// the same construction -- which, under the library's determinism policy
+// (docs/PARALLELISM.md), makes a cache-hit solve bitwise identical to a
+// cold-build solve. tests/test_serve.cpp pins exactly that.
+//
+// Eviction is least-recently-used under a byte budget; entry sizes are the
+// dominant CSR/hierarchy footprints (graphs, assignments, inverse
+// diagonals) estimated from the built hierarchy. Hit/miss/eviction counts
+// and the resident byte gauge go to obs/metrics under "serve.cache.*".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "hicond/solver.hpp"
+
+namespace hicond::serve {
+
+/// Canonical, order-stable rendering of every option that affects the built
+/// hierarchy or the solve; part of the cache key.
+[[nodiscard]] std::string solver_options_key(
+    const LaplacianSolverOptions& options);
+
+/// Dominant-footprint estimate of a built solver's resident bytes (CSR
+/// arrays and per-level vectors across the hierarchy).
+[[nodiscard]] std::size_t approx_solver_bytes(const LaplacianSolver& solver);
+
+class HierarchyCache {
+ public:
+  /// `budget_bytes` bounds the summed entry estimates; at least the most
+  /// recently used entry is always retained, so a single oversized
+  /// hierarchy still serves (and is evicted by the next insertion).
+  explicit HierarchyCache(std::size_t budget_bytes);
+
+  struct Lookup {
+    std::shared_ptr<const LaplacianSolver> solver;
+    bool hit = false;              ///< served from cache without building
+    double build_seconds = 0.0;    ///< 0 on a hit
+  };
+
+  /// Fetch the solver for (fingerprint, options), building and inserting it
+  /// from `graph` on a miss. The graph must be the one the fingerprint was
+  /// computed from; a debug build cross-checks that.
+  [[nodiscard]] Lookup get_or_build(std::uint64_t fingerprint,
+                                    const Graph& graph,
+                                    const LaplacianSolverOptions& options);
+
+  /// Probe without building; nullptr on miss (does not touch LRU order).
+  [[nodiscard]] std::shared_ptr<const LaplacianSolver> peek(
+      std::uint64_t fingerprint, const LaplacianSolverOptions& options) const;
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t budget_bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const LaplacianSolver> solver;
+    std::size_t bytes = 0;
+  };
+
+  void evict_to_budget_locked();
+
+  mutable std::mutex mu_;
+  std::size_t budget_bytes_;
+  std::size_t bytes_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<std::string, std::list<Entry>::iterator, std::less<>> index_;
+};
+
+}  // namespace hicond::serve

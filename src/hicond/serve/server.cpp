@@ -1,0 +1,485 @@
+#include "hicond/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hicond/graph/io.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/obs/json.hpp"
+#include "hicond/obs/metrics.hpp"
+#include "hicond/serve/batch.hpp"
+#include "hicond/serve/snapshot.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond::serve {
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Graph load_graph_any(const std::string& path) {
+  if (ends_with(path, ".hsnap")) {
+    return read_snapshot_file(path);
+  }
+  if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
+    return read_metis_file(path);
+  }
+  return read_graph_file(path);
+}
+
+std::string error_response(std::int64_t id, std::string_view code,
+                           std::string_view message) {
+  obs::JsonWriter w;
+  w.begin_object();
+  if (id >= 0) {
+    w.kv("id", id);
+  }
+  w.kv("ok", false);
+  w.kv("error", code);
+  w.kv("message", message);
+  w.end_object();
+  return w.str();
+}
+
+double number_or(const obs::JsonValue& object, std::string_view name,
+                 double fallback) {
+  const obs::JsonValue* v = object.find(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  HICOND_CHECK(v->is_number(), "request field must be a number");
+  return v->number;
+}
+
+bool bool_or(const obs::JsonValue& object, std::string_view name,
+             bool fallback) {
+  const obs::JsonValue* v = object.find(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  HICOND_CHECK(v->kind == obs::JsonValue::Kind::boolean,
+               "request field must be a boolean");
+  return v->boolean;
+}
+
+std::vector<double> parse_vector(const obs::JsonValue& v, std::size_t n) {
+  HICOND_CHECK(v.is_array(), "right-hand side must be a JSON array");
+  HICOND_CHECK(v.array.size() == n,
+               "right-hand side length does not match the graph");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    HICOND_CHECK(v.array[i].is_number(), "right-hand side entries "
+                                         "must be numbers");
+    out[i] = v.array[i].number;
+  }
+  return out;
+}
+
+/// Server-side RHS generation: mean-free uniform noise from a caller seed.
+/// The same (seed, n) always yields the same bit-exact vector, so scripted
+/// sessions can compare solution fingerprints without shipping vectors.
+std::vector<double> random_rhs(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-1.0, 1.0);
+  }
+  la::remove_mean(b);
+  return b;
+}
+
+void write_solve_summary(obs::JsonWriter& w, const SolveStats& stats) {
+  w.kv("iterations", stats.iterations);
+  w.kv("converged", stats.converged);
+  w.kv("final_relative_residual", stats.final_relative_residual);
+}
+
+}  // namespace
+
+ServerCore::ServerCore(const ServerOptions& options)
+    : options_(options), cache_(options.cache_bytes) {
+  HICOND_CHECK(options.queue_capacity >= 1,
+               "server queue capacity must be at least 1");
+}
+
+std::optional<std::string> ServerCore::submit(const std::string& line) {
+  ++requests_;
+  obs::MetricsRegistry::global().counter_add("serve.server.requests");
+  std::int64_t id = -1;
+  double deadline_ms =
+      options_.default_deadline_ms > 0.0 ? options_.default_deadline_ms : -1.0;
+  try {
+    const obs::JsonValue request = obs::parse_json(line);
+    HICOND_CHECK(request.is_object(), "request must be a JSON object");
+    if (const obs::JsonValue* idv = request.find("id");
+        idv != nullptr && idv->is_number()) {
+      id = static_cast<std::int64_t>(idv->number);
+    }
+    const obs::JsonValue* op = request.find("op");
+    HICOND_CHECK(op != nullptr && op->is_string(),
+                 "request needs a string \"op\" field");
+    if (op->string != "load" && op->string != "solve" &&
+        op->string != "batch_solve" && op->string != "stats" &&
+        op->string != "shutdown") {
+      return error_response(id, "unknown_op",
+                            "unsupported op: " + op->string);
+    }
+    if (const obs::JsonValue* dl = request.find("deadline_ms");
+        dl != nullptr) {
+      HICOND_CHECK(dl->is_number(), "deadline_ms must be a number");
+      deadline_ms = dl->number;
+    }
+  } catch (const std::exception& e) {
+    return error_response(id, "parse_error", e.what());
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    ++shed_;
+    obs::MetricsRegistry::global().counter_add("serve.server.shed");
+    return error_response(id, "queue_full",
+                          "request queue is at capacity; retry later");
+  }
+  queue_.push_back(Pending{line, Timer{}, deadline_ms, id});
+  return std::nullopt;
+}
+
+std::optional<std::string> ServerCore::step() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+  const Timer request_timer;
+  std::string response;
+  try {
+    response = process(pending);
+  } catch (const std::exception& e) {
+    response = error_response(pending.id, "bad_request", e.what());
+  }
+  obs::MetricsRegistry::global().histogram_record(
+      "serve.server.request_seconds", request_timer.seconds());
+  return response;
+}
+
+std::string ServerCore::process(const Pending& pending) {
+  const auto expired = [&pending]() {
+    return pending.deadline_ms >= 0.0 &&
+           pending.since_submit.seconds() * 1000.0 > pending.deadline_ms;
+  };
+  if (expired()) {
+    return error_response(pending.id, "deadline_exceeded",
+                          "deadline expired before processing began");
+  }
+  const obs::JsonValue request = obs::parse_json(pending.raw);
+  const std::string& op = request.at("op").string;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  if (pending.id >= 0) {
+    w.kv("id", pending.id);
+  }
+
+  if (op == "load") {
+    const obs::JsonValue& path = request.at("path");
+    HICOND_CHECK(path.is_string(), "load needs a string \"path\"");
+    Graph g = load_graph_any(path.string);
+    const std::uint64_t fp = graph_fingerprint(g);
+    const auto n = g.num_vertices();
+    const auto arcs = g.num_arcs();
+    graphs_[fp] = std::make_shared<const Graph>(std::move(g));
+    w.kv("ok", true);
+    w.kv("op", op);
+    w.kv("graph", fingerprint_hex(fp));
+    w.kv("n", static_cast<std::int64_t>(n));
+    w.kv("arcs", static_cast<std::int64_t>(arcs));
+    w.end_object();
+    return w.str();
+  }
+
+  if (op == "stats") {
+    const HierarchyCache::Stats cs = cache_.stats();
+    w.kv("ok", true);
+    w.kv("op", op);
+    w.key("cache");
+    w.begin_object();
+    w.kv("hits", cs.hits);
+    w.kv("misses", cs.misses);
+    w.kv("evictions", cs.evictions);
+    w.kv("entries", cs.entries);
+    w.kv("bytes", cs.bytes);
+    w.kv("budget_bytes", cs.budget_bytes);
+    w.end_object();
+    w.kv("graphs_loaded", graphs_.size());
+    w.kv("queue_depth", queue_.size());
+    w.kv("requests", requests_);
+    w.kv("shed", shed_);
+    w.end_object();
+    return w.str();
+  }
+
+  if (op == "shutdown") {
+    shutdown_ = true;
+    w.kv("ok", true);
+    w.kv("op", op);
+    w.kv("drained", true);
+    w.end_object();
+    return w.str();
+  }
+
+  // solve / batch_solve share graph resolution and option overrides.
+  const obs::JsonValue& graph_field = request.at("graph");
+  HICOND_CHECK(graph_field.is_string(),
+               "solve needs a string \"graph\" fingerprint");
+  const std::uint64_t fp = parse_fingerprint(graph_field.string);
+  const auto git = graphs_.find(fp);
+  if (git == graphs_.end()) {
+    return error_response(pending.id, "not_found",
+                          "graph " + graph_field.string +
+                              " has not been loaded");
+  }
+  const Graph& graph = *git->second;
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+
+  LaplacianSolverOptions solver_options = options_.solver;
+  solver_options.rel_tolerance =
+      number_or(request, "rel_tolerance", solver_options.rel_tolerance);
+  solver_options.max_iterations = static_cast<int>(number_or(
+      request, "max_iterations",
+      static_cast<double>(solver_options.max_iterations)));
+
+  const HierarchyCache::Lookup lookup =
+      cache_.get_or_build(fp, graph, solver_options);
+  if (expired()) {
+    // The hierarchy stays cached for later requests, but this one is shed
+    // before any solve work happens.
+    return error_response(pending.id, "deadline_exceeded",
+                          "deadline expired during solver setup");
+  }
+  const bool return_x = bool_or(request, "return_x", false);
+
+  if (op == "solve") {
+    std::vector<double> b;
+    if (const obs::JsonValue* bv = request.find("b"); bv != nullptr) {
+      b = parse_vector(*bv, n);
+    } else {
+      const obs::JsonValue& seed = request.at("rhs_seed");
+      HICOND_CHECK(seed.is_number(), "rhs_seed must be a number");
+      b = random_rhs(static_cast<std::uint64_t>(seed.number), n);
+    }
+    std::vector<double> x(n, 0.0);
+    const Timer solve_timer;
+    const SolveStats stats = lookup.solver->solve(b, x);
+    const double solve_seconds = solve_timer.seconds();
+    w.kv("ok", true);
+    w.kv("op", op);
+    w.kv("graph", graph_field.string);
+    w.kv("cache_hit", lookup.hit);
+    w.kv("setup_seconds", lookup.build_seconds);
+    w.kv("solve_seconds", solve_seconds);
+    write_solve_summary(w, stats);
+    w.kv("solution_fnv", fingerprint_hex(solution_fingerprint(x)));
+    if (return_x) {
+      w.key("x");
+      w.begin_array();
+      for (const double xi : x) {
+        w.value(xi);
+      }
+      w.end_array();
+    }
+    w.end_object();
+    return w.str();
+  }
+
+  // op == "batch_solve"
+  std::vector<std::vector<double>> rhs;
+  if (const obs::JsonValue* rv = request.find("rhs"); rv != nullptr) {
+    HICOND_CHECK(rv->is_array(), "rhs must be an array of arrays");
+    rhs.reserve(rv->array.size());
+    for (const obs::JsonValue& column : rv->array) {
+      rhs.push_back(parse_vector(column, n));
+    }
+  } else {
+    const obs::JsonValue& spec = request.at("rhs_random");
+    HICOND_CHECK(spec.is_object(),
+                 "rhs_random must be an object {count, seed}");
+    const auto count = static_cast<int>(number_or(spec, "count", 1.0));
+    const auto seed =
+        static_cast<std::uint64_t>(number_or(spec, "seed", 0.0));
+    HICOND_CHECK(count >= 1, "rhs_random.count must be at least 1");
+    rhs.reserve(static_cast<std::size_t>(count));
+    for (int j = 0; j < count; ++j) {
+      rhs.push_back(random_rhs(seed + static_cast<std::uint64_t>(j), n));
+    }
+  }
+  HICOND_CHECK(!rhs.empty(), "batch_solve needs at least one rhs");
+
+  const BatchSolveResult batch = serve::batch_solve(*lookup.solver, rhs);
+  w.kv("ok", true);
+  w.kv("op", op);
+  w.kv("graph", graph_field.string);
+  w.kv("cache_hit", lookup.hit);
+  w.kv("setup_seconds", lookup.build_seconds);
+  w.kv("solve_seconds", batch.solve_seconds);
+  w.kv("k", static_cast<std::int64_t>(rhs.size()));
+  w.key("iterations");
+  w.begin_array();
+  for (const SolveStats& s : batch.stats) {
+    w.value(s.iterations);
+  }
+  w.end_array();
+  w.key("converged");
+  w.begin_array();
+  for (const SolveStats& s : batch.stats) {
+    w.value(s.converged);
+  }
+  w.end_array();
+  w.key("solution_fnv");
+  w.begin_array();
+  for (const std::uint64_t h : batch.solution_hash) {
+    w.value(fingerprint_hex(h));
+  }
+  w.end_array();
+  if (return_x) {
+    w.key("x");
+    w.begin_array();
+    for (const std::vector<double>& column : batch.x) {
+      w.begin_array();
+      for (const double xi : column) {
+        w.value(xi);
+      }
+      w.end_array();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+int serve_stream(ServerCore& core, std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!core.shutting_down() && std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (auto immediate = core.submit(line)) {
+      out << *immediate << '\n' << std::flush;
+      continue;
+    }
+    while (auto response = core.step()) {
+      out << *response << '\n' << std::flush;
+    }
+  }
+  // EOF or shutdown: drain anything still queued before returning.
+  while (auto response = core.step()) {
+    out << *response << '\n' << std::flush;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Send all of `data` on `fd`, retrying on short writes and EINTR.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t sent = ::send(fd, data, len, 0);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += sent;
+    len -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+void serve_connection(ServerCore& core, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  const auto emit = [&](const std::string& response) {
+    const std::string framed = response + "\n";
+    return send_all(fd, framed.data(), framed.size());
+  };
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+    if (got < 0 && errno == EINTR) {
+      continue;
+    }
+    if (got <= 0) {
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) {
+        continue;
+      }
+      if (auto immediate = core.submit(line)) {
+        if (!emit(*immediate)) {
+          return;
+        }
+        continue;
+      }
+      while (auto response = core.step()) {
+        if (!emit(*response)) {
+          return;
+        }
+      }
+      if (core.shutting_down()) {
+        return;
+      }
+    }
+    buffer.erase(0, start);
+  }
+}
+
+}  // namespace
+
+int serve_unix_socket(ServerCore& core, const std::string& path) {
+  sockaddr_un addr{};
+  HICOND_CHECK(path.size() < sizeof addr.sun_path,
+               "unix socket path is too long");
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HICOND_CHECK(listener >= 0, "failed to create unix socket");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    ::close(listener);
+    HICOND_CHECK(false, "failed to bind/listen on unix socket path");
+  }
+  while (!core.shutting_down()) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    serve_connection(core, fd);
+    ::close(fd);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace hicond::serve

@@ -1,6 +1,7 @@
 #include "hicond/solver.hpp"
 
 #include "hicond/graph/connectivity.hpp"
+#include "hicond/la/cg_block.hpp"
 #include "hicond/la/vector_ops.hpp"
 #include "hicond/obs/trace.hpp"
 #include "hicond/util/timer.hpp"
@@ -42,6 +43,32 @@ SolveStats LaplacianSolver::solve(std::span<const double> b,
   solve_seconds_total_ += solve_timer.seconds();
   ++num_solves_;
   last_stats_ = stats;
+  return stats;
+}
+
+std::vector<SolveStats> LaplacianSolver::solve_batch(std::span<const double> b,
+                                                     std::span<double> x,
+                                                     int k) const {
+  HICOND_SPAN("solver.solve_batch");
+  const Graph& g = *graph_;
+  HICOND_CHECK(k >= 1, "batched solve needs at least one right-hand side");
+  HICOND_CHECK(b.size() == static_cast<std::size_t>(g.num_vertices()) *
+                               static_cast<std::size_t>(k),
+               "rhs block size mismatch");
+  HICOND_CHECK(x.size() == b.size(), "x block size mismatch");
+  auto a = [&g](std::span<const double> in, std::span<double> out, int kk) {
+    g.laplacian_apply_block(in, out, kk);
+  };
+  const Timer solve_timer;
+  std::vector<SolveStats> stats = batched_flexible_pcg_solve(
+      a, solver_->as_block_operator(), b, x, k,
+      {.max_iterations = options_.max_iterations,
+       .rel_tolerance = options_.rel_tolerance,
+       .record_history = true,
+       .project_constant = true});
+  solve_seconds_total_ += solve_timer.seconds();
+  num_solves_ += k;
+  last_stats_ = stats.back();
   return stats;
 }
 

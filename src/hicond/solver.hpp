@@ -42,9 +42,23 @@ class LaplacianSolver {
   /// (which also provides the initial guess).
   SolveStats solve(std::span<const double> b, std::span<double> x) const;
 
+  /// Batched solve: k right-hand sides stored column-major in `b` (column j
+  /// occupies [j*n, (j+1)*n)), solutions written the same way into `x`
+  /// (which also provides the initial guesses). The SpMV and the V-cycle
+  /// are blocked across the columns, so one hierarchy traversal serves all
+  /// k systems; column j is bitwise identical to solve(b_j, x_j). Returns
+  /// one SolveStats per column.
+  std::vector<SolveStats> solve_batch(std::span<const double> b,
+                                      std::span<double> x, int k) const;
+
   /// Effective resistance between two vertices:
   /// R_eff(u, v) = (e_u - e_v)' L^+ (e_u - e_v), computed with one solve.
   [[nodiscard]] double effective_resistance(vidx u, vidx v) const;
+
+  /// The underlying multilevel cycle (for reports, cache sizing, batching).
+  [[nodiscard]] const MultilevelSteinerSolver& multilevel() const noexcept {
+    return *solver_;
+  }
 
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] int num_levels() const noexcept {

@@ -1,0 +1,343 @@
+// Solver-service tests: the PR's three wire-level guarantees.
+//
+// 1. A cache-hit (warm) solve is bitwise identical to the cold-build solve
+//    that populated the cache, and costs zero setup.
+// 2. A k-RHS batched solve is bitwise identical, per column, to k
+//    independent single-vector solves -- at every thread count in the
+//    determinism matrix (the blocked kernels preserve each column's
+//    arithmetic order exactly; docs/PARALLELISM.md).
+// 3. Overload and deadline expiry produce well-formed JSON error
+//    responses, never dropped requests or a dead server.
+//
+// <omp.h> is used only to force the ambient thread count, as in
+// test_thread_determinism.cpp.
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hicond/graph/generators.hpp"
+#include "hicond/graph/io.hpp"
+#include "hicond/la/vector_ops.hpp"
+#include "hicond/serve/batch.hpp"
+#include "hicond/serve/cache.hpp"
+#include "hicond/serve/client.hpp"
+#include "hicond/serve/server.hpp"
+#include "hicond/serve/snapshot.hpp"
+#include "hicond/solver.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond {
+namespace {
+
+using serve::HierarchyCache;
+using serve::InProcessClient;
+using serve::ServerOptions;
+
+constexpr int kThreadMatrix[] = {1, 8};
+
+template <typename Fn>
+auto with_thread_count(int threads, Fn&& fn) {
+  const int ambient = omp_get_max_threads();
+  omp_set_num_threads(threads);
+  struct Restore {
+    int ambient;
+    ~Restore() { omp_set_num_threads(ambient); }
+  } restore{ambient};
+  return fn();
+}
+
+std::vector<double> mean_free_rhs(vidx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+  return b;
+}
+
+Graph test_graph() {
+  return gen::grid2d(12, 12, gen::WeightSpec::uniform(0.5, 2.0), 5);
+}
+
+// --- cache: cold vs warm bitwise identity ---------------------------------
+
+TEST(ServeCache, WarmSolveBitwiseIdenticalToCold) {
+  const Graph g = test_graph();
+  const std::uint64_t fp = serve::graph_fingerprint(g);
+  const LaplacianSolverOptions options;
+  HierarchyCache cache(std::size_t{64} << 20);
+
+  const auto cold = cache.get_or_build(fp, g, options);
+  ASSERT_FALSE(cold.hit);
+  EXPECT_GT(cold.build_seconds, 0.0);
+
+  const auto warm = cache.get_or_build(fp, g, options);
+  ASSERT_TRUE(warm.hit);
+  EXPECT_EQ(warm.build_seconds, 0.0);
+  // A hit returns the very same built hierarchy, so the "warm setup is at
+  // most 5% of cold" serving criterion holds with margin (it is zero).
+  EXPECT_EQ(warm.solver.get(), cold.solver.get());
+
+  const std::vector<double> b = mean_free_rhs(g.num_vertices(), 42);
+  std::vector<double> x_cold(b.size(), 0.0);
+  std::vector<double> x_warm(b.size(), 0.0);
+  const SolveStats s_cold = cold.solver->solve(b, x_cold);
+  const SolveStats s_warm = warm.solver->solve(b, x_warm);
+  EXPECT_TRUE(s_cold.converged);
+  EXPECT_EQ(s_cold.iterations, s_warm.iterations);
+  EXPECT_EQ(x_cold, x_warm);  // bitwise: vector<double> operator==
+  EXPECT_EQ(serve::solution_fingerprint(x_cold),
+            serve::solution_fingerprint(x_warm));
+
+  const HierarchyCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ServeCache, DistinctOptionsAreDistinctEntries) {
+  const Graph g = test_graph();
+  const std::uint64_t fp = serve::graph_fingerprint(g);
+  HierarchyCache cache(std::size_t{64} << 20);
+  LaplacianSolverOptions a;
+  LaplacianSolverOptions b;
+  b.rel_tolerance = 1e-10;
+  ASSERT_NE(serve::solver_options_key(a), serve::solver_options_key(b));
+  (void)cache.get_or_build(fp, g, a);
+  const auto second = cache.get_or_build(fp, g, b);
+  EXPECT_FALSE(second.hit);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsedUnderBudget) {
+  const Graph g1 = gen::grid2d(10, 10, gen::WeightSpec::uniform(0.5, 2.0), 1);
+  const Graph g2 = gen::grid2d(11, 11, gen::WeightSpec::uniform(0.5, 2.0), 2);
+  const LaplacianSolverOptions options;
+  // Budget below two hierarchies: the second build must evict the first.
+  HierarchyCache cache(1);
+  (void)cache.get_or_build(serve::graph_fingerprint(g1), g1, options);
+  (void)cache.get_or_build(serve::graph_fingerprint(g2), g2, options);
+  const HierarchyCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);  // most-recent entry always retained
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(cache.peek(serve::graph_fingerprint(g1), options), nullptr);
+  EXPECT_NE(cache.peek(serve::graph_fingerprint(g2), options), nullptr);
+}
+
+// --- batched solves: bitwise equal to sequential, per thread count --------
+
+TEST(ServeBatch, BatchedMatchesSequentialBitwiseAcrossThreadCounts) {
+  const Graph g = test_graph();
+  const vidx n = g.num_vertices();
+  constexpr int kRhs = 5;
+
+  std::vector<std::vector<double>> rhs;
+  rhs.reserve(kRhs);
+  for (int j = 0; j < kRhs; ++j) {
+    rhs.push_back(mean_free_rhs(n, 100 + static_cast<std::uint64_t>(j)));
+  }
+
+  std::vector<std::uint64_t> reference_hashes;
+  for (const int threads : kThreadMatrix) {
+    with_thread_count(threads, [&] {
+      const LaplacianSolver solver(g);
+      // Sequential baseline: k independent single-vector solves.
+      std::vector<std::vector<double>> x_seq;
+      std::vector<SolveStats> s_seq;
+      for (int j = 0; j < kRhs; ++j) {
+        std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+        s_seq.push_back(solver.solve(rhs[static_cast<std::size_t>(j)], x));
+        x_seq.push_back(std::move(x));
+      }
+      const serve::BatchSolveResult batch = serve::batch_solve(solver, rhs);
+      ASSERT_EQ(batch.x.size(), static_cast<std::size_t>(kRhs));
+      for (int j = 0; j < kRhs; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        EXPECT_TRUE(batch.stats[ju].converged) << "rhs " << j;
+        EXPECT_EQ(batch.stats[ju].iterations, s_seq[ju].iterations)
+            << "rhs " << j;
+        EXPECT_EQ(batch.x[ju], x_seq[ju]) << "rhs " << j << " not bitwise";
+        EXPECT_EQ(batch.solution_hash[ju],
+                  serve::solution_fingerprint(x_seq[ju]));
+        EXPECT_EQ(batch.stats[ju].residual_history,
+                  s_seq[ju].residual_history)
+            << "rhs " << j;
+      }
+      if (reference_hashes.empty()) {
+        reference_hashes = batch.solution_hash;
+      } else {
+        // Thread-count invariance on top of batch/sequential equality.
+        EXPECT_EQ(batch.solution_hash, reference_hashes)
+            << "threads=" << threads;
+      }
+    });
+  }
+}
+
+TEST(ServeBatch, SingleColumnBatchMatchesPlainSolve) {
+  const Graph g = test_graph();
+  const LaplacianSolver solver(g);
+  const std::vector<double> b = mean_free_rhs(g.num_vertices(), 9);
+  std::vector<double> x(b.size(), 0.0);
+  const SolveStats stats = solver.solve(b, x);
+  const serve::BatchSolveResult batch = serve::batch_solve(solver, {b});
+  EXPECT_EQ(batch.x[0], x);
+  EXPECT_EQ(batch.stats[0].iterations, stats.iterations);
+}
+
+TEST(ServeBatch, RejectsMismatchedRhsLength) {
+  const Graph g = test_graph();
+  const LaplacianSolver solver(g);
+  EXPECT_THROW((void)serve::batch_solve(solver, {{1.0, -1.0}}),
+               invalid_argument_error);
+}
+
+// --- server protocol ------------------------------------------------------
+
+std::string write_test_snapshot(const Graph& g, const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  serve::write_snapshot_file(path, g);
+  return path;
+}
+
+TEST(ServeServer, ColdWarmSolveOverTheWire) {
+  const Graph g = test_graph();
+  const std::string path = write_test_snapshot(g, "serve_wire.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+
+  InProcessClient client;
+  const auto loaded =
+      client.call(R"({"id":1,"op":"load","path":")" + path + R"("})");
+  ASSERT_TRUE(loaded.at("ok").boolean);
+  EXPECT_EQ(loaded.at("graph").string, fp);
+
+  const std::string solve_req =
+      R"({"id":2,"op":"solve","graph":")" + fp + R"(","rhs_seed":42})";
+  const auto cold = client.call(solve_req);
+  ASSERT_TRUE(cold.at("ok").boolean);
+  EXPECT_FALSE(cold.at("cache_hit").boolean);
+  EXPECT_GT(cold.at("setup_seconds").number, 0.0);
+  EXPECT_TRUE(cold.at("converged").boolean);
+
+  const auto warm = client.call(solve_req);
+  ASSERT_TRUE(warm.at("ok").boolean);
+  EXPECT_TRUE(warm.at("cache_hit").boolean);
+  EXPECT_EQ(warm.at("setup_seconds").number, 0.0);
+  // The serving criterion (warm setup <= 5% of cold) and the bitwise
+  // identity, both asserted on the actual wire responses.
+  EXPECT_LE(warm.at("setup_seconds").number,
+            0.05 * cold.at("setup_seconds").number);
+  EXPECT_EQ(warm.at("solution_fnv").string, cold.at("solution_fnv").string);
+  EXPECT_EQ(warm.at("iterations").number, cold.at("iterations").number);
+}
+
+TEST(ServeServer, BatchColumnsMatchSingleSolvesOverTheWire) {
+  const Graph g = test_graph();
+  const std::string path = write_test_snapshot(g, "serve_batch.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+
+  InProcessClient client;
+  ASSERT_TRUE(client.call(R"({"op":"load","path":")" + path + R"("})")
+                  .at("ok")
+                  .boolean);
+  const auto batch = client.call(
+      R"({"op":"batch_solve","graph":")" + fp +
+      R"(","rhs_random":{"count":3,"seed":7}})");
+  ASSERT_TRUE(batch.at("ok").boolean);
+  const auto& hashes = batch.at("solution_fnv").array;
+  ASSERT_EQ(hashes.size(), 3u);
+  // rhs_random seeds are seed+j; each single solve must land on the same
+  // bits as the corresponding batched column.
+  for (std::size_t j = 0; j < hashes.size(); ++j) {
+    const auto single = client.call(
+        R"({"op":"solve","graph":")" + fp + R"(","rhs_seed":)" +
+        std::to_string(7 + j) + "}");
+    ASSERT_TRUE(single.at("ok").boolean);
+    EXPECT_EQ(single.at("solution_fnv").string, hashes[j].string)
+        << "column " << j;
+  }
+}
+
+TEST(ServeServer, DeadlineExceededIsWellFormedError) {
+  const Graph g = test_graph();
+  const std::string path = write_test_snapshot(g, "serve_deadline.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+  InProcessClient client;
+  ASSERT_TRUE(client.call(R"({"op":"load","path":")" + path + R"("})")
+                  .at("ok")
+                  .boolean);
+  // deadline_ms 0 expires as soon as any time elapses after admission:
+  // deterministic deadline_exceeded without sleeping in the test.
+  const auto response = client.call(
+      R"({"id":77,"op":"solve","graph":")" + fp +
+      R"(","rhs_seed":1,"deadline_ms":0})");
+  EXPECT_FALSE(response.at("ok").boolean);
+  EXPECT_EQ(response.at("error").string, "deadline_exceeded");
+  EXPECT_EQ(static_cast<int>(response.at("id").number), 77);
+  EXPECT_FALSE(response.at("message").string.empty());
+}
+
+TEST(ServeServer, QueueFullShedsWithWellFormedError) {
+  ServerOptions options;
+  options.queue_capacity = 2;
+  InProcessClient client(options);
+  EXPECT_FALSE(client.submit_only(R"({"id":1,"op":"stats"})").has_value());
+  EXPECT_FALSE(client.submit_only(R"({"id":2,"op":"stats"})").has_value());
+  const auto shed = client.submit_only(R"({"id":3,"op":"stats"})");
+  ASSERT_TRUE(shed.has_value());
+  const auto parsed = obs::parse_json(*shed);
+  EXPECT_FALSE(parsed.at("ok").boolean);
+  EXPECT_EQ(parsed.at("error").string, "queue_full");
+  EXPECT_EQ(static_cast<int>(parsed.at("id").number), 3);
+  // The queued requests still complete in order after the shed.
+  const auto responses = client.drain();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(obs::parse_json(responses[0]).at("ok").boolean);
+  EXPECT_TRUE(obs::parse_json(responses[1]).at("ok").boolean);
+}
+
+TEST(ServeServer, MalformedAndUnknownRequestsAreErrors) {
+  InProcessClient client;
+  const auto bad = client.call("this is not json");
+  EXPECT_FALSE(bad.at("ok").boolean);
+  EXPECT_EQ(bad.at("error").string, "parse_error");
+
+  const auto unknown = client.call(R"({"id":4,"op":"florble"})");
+  EXPECT_FALSE(unknown.at("ok").boolean);
+  EXPECT_EQ(unknown.at("error").string, "unknown_op");
+
+  const auto missing = client.call(
+      R"({"op":"solve","graph":"0000000000000000","rhs_seed":1})");
+  EXPECT_FALSE(missing.at("ok").boolean);
+  EXPECT_EQ(missing.at("error").string, "not_found");
+}
+
+TEST(ServeServer, ShutdownDrainsAndStops) {
+  InProcessClient client;
+  EXPECT_FALSE(client.core().shutting_down());
+  const auto response = client.call(R"({"op":"shutdown"})");
+  EXPECT_TRUE(response.at("ok").boolean);
+  EXPECT_TRUE(client.core().shutting_down());
+}
+
+// --- fingerprints ---------------------------------------------------------
+
+TEST(ServeFingerprint, HexRoundTripAndSensitivity) {
+  const Graph g = test_graph();
+  const std::uint64_t fp = serve::graph_fingerprint(g);
+  const std::string hex = serve::fingerprint_hex(fp);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(serve::parse_fingerprint(hex), fp);
+  EXPECT_THROW((void)serve::parse_fingerprint("xyz"), invalid_argument_error);
+
+  // Any change to the CSR content must move the fingerprint.
+  const Graph other = gen::grid2d(12, 12, gen::WeightSpec::uniform(0.5, 2.0),
+                                  6);  // different weight seed
+  EXPECT_NE(serve::graph_fingerprint(other), fp);
+}
+
+}  // namespace
+}  // namespace hicond

@@ -54,6 +54,11 @@ Rules (each failure prints `path:line: [rule] message` and exits nonzero):
                       certificate oracle is the layer of last resort and must
                       validate its own inputs.
 
+  serve-coverage      Every public header in src/hicond/serve/ must be
+                      #included by at least one translation unit under
+                      tests/ — the serving subsystem is the outermost API
+                      boundary and ships nothing untested.
+
 Run: python3 tools/check_project_rules.py [root]
 """
 from __future__ import annotations
@@ -252,6 +257,25 @@ def main() -> int:
                             "include-hygiene",
                             f'first include must be its own header '
                             f'"{expected}"')
+
+    # --- serve-coverage (cross-file) ------------------------------------
+    # The serving subsystem is the outermost API boundary: every public
+    # header under src/hicond/serve/ must be exercised by at least one test
+    # translation unit (direct #include under tests/).
+    serve_dir = src / "serve"
+    tests_dir = root / "tests"
+    if serve_dir.is_dir() and tests_dir.is_dir():
+        test_includes: set[str] = set()
+        for test_path in tests_dir.rglob("*.cpp"):
+            for m in re.finditer(r'#\s*include\s+"([^"]+)"',
+                                 test_path.read_text(encoding="utf-8")):
+                test_includes.add(m.group(1))
+        for header in sorted(serve_dir.glob("*.hpp")):
+            include_name = header.relative_to(root / "src").as_posix()
+            if include_name not in test_includes:
+                err(header, 1, "serve-coverage",
+                    f'"{include_name}" is not included by any test under '
+                    "tests/; every serve/ header needs test coverage")
 
     if errors:
         print("\n".join(errors))
