@@ -40,6 +40,7 @@
 #include "hicond/serve/snapshot.hpp"
 #include "hicond/solver.hpp"
 #include "hicond/tree/tree_decomposition.hpp"
+#include "hicond/util/float_eq.hpp"
 #include "hicond/util/parallel.hpp"
 #include "hicond/util/rng.hpp"
 #include "hicond/util/stats.hpp"
@@ -425,7 +426,7 @@ std::string results_to_json(const std::string& suite,
 
 std::vector<CaseResult> results_from_json(const obs::JsonValue& doc) {
   HICOND_CHECK(doc.is_object(), "result document must be an object");
-  HICOND_CHECK(doc.at("schema_version").number == kSchemaVersion,
+  HICOND_CHECK(exactly_equal(doc.at("schema_version").number, kSchemaVersion),
                "unsupported schema_version");
   std::vector<CaseResult> out;
   for (const obs::JsonValue& c : doc.at("cases").array) {

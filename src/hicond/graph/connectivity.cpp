@@ -2,9 +2,12 @@
 
 #include <deque>
 
+#include "hicond/util/common.hpp"
+
 namespace hicond {
 
 std::vector<vidx> connected_components(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   const vidx n = g.num_vertices();
   std::vector<vidx> comp(static_cast<std::size_t>(n), -1);
   std::vector<vidx> stack;

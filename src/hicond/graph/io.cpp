@@ -4,10 +4,12 @@
 #include <sstream>
 
 #include "hicond/graph/builder.hpp"
+#include "hicond/util/common.hpp"
 
 namespace hicond {
 
 void write_graph(std::ostream& out, const Graph& g) {
+  HICOND_CHECK(out.good(), "write_graph: output stream not writable");
   out << g.num_vertices() << ' ' << g.num_edges() << '\n';
   out.precision(17);
   for (vidx u = 0; u < g.num_vertices(); ++u) {
@@ -64,6 +66,7 @@ Graph read_graph_file(const std::string& path) {
 }
 
 void write_metis(std::ostream& out, const Graph& g) {
+  HICOND_CHECK(out.good(), "write_metis: output stream not writable");
   out << g.num_vertices() << ' ' << g.num_edges() << " 001\n";
   out.precision(17);
   for (vidx v = 0; v < g.num_vertices(); ++v) {

@@ -3,12 +3,14 @@
 #include <cmath>
 
 #include "hicond/la/vector_ops.hpp"
+#include "hicond/util/common.hpp"
 #include "hicond/util/parallel.hpp"
 #include "hicond/util/rng.hpp"
 
 namespace hicond {
 
 double estimate_jacobi_lambda_max(const Graph& g, int iterations) {
+  HICOND_CHECK(iterations > 0, "estimate_jacobi_lambda_max: iterations must be positive");
   const auto n = static_cast<std::size_t>(g.num_vertices());
   if (n < 2) return 2.0;
   std::vector<double> inv_diag(n, 0.0);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <tuple>
 
+#include "hicond/util/common.hpp"
 #include "hicond/util/float_eq.hpp"
 #include "hicond/util/parallel.hpp"
 
@@ -116,6 +117,7 @@ CsrMatrix csr_from_triplets(
 }
 
 CsrMatrix csr_laplacian(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   const vidx n = g.num_vertices();
   CsrMatrix m;
   m.rows = n;
@@ -188,6 +190,7 @@ CsrMatrix membership_matrix(std::span<const vidx> assignment, vidx m) {
 }
 
 CsrMatrix csr_transpose(const CsrMatrix& a) {
+  HICOND_RUN_VALIDATION(expensive, a.validate());
   CsrMatrix t;
   t.rows = a.cols;
   t.cols = a.rows;
@@ -214,6 +217,7 @@ CsrMatrix csr_transpose(const CsrMatrix& a) {
 }
 
 std::vector<double> csr_row_sums(const CsrMatrix& a) {
+  HICOND_RUN_VALIDATION(expensive, a.validate());
   std::vector<double> sums(static_cast<std::size_t>(a.rows), 0.0);
   parallel_for(static_cast<std::size_t>(a.rows), [&](std::size_t i) {
     double acc = 0.0;

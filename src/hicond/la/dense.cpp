@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "hicond/util/common.hpp"
 #include "hicond/util/float_eq.hpp"
 
 namespace hicond {
@@ -75,6 +76,7 @@ DenseMatrix& DenseMatrix::operator*=(double s) {
 }
 
 DenseMatrix dense_laplacian(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   const vidx n = g.num_vertices();
   DenseMatrix l(n, n);
   for (vidx v = 0; v < n; ++v) {
@@ -89,6 +91,7 @@ DenseMatrix dense_laplacian(const Graph& g) {
 }
 
 DenseMatrix dense_normalized_laplacian(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   const vidx n = g.num_vertices();
   std::vector<double> inv_sqrt(static_cast<std::size_t>(n), 0.0);
   for (vidx v = 0; v < n; ++v) {

@@ -11,7 +11,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 void MetricsRegistry::counter_add(std::string_view name, std::int64_t delta) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -21,13 +21,13 @@ void MetricsRegistry::counter_add(std::string_view name, std::int64_t delta) {
 }
 
 std::int64_t MetricsRegistry::counter(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::gauge_set(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -37,13 +37,13 @@ void MetricsRegistry::gauge_set(std::string_view name, double value) {
 }
 
 double MetricsRegistry::gauge(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 void MetricsRegistry::histogram_record(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), Histogram()).first;
@@ -52,20 +52,20 @@ void MetricsRegistry::histogram_record(std::string_view name, double value) {
 }
 
 Histogram MetricsRegistry::histogram(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? Histogram() : it->second;
 }
 
 void MetricsRegistry::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 std::string MetricsRegistry::to_json() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   JsonWriter w;
   w.begin_object();
   w.key("counters").begin_object();

@@ -11,11 +11,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "hicond/util/stats.hpp"
+#include "hicond/util/thread_annotations.hpp"
 
 namespace hicond::obs {
 
@@ -47,10 +47,12 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::int64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::int64_t, std::less<>> counters_
+      HICOND_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ HICOND_GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      HICOND_GUARDED_BY(mu_);
 };
 
 }  // namespace hicond::obs

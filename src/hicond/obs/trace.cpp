@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <vector>
 
 #include "hicond/obs/json.hpp"
 #include "hicond/util/common.hpp"
+#include "hicond/util/thread_annotations.hpp"
 
 namespace hicond::obs {
 
@@ -44,8 +44,8 @@ std::atomic<bool> g_enabled{false};
 /// Registry of every thread's buffer. Buffers are heap-allocated once per
 /// thread and intentionally never freed (bounded by the thread count), so
 /// registry pointers stay valid after short-lived threads exit.
-std::mutex g_registry_mu;
-std::vector<ThreadTraceBuffer*>& registry() {
+Mutex g_registry_mu;
+std::vector<ThreadTraceBuffer*>& registry() HICOND_REQUIRES(g_registry_mu) {
   static std::vector<ThreadTraceBuffer*> r;
   return r;
 }
@@ -53,7 +53,7 @@ std::vector<ThreadTraceBuffer*>& registry() {
 ThreadTraceBuffer& local_buffer() {
   thread_local ThreadTraceBuffer* tl = nullptr;
   if (tl == nullptr) {
-    const std::lock_guard<std::mutex> lock(g_registry_mu);
+    const MutexLock lock(g_registry_mu);
     tl = new ThreadTraceBuffer(static_cast<int>(registry().size()));
     registry().push_back(tl);
   }
@@ -96,7 +96,7 @@ void detail::record_span(const char* name, std::int64_t start_ns,
 }
 
 void clear_trace() {
-  const std::lock_guard<std::mutex> lock(g_registry_mu);
+  const MutexLock lock(g_registry_mu);
   for (ThreadTraceBuffer* buf : registry()) {
     buf->head = 0;
     buf->count = 0;
@@ -105,14 +105,14 @@ void clear_trace() {
 }
 
 std::size_t trace_event_count() {
-  const std::lock_guard<std::mutex> lock(g_registry_mu);
+  const MutexLock lock(g_registry_mu);
   std::size_t total = 0;
   for (const ThreadTraceBuffer* buf : registry()) total += buf->count;
   return total;
 }
 
 std::size_t trace_dropped_count() {
-  const std::lock_guard<std::mutex> lock(g_registry_mu);
+  const MutexLock lock(g_registry_mu);
   std::size_t total = 0;
   for (const ThreadTraceBuffer* buf : registry()) total += buf->dropped;
   return total;
@@ -125,7 +125,7 @@ std::string export_chrome_trace() {
   };
   std::vector<Flat> all;
   {
-    const std::lock_guard<std::mutex> lock(g_registry_mu);
+    const MutexLock lock(g_registry_mu);
     for (const ThreadTraceBuffer* buf : registry()) {
       // Oldest event first: when the ring wrapped, the head slot is oldest.
       const std::size_t first =

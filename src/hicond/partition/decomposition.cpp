@@ -175,6 +175,7 @@ double average_gamma(const Graph& g, const Decomposition& d) {
 }
 
 Decomposition singleton_decomposition(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   Decomposition d;
   d.num_clusters = g.num_vertices();
   d.assignment.resize(static_cast<std::size_t>(g.num_vertices()));

@@ -6,6 +6,7 @@
 #include "hicond/graph/connectivity.hpp"
 #include "hicond/obs/trace.hpp"
 #include "hicond/tree/tree_splitting.hpp"
+#include "hicond/util/common.hpp"
 #include "hicond/util/parallel.hpp"
 #include "hicond/util/rng.hpp"
 
@@ -83,6 +84,7 @@ Graph heaviest_incident_edge_forest(const Graph& g, std::uint64_t seed,
 }
 
 bool is_unimodal_forest(const Graph& forest) {
+  HICOND_RUN_VALIDATION(expensive, forest.validate());
   // An edge (u, v) is a local minimum if u has a strictly heavier incident
   // edge and so does v. Unimodal <=> no local-minimum edge exists. The
   // per-vertex test only reads the forest, so the sweep is parallel.

@@ -1,9 +1,11 @@
 #include "hicond/partition/refinement.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "hicond/graph/connectivity.hpp"
 #include "hicond/graph/quotient.hpp"
+#include "hicond/util/float_eq.hpp"
 
 namespace hicond {
 
@@ -18,24 +20,34 @@ RefinementResult refine_decomposition(const Graph& g, const Decomposition& d,
   std::vector<vidx> assignment = d.assignment;
 
   std::unordered_map<vidx, double> share;
+  std::vector<vidx> touched;  // cluster ids present in `share`, sorted below
   for (int round = 0; round < opt.max_rounds; ++round) {
     vidx moves_this_round = 0;
     for (vidx v = 0; v < n; ++v) {
       if (g.vol(v) <= 0.0) continue;
       share.clear();
+      touched.clear();
       const auto nbrs = g.neighbors(v);
       const auto ws = g.weights(v);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        share[assignment[static_cast<std::size_t>(nbrs[i])]] += ws[i];
+        const auto [it, inserted] = share.try_emplace(
+            assignment[static_cast<std::size_t>(nbrs[i])], 0.0);
+        it->second += ws[i];
+        if (inserted) touched.push_back(it->first);
       }
       const vidx own = assignment[static_cast<std::size_t>(v)];
-      const double own_share =
-          share.contains(own) ? share[own] : 0.0;
+      const auto own_it = share.find(own);
+      const double own_share = own_it != share.end() ? own_it->second : 0.0;
       if (own_share >= opt.gamma_floor * g.vol(v)) continue;
+      // Argmax over the touched clusters in ascending-id order (never in
+      // unordered_map order): ties on exactly-equal shares pick the lowest
+      // cluster id, so the winner is the same on every run and platform.
+      std::sort(touched.begin(), touched.end());
       vidx best = own;
       double best_share = own_share;
-      for (const auto& [c, w] : share) {
-        if (w > best_share || (w == best_share && c < best)) {
+      for (const vidx c : touched) {
+        const double w = share.at(c);
+        if (w > best_share || (exactly_equal(w, best_share) && c < best)) {
           best_share = w;
           best = c;
         }

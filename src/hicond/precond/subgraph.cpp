@@ -38,9 +38,13 @@ Graph vaidya_augmented_subgraph(const Graph& a, const Graph& tree,
   }
   GraphBuilder b(n);
   for (const auto& e : tree.edge_list()) b.add_edge(e.u, e.v, e.weight);
-  // Deterministic iteration: collect and sort the selected extras.
+  // Deterministic iteration: collect and sort the selected extras. The
+  // unordered_map visit order leaks nowhere past the sort below, which is a
+  // strict total order (an edge joins exactly one subtree pair, so (u, v)
+  // never repeats across values of `best`).
   std::vector<WeightedEdge> extras;
   extras.reserve(best.size());
+  // hicond-tidy: allow(ordered-iteration)
   for (const auto& [key, e] : best) extras.push_back(e);
   std::sort(extras.begin(), extras.end(), [](const auto& x, const auto& y) {
     return x.u != y.u ? x.u < y.u : x.v < y.v;

@@ -90,7 +90,7 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(
       fingerprint_hex(fingerprint) + "|" + solver_options_key(options);
   auto& metrics = obs::MetricsRegistry::global();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (const auto it = index_.find(key); it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
@@ -106,7 +106,7 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(
   const std::size_t bytes = approx_solver_bytes(*solver);
   Stats snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     ++misses_;
     if (const auto it = index_.find(key); it != index_.end()) {
       // A concurrent builder won the race; keep its entry.
@@ -130,7 +130,7 @@ std::shared_ptr<const LaplacianSolver> HierarchyCache::peek(
     std::uint64_t fingerprint, const LaplacianSolverOptions& options) const {
   const std::string key =
       fingerprint_hex(fingerprint) + "|" + solver_options_key(options);
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = index_.find(key);
   return it == index_.end() ? nullptr : it->second->solver;
 }
@@ -148,13 +148,13 @@ void HierarchyCache::evict_to_budget_locked() {
 }
 
 HierarchyCache::Stats HierarchyCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return {hits_,       misses_, evictions_,
           lru_.size(), bytes_,  budget_bytes_};
 }
 
 void HierarchyCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;

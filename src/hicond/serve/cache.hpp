@@ -21,10 +21,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "hicond/solver.hpp"
+#include "hicond/util/thread_annotations.hpp"
 
 namespace hicond::serve {
 
@@ -80,16 +80,18 @@ class HierarchyCache {
     std::size_t bytes = 0;
   };
 
-  void evict_to_budget_locked();
+  void evict_to_budget_locked() HICOND_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::size_t budget_bytes_;
-  std::size_t bytes_ = 0;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
-  std::int64_t evictions_ = 0;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::map<std::string, std::list<Entry>::iterator, std::less<>> index_;
+  mutable Mutex mu_;
+  const std::size_t budget_bytes_;  ///< immutable after construction
+  std::size_t bytes_ HICOND_GUARDED_BY(mu_) = 0;
+  std::int64_t hits_ HICOND_GUARDED_BY(mu_) = 0;
+  std::int64_t misses_ HICOND_GUARDED_BY(mu_) = 0;
+  std::int64_t evictions_ HICOND_GUARDED_BY(mu_) = 0;
+  /// front = most recently used
+  std::list<Entry> lru_ HICOND_GUARDED_BY(mu_);
+  std::map<std::string, std::list<Entry>::iterator, std::less<>> index_
+      HICOND_GUARDED_BY(mu_);
 };
 
 }  // namespace hicond::serve

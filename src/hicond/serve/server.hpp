@@ -44,6 +44,12 @@ struct ServerOptions {
   LaplacianSolverOptions solver{};
 };
 
+/// Concurrency contract: ServerCore itself is single-threaded -- submit()
+/// and step() must be called from one thread (the transport loop), which is
+/// why queue_/graphs_/counters carry no lock. The one component shared with
+/// other threads, the hierarchy cache, synchronizes internally behind
+/// annotated locks (serve/cache.hpp, util/thread_annotations.hpp); clang
+/// builds verify that discipline with -Werror=thread-safety.
 class ServerCore {
  public:
   explicit ServerCore(const ServerOptions& options = {});

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hicond/obs/metrics.hpp"
+#include "hicond/util/common.hpp"
 
 namespace hicond::serve {
 
@@ -223,6 +224,7 @@ std::uint64_t fnv1a(std::uint64_t hash, const void* data,
 }
 
 std::uint64_t graph_fingerprint(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   std::uint64_t h = kFnvOffsetBasis;
   auto fold_u64 = [&h](std::uint64_t v) {
     unsigned char b[8];

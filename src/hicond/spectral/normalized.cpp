@@ -2,11 +2,13 @@
 
 #include <cmath>
 
+#include "hicond/util/common.hpp"
 #include "hicond/util/parallel.hpp"
 
 namespace hicond {
 
 EigenDecomposition normalized_spectrum(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   return symmetric_eigen(dense_normalized_laplacian(g));
 }
 
@@ -35,6 +37,7 @@ LinearOperator normalized_laplacian_operator(const Graph& g) {
 }
 
 std::vector<double> sqrt_volume_unit_vector(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   const auto n = static_cast<std::size_t>(g.num_vertices());
   std::vector<double> d(n);
   double norm_sq = 0.0;

@@ -5,6 +5,8 @@
 
 #include "hicond/graph/builder.hpp"
 #include "hicond/graph/connectivity.hpp"
+#include "hicond/util/common.hpp"
+#include "hicond/util/float_eq.hpp"
 #include "hicond/util/parallel.hpp"
 
 namespace hicond {
@@ -40,7 +42,7 @@ class UnionFind {
 /// Strict total order on edges: heavier first, ties by ids. Using a strict
 /// order makes both algorithms produce the same forest on distinct weights.
 bool heavier(const WeightedEdge& a, const WeightedEdge& b) {
-  if (a.weight != b.weight) return a.weight > b.weight;
+  if (!exactly_equal(a.weight, b.weight)) return a.weight > b.weight;
   if (a.u != b.u) return a.u < b.u;
   return a.v < b.v;
 }
@@ -105,6 +107,7 @@ Graph max_spanning_forest_boruvka(const Graph& g) {
 }
 
 double total_edge_weight(const Graph& g) {
+  HICOND_RUN_VALIDATION(expensive, g.validate());
   return parallel_sum(static_cast<std::size_t>(g.num_vertices()),
                       [&](std::size_t v) {
                         return g.vol(static_cast<vidx>(v));

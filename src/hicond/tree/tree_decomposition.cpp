@@ -11,6 +11,7 @@
 #include "hicond/obs/trace.hpp"
 #include "hicond/tree/critical.hpp"
 #include "hicond/tree/rooted_tree.hpp"
+#include "hicond/util/float_eq.hpp"
 #include "hicond/util/parallel.hpp"
 
 namespace hicond {
@@ -161,7 +162,7 @@ void plan_triple(const Planner& p, std::span<const vidx> interior,
     }
     cand.score = score;
     if (best == nullptr || cand.score > best->score ||
-        (cand.score == best->score && cand.parts < best->parts)) {
+        (exactly_equal(cand.score, best->score) && cand.parts < best->parts)) {
       best = &cand;
     }
   }

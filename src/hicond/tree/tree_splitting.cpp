@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "hicond/graph/connectivity.hpp"
+#include "hicond/util/float_eq.hpp"
 
 namespace hicond {
 
@@ -56,7 +57,7 @@ Decomposition split_forest_bounded(const Graph& forest,
   const vidx n = forest.num_vertices();
   std::vector<WeightedEdge> edges = forest.edge_list();
   std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
-    if (a.weight != b.weight) return a.weight > b.weight;
+    if (!exactly_equal(a.weight, b.weight)) return a.weight > b.weight;
     return a.u != b.u ? a.u < b.u : a.v < b.v;  // deterministic tie-break
   });
   UnionFind uf(n);

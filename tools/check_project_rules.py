@@ -101,20 +101,32 @@ def strip_comments(line: str) -> str:
     return line.split("//", 1)[0]
 
 
-def logical_pragma_lines(text: str):
-    """Yield (lineno, full_pragma) with backslash continuations joined."""
+def logical_source_lines(text: str):
+    """Yield (start_lineno, joined) with backslash continuations joined.
+
+    Continuations are joined unconditionally, BEFORE any pattern matching:
+    a directive split as `#pragma \\` + `omp parallel ...` has no single
+    physical line matching PRAGMA_OMP, so matching first and joining second
+    (the old behaviour) let multi-line pragmas evade every omp-* rule.
+    """
     lines = text.splitlines()
     i = 0
     while i < len(lines):
-        m = PRAGMA_OMP.search(lines[i])
-        if m:
-            start = i
-            full = lines[i].rstrip()
-            while full.endswith("\\") and i + 1 < len(lines):
-                i += 1
-                full = full[:-1].rstrip() + " " + lines[i].strip()
-            yield start + 1, PRAGMA_OMP.search(full).group(1)
+        start = i
+        full = lines[i].rstrip()
+        while full.endswith("\\") and i + 1 < len(lines):
+            i += 1
+            full = full[:-1].rstrip() + " " + lines[i].strip()
+        yield start + 1, full
         i += 1
+
+
+def logical_pragma_lines(text: str):
+    """Yield (lineno, pragma_clause) for every logical `#pragma omp` line."""
+    for lineno, full in logical_source_lines(text):
+        m = PRAGMA_OMP.search(full)
+        if m:
+            yield lineno, m.group(1)
 
 
 def main() -> int:

@@ -1,0 +1,133 @@
+// hicond-tidy: Clang AST analyzer for the hicond contracts.
+//
+//   hicond-tidy -p build/ src/hicond/**/*.cpp      # compilation database
+//   hicond-tidy --fixture-mode f.cpp -- -std=c++20 # self-test fixtures
+//
+// Prints one line per finding, `path:line: [check] message`, and exits 1
+// when anything was found, 2 on tool/parse failure, 0 when clean. The
+// check catalog and the suppression syntax are documented in
+// docs/STATIC_ANALYSIS.md.
+#include <memory>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Lex/Preprocessor.h"
+#include "clang/Tooling/ArgumentsAdjusters.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/ADT/SmallString.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/FileSystem.h"
+#include "llvm/Support/Path.h"
+#include "llvm/Support/raw_ostream.h"
+
+#include "tidy_checks.hpp"
+#include "tidy_context.hpp"
+
+namespace {
+
+llvm::cl::OptionCategory gCategory("hicond-tidy options");
+
+llvm::cl::opt<bool> gFixtureMode(
+    "fixture-mode",
+    llvm::cl::desc("Run every check on the main file only, ignoring the "
+                   "repository path policy (used by the fixture tests)"),
+    llvm::cl::cat(gCategory));
+
+llvm::cl::opt<std::string> gRepoRoot(
+    "repo-root",
+    llvm::cl::desc("Repository root the path policy is relative to "
+                   "(default: current directory)"),
+    llvm::cl::cat(gCategory));
+
+class TidyConsumer : public clang::ASTConsumer {
+ public:
+  TidyConsumer(hicond_tidy::TidyContext& ctx,
+               std::shared_ptr<hicond_tidy::MacroUseLog> log)
+      : ctx_(ctx), log_(std::move(log)) {}
+
+  void HandleTranslationUnit(clang::ASTContext& ast) override {
+    hicond_tidy::runChecks(ctx_, ast, *log_);
+  }
+
+ private:
+  hicond_tidy::TidyContext& ctx_;
+  std::shared_ptr<hicond_tidy::MacroUseLog> log_;
+};
+
+class TidyAction : public clang::ASTFrontendAction {
+ public:
+  explicit TidyAction(hicond_tidy::TidyContext& ctx) : ctx_(ctx) {}
+
+ protected:
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance& ci, llvm::StringRef /*in_file*/) override {
+    auto log = std::make_shared<hicond_tidy::MacroUseLog>();
+    ci.getPreprocessor().addPPCallbacks(
+        hicond_tidy::makePPCallbacks(ci.getSourceManager(), log));
+    return std::make_unique<TidyConsumer>(ctx_, std::move(log));
+  }
+
+ private:
+  hicond_tidy::TidyContext& ctx_;
+};
+
+class TidyActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit TidyActionFactory(hicond_tidy::TidyContext& ctx) : ctx_(ctx) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<TidyAction>(ctx_);
+  }
+
+ private:
+  hicond_tidy::TidyContext& ctx_;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected_parser = clang::tooling::CommonOptionsParser::create(
+      argc, argv, gCategory);
+  if (!expected_parser) {
+    llvm::errs() << llvm::toString(expected_parser.takeError()) << "\n";
+    return 2;
+  }
+  clang::tooling::CommonOptionsParser& parser = *expected_parser;
+
+  hicond_tidy::TidyOptions opts;
+  opts.fixture_mode = gFixtureMode;
+  if (!gRepoRoot.empty()) {
+    opts.repo_root = gRepoRoot;
+  } else {
+    llvm::SmallString<256> cwd;
+    llvm::sys::fs::current_path(cwd);
+    opts.repo_root = std::string(cwd.str());
+  }
+  hicond_tidy::TidyContext ctx(std::move(opts));
+
+  clang::tooling::ClangTool tool(parser.getCompilations(),
+                                 parser.getSourcePathList());
+  // The analyzed code's own warnings are the build's business, not ours.
+  tool.appendArgumentsAdjuster(clang::tooling::getInsertArgumentAdjuster(
+      "-Wno-everything", clang::tooling::ArgumentInsertPosition::END));
+#ifdef HICOND_TIDY_RESOURCE_DIR
+  // Builtin headers of the clang we were built against, so the tool works
+  // in a compile_commands.json produced by any compiler.
+  tool.appendArgumentsAdjuster(clang::tooling::getInsertArgumentAdjuster(
+      {"-resource-dir", HICOND_TIDY_RESOURCE_DIR},
+      clang::tooling::ArgumentInsertPosition::END));
+#endif
+
+  TidyActionFactory factory(ctx);
+  const int tool_status = tool.run(&factory);
+
+  const std::size_t findings = ctx.flush(llvm::outs());
+  if (tool_status != 0) {
+    llvm::errs() << "hicond-tidy: one or more translation units failed to "
+                    "parse; findings above may be incomplete\n";
+    return 2;
+  }
+  return findings == 0 ? 0 : 1;
+}

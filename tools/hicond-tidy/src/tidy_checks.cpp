@@ -1,0 +1,636 @@
+#include "tidy_checks.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/OpenMPClause.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/AST/StmtOpenMP.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/MacroInfo.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+#include "llvm/ADT/DenseMap.h"
+#include "llvm/ADT/DenseSet.h"
+
+#include "tidy_context.hpp"
+
+namespace hicond_tidy {
+
+namespace {
+
+using clang::dyn_cast;
+using clang::isa;
+
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool isInChronoNamespace(const clang::Decl* d) {
+  for (const clang::DeclContext* dc = d->getDeclContext(); dc != nullptr;
+       dc = dc->getParent()) {
+    if (const auto* ns = dyn_cast<clang::NamespaceDecl>(dc)) {
+      if (ns->getIdentifier() != nullptr && ns->getName() == "chrono" &&
+          ns->isInStdNamespace()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Does a statement subtree contain anything with side effects? Expr
+/// subtrees are answered by clang's own HasSideEffects; DeclStmt inits are
+/// checked explicitly because decls are not child statements.
+bool stmtHasSideEffects(const clang::Stmt* s, const clang::ASTContext& ast) {
+  if (s == nullptr) return false;
+  if (const auto* ds = dyn_cast<clang::DeclStmt>(s)) {
+    for (const clang::Decl* d : ds->decls()) {
+      if (const auto* vd = dyn_cast<clang::VarDecl>(d)) {
+        const clang::Expr* init = vd->getInit();
+        if (init != nullptr && init->HasSideEffects(ast)) return true;
+      }
+    }
+    return false;
+  }
+  if (const auto* e = dyn_cast<clang::Expr>(s)) {
+    return e->HasSideEffects(ast);
+  }
+  for (const clang::Stmt* child : s->children()) {
+    if (stmtHasSideEffects(child, ast)) return true;
+  }
+  return false;
+}
+
+/// Collects every VarDecl declared inside a statement subtree (loop
+/// variables, scratch buffers, nested-lambda parameters, ...). Used to
+/// decide which names are iteration-private inside a funnel lambda.
+class LocalDeclCollector : public clang::RecursiveASTVisitor<LocalDeclCollector> {
+ public:
+  bool VisitVarDecl(clang::VarDecl* v) {
+    locals_.insert(v->getCanonicalDecl());
+    return true;
+  }
+  void add(const clang::VarDecl* v) { locals_.insert(v->getCanonicalDecl()); }
+  [[nodiscard]] bool contains(const clang::VarDecl* v) const {
+    return locals_.count(v->getCanonicalDecl()) != 0;
+  }
+
+ private:
+  llvm::DenseSet<const clang::VarDecl*> locals_;
+};
+
+/// True when `e` (an index expression) references any iteration-private
+/// variable or omp_get_thread_num() -- i.e. the write target depends on
+/// which iteration/thread executes it, which is what owner-computes needs.
+class IndexDependsScan : public clang::RecursiveASTVisitor<IndexDependsScan> {
+ public:
+  explicit IndexDependsScan(const LocalDeclCollector& locals)
+      : locals_(locals) {}
+
+  bool VisitDeclRefExpr(clang::DeclRefExpr* dre) {
+    if (const auto* vd = dyn_cast<clang::VarDecl>(dre->getDecl())) {
+      if (locals_.contains(vd)) depends_ = true;
+    }
+    return true;
+  }
+  bool VisitCallExpr(clang::CallExpr* c) {
+    const clang::FunctionDecl* fd = c->getDirectCallee();
+    if (fd != nullptr && fd->getIdentifier() != nullptr &&
+        fd->getName() == "omp_get_thread_num") {
+      depends_ = true;
+    }
+    return true;
+  }
+  [[nodiscard]] bool depends() const { return depends_; }
+
+ private:
+  const LocalDeclCollector& locals_;
+  bool depends_ = false;
+};
+
+/// Scans one funnel-lambda body for writes that violate owner-computes:
+/// subscript stores into captured containers whose index does not depend
+/// on the iteration variable, mutating container calls on captured
+/// containers, and read-modify-write updates of captured scalars.
+class OwnerComputesScan : public clang::RecursiveASTVisitor<OwnerComputesScan> {
+ public:
+  OwnerComputesScan(TidyContext& ctx, const clang::SourceManager& sm,
+                    const LocalDeclCollector& locals)
+      : ctx_(ctx), sm_(sm), locals_(locals) {}
+
+  bool VisitBinaryOperator(clang::BinaryOperator* b) {
+    if (b->isAssignmentOp()) {
+      checkWrite(b->getLHS(), b->isCompoundAssignmentOp());
+    }
+    return true;
+  }
+
+  bool VisitUnaryOperator(clang::UnaryOperator* u) {
+    if (u->isIncrementDecrementOp()) checkWrite(u->getSubExpr(), true);
+    return true;
+  }
+
+  bool VisitCXXOperatorCallExpr(clang::CXXOperatorCallExpr* c) {
+    const clang::OverloadedOperatorKind k = c->getOperator();
+    const bool compound =
+        k == clang::OO_PlusEqual || k == clang::OO_MinusEqual ||
+        k == clang::OO_StarEqual || k == clang::OO_SlashEqual ||
+        k == clang::OO_PercentEqual || k == clang::OO_CaretEqual ||
+        k == clang::OO_AmpEqual || k == clang::OO_PipeEqual ||
+        k == clang::OO_LessLessEqual || k == clang::OO_GreaterGreaterEqual ||
+        k == clang::OO_PlusPlus || k == clang::OO_MinusMinus;
+    if ((k == clang::OO_Equal || compound) && c->getNumArgs() >= 1) {
+      checkWrite(c->getArg(0), compound);
+    }
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* c) {
+    const clang::CXXMethodDecl* m = c->getMethodDecl();
+    if (m == nullptr || m->getIdentifier() == nullptr) return true;
+    const llvm::StringRef name = m->getName();
+    static const char* kMutators[] = {"push_back", "emplace_back", "pop_back",
+                                      "insert",    "emplace",      "erase",
+                                      "clear",     "resize"};
+    const bool mutating =
+        std::any_of(std::begin(kMutators), std::end(kMutators),
+                    [&](const char* s) { return name == s; });
+    if (!mutating) return true;
+    const clang::Expr* obj = c->getImplicitObjectArgument();
+    if (obj != nullptr && baseIsShared(obj)) {
+      ctx_.reportIfActive(
+          sm_, c->getExprLoc(), "owner-computes",
+          ("call to '" + name + "()' on a captured container inside a "
+           "funnel lambda races across iterations; collect per-iteration "
+           "results into owner-indexed slots instead")
+              .str());
+    }
+    return true;
+  }
+
+ private:
+  // Is the (stripped) base of a write target shared across iterations?
+  // Captured locals from the enclosing function, members reached through
+  // the captured `this`, and nested subscripts into either all count;
+  // lambda-local scratch does not.
+  bool baseIsShared(const clang::Expr* base) {
+    const clang::Expr* e = base->IgnoreParenImpCasts();
+    if (const auto* dre = dyn_cast<clang::DeclRefExpr>(e)) {
+      const auto* vd = dyn_cast<clang::VarDecl>(dre->getDecl());
+      return vd != nullptr && !locals_.contains(vd);
+    }
+    if (const auto* me = dyn_cast<clang::MemberExpr>(e)) {
+      return baseIsShared(me->getBase());
+    }
+    if (isa<clang::CXXThisExpr>(e)) return true;
+    if (const auto* as = dyn_cast<clang::ArraySubscriptExpr>(e)) {
+      return baseIsShared(as->getBase());
+    }
+    if (const auto* oc = dyn_cast<clang::CXXOperatorCallExpr>(e)) {
+      if (oc->getOperator() == clang::OO_Subscript && oc->getNumArgs() >= 1) {
+        return baseIsShared(oc->getArg(0));
+      }
+    }
+    return false;
+  }
+
+  void checkWrite(const clang::Expr* lhs, bool compound) {
+    const clang::Expr* e = lhs->IgnoreParenImpCasts();
+    const clang::Expr* base = nullptr;
+    const clang::Expr* idx = nullptr;
+    if (const auto* as = dyn_cast<clang::ArraySubscriptExpr>(e)) {
+      base = as->getBase();
+      idx = as->getIdx();
+    } else if (const auto* oc = dyn_cast<clang::CXXOperatorCallExpr>(e)) {
+      if (oc->getOperator() == clang::OO_Subscript && oc->getNumArgs() == 2) {
+        base = oc->getArg(0);
+        idx = oc->getArg(1);
+      }
+    }
+    if (base == nullptr) {
+      // Plain variable target. Read-modify-write on a captured scalar is
+      // a cross-iteration race; plain stores of identical values are left
+      // to TSan, so only compound updates are flagged.
+      if (!compound) return;
+      if (const auto* dre = dyn_cast<clang::DeclRefExpr>(e)) {
+        const auto* vd = dyn_cast<clang::VarDecl>(dre->getDecl());
+        if (vd != nullptr && !locals_.contains(vd) &&
+            !vd->getType().isConstQualified()) {
+          ctx_.reportIfActive(
+              sm_, e->getExprLoc(), "owner-computes",
+              "read-modify-write of captured variable '" +
+                  vd->getNameAsString() +
+                  "' inside a funnel lambda races across iterations; "
+                  "accumulate with parallel_sum/parallel_max or into an "
+                  "owner-indexed slot");
+        }
+      }
+      return;
+    }
+    if (!baseIsShared(base)) return;
+    IndexDependsScan scan(locals_);
+    scan.TraverseStmt(const_cast<clang::Expr*>(idx));
+    if (scan.depends()) return;
+    ctx_.reportIfActive(
+        sm_, e->getExprLoc(), "owner-computes",
+        "write into a captured container at an index that does not depend "
+        "on the iteration variable; every iteration targets the same slot "
+        "(racy and schedule-dependent) -- index by the loop variable or "
+        "use a lambda-local buffer");
+  }
+
+  TidyContext& ctx_;
+  const clang::SourceManager& sm_;
+  const LocalDeclCollector& locals_;
+};
+
+/// Collects direct callees (calls and constructions) of a function body
+/// for the boundary-validation reachability pass.
+class CalleeCollector : public clang::RecursiveASTVisitor<CalleeCollector> {
+ public:
+  bool VisitCallExpr(clang::CallExpr* c) {
+    if (const clang::FunctionDecl* fd = c->getDirectCallee()) {
+      callees.push_back(fd);
+    }
+    return true;
+  }
+  bool VisitCXXConstructExpr(clang::CXXConstructExpr* c) {
+    if (const clang::CXXConstructorDecl* ctor = c->getConstructor()) {
+      callees.push_back(ctor);
+    }
+    return true;
+  }
+  std::vector<const clang::FunctionDecl*> callees;
+};
+
+class TidyVisitor : public clang::RecursiveASTVisitor<TidyVisitor> {
+ public:
+  TidyVisitor(TidyContext& ctx, clang::ASTContext& ast,
+              const MacroUseLog& macros)
+      : ctx_(ctx), ast_(ast), sm_(ast.getSourceManager()), macros_(macros) {}
+
+  bool shouldVisitTemplateInstantiations() const { return false; }
+  bool shouldWalkTypesOfTypeLocs() const { return false; }
+
+  // --- funnel-discipline ---------------------------------------------------
+  bool VisitOMPExecutableDirective(clang::OMPExecutableDirective* d) {
+    const clang::SourceLocation loc = d->getBeginLoc();
+    if (isa<clang::OMPParallelDirective>(d) ||
+        isa<clang::OMPParallelForDirective>(d) ||
+        isa<clang::OMPParallelForSimdDirective>(d) ||
+        isa<clang::OMPParallelSectionsDirective>(d)) {
+      ctx_.reportIfActive(
+          sm_, loc, "funnel-discipline",
+          "raw '#pragma omp parallel' outside util/parallel.hpp; enter "
+          "parallelism through parallel_region()/parallel_for() so thread "
+          "count, TSan annotations, and determinism stay centralized");
+    } else if (isa<clang::OMPAtomicDirective>(d)) {
+      ctx_.reportIfActive(
+          sm_, loc, "funnel-discipline",
+          "'#pragma omp atomic' commits updates in schedule order, which "
+          "breaks bitwise reproducibility; use owner-computes writes or "
+          "parallel_sum's fixed-block reduction");
+    } else if (isa<clang::OMPCriticalDirective>(d)) {
+      ctx_.reportIfActive(
+          sm_, loc, "funnel-discipline",
+          "'#pragma omp critical' serializes in arrival order, which "
+          "breaks bitwise reproducibility; restructure as owner-computes "
+          "or a fixed-block reduction");
+    }
+    if (d->hasClausesOfKind<clang::OMPReductionClause>()) {
+      ctx_.reportIfActive(
+          sm_, loc, "funnel-discipline",
+          "OpenMP 'reduction(...)' combines partials in team order, which "
+          "is not bitwise reproducible for floating point; use "
+          "parallel_sum/parallel_max (fixed-block combining)");
+    }
+    return true;
+  }
+
+  // --- float-compare -------------------------------------------------------
+  bool VisitBinaryOperator(clang::BinaryOperator* b) {
+    if (b->getOpcode() != clang::BO_EQ && b->getOpcode() != clang::BO_NE) {
+      return true;
+    }
+    const clang::Expr* l = b->getLHS();
+    const clang::Expr* r = b->getRHS();
+    if (l->getType().isNull() || r->getType().isNull()) return true;
+    if (!l->getType()->isRealFloatingType() &&
+        !r->getType()->isRealFloatingType()) {
+      return true;
+    }
+    ctx_.reportIfActive(
+        sm_, b->getOperatorLoc(), "float-compare",
+        b->getOpcode() == clang::BO_EQ
+            ? "'==' on floating-point values; use exactly_equal()/"
+              "approx_equal() from util/float_eq.hpp (or annotate the line "
+              "with 'float-eq: exact' when bitwise equality is intended)"
+            : "'!=' on floating-point values; use !exactly_equal()/"
+              "!approx_equal() from util/float_eq.hpp (or annotate the line "
+              "with 'float-eq: exact' when bitwise equality is intended)");
+    return true;
+  }
+
+  // --- ordered-iteration ---------------------------------------------------
+  bool VisitCXXForRangeStmt(clang::CXXForRangeStmt* s) {
+    const clang::Expr* range = s->getRangeInit();
+    if (range == nullptr || range->getType().isNull()) return true;
+    const clang::CXXRecordDecl* rd =
+        range->getType().getNonReferenceType()->getAsCXXRecordDecl();
+    if (rd == nullptr) return true;
+    const std::string qn = rd->getQualifiedNameAsString();
+    if (qn != "std::unordered_map" && qn != "std::unordered_set" &&
+        qn != "std::unordered_multimap" && qn != "std::unordered_multiset") {
+      return true;
+    }
+    if (!stmtHasSideEffects(s->getBody(), ast_)) return true;
+    ctx_.reportIfActive(
+        sm_, s->getForLoc(), "ordered-iteration",
+        "range-for over " + qn +
+            " with a side-effecting body visits elements in hash order, "
+            "which varies across standard libraries and run conditions; "
+            "iterate a sorted key list, or annotate with "
+            "'hicond-tidy: allow(ordered-iteration)' if every element is "
+            "processed order-independently");
+    return true;
+  }
+
+  // --- no-std-rand, owner-computes dispatch --------------------------------
+  bool VisitCallExpr(clang::CallExpr* c) {
+    const clang::FunctionDecl* fd = c->getDirectCallee();
+    if (fd == nullptr) return true;
+    if (fd->getIdentifier() != nullptr) {
+      const llvm::StringRef n = fd->getName();
+      if (n == "rand" || n == "srand" || n == "rand_r") {
+        const clang::DeclContext* dc =
+            fd->getDeclContext()->getRedeclContext();
+        if (dc->isTranslationUnit() || dc->isStdNamespace()) {
+          ctx_.reportIfActive(
+              sm_, c->getExprLoc(), "no-std-rand",
+              "'" + n.str() +
+                  "()' draws from hidden global state and is not "
+                  "reproducible across platforms; use hicond::Rng "
+                  "(util/rng.hpp) with an explicit seed");
+        }
+      }
+    }
+    const std::string qn = fd->getQualifiedNameAsString();
+    if (qn == "hicond::parallel_for" ||
+        qn == "hicond::parallel_for_interleaved" ||
+        qn == "hicond::parallel_region" || qn == "hicond::parallel_sum" ||
+        qn == "hicond::parallel_max" || qn == "hicond::parallel_any") {
+      checkFunnelLambda(c);
+    }
+    return true;
+  }
+
+  // --- chrono-timing -------------------------------------------------------
+  bool VisitDeclRefExpr(clang::DeclRefExpr* e) {
+    const clang::NamedDecl* d = e->getDecl();
+    if (d != nullptr && isInChronoNamespace(d)) {
+      reportChrono(e->getBeginLoc());
+    }
+    return true;
+  }
+
+  bool VisitVarDecl(clang::VarDecl* v) {
+    if (v->getType().isNull()) return true;
+    const clang::CXXRecordDecl* rd =
+        v->getType().getNonReferenceType()->getAsCXXRecordDecl();
+    if (rd != nullptr && isInChronoNamespace(rd)) {
+      reportChrono(v->getLocation());
+    }
+    return true;
+  }
+
+  bool VisitCXXConstructExpr(clang::CXXConstructExpr* e) {
+    const clang::CXXConstructorDecl* ctor = e->getConstructor();
+    if (ctor != nullptr && isInChronoNamespace(ctor->getParent())) {
+      reportChrono(e->getExprLoc());
+    }
+    return true;
+  }
+
+  // --- boundary-validation: collect bodies ---------------------------------
+  bool VisitFunctionDecl(clang::FunctionDecl* f) {
+    if (f->doesThisDeclarationHaveABody() && f->getBody() != nullptr) {
+      bodies_.push_back(f);
+    }
+    return true;
+  }
+
+  void finalize() { finalizeBoundaryValidation(); }
+
+ private:
+  void reportChrono(clang::SourceLocation loc) {
+    ctx_.reportIfActive(
+        sm_, loc, "chrono-timing",
+        "direct std::chrono use outside util/timer and obs/; time through "
+        "hicond::Timer / scoped spans so instrumentation stays uniform and "
+        "mockable");
+  }
+
+  void checkFunnelLambda(const clang::CallExpr* call) {
+    if (call->getNumArgs() == 0) return;
+    const clang::Expr* arg =
+        call->getArg(call->getNumArgs() - 1)->IgnoreImplicit();
+    arg = arg->IgnoreParens();
+    const auto* lam = dyn_cast<clang::LambdaExpr>(arg);
+    if (lam == nullptr) return;
+    const clang::CXXMethodDecl* op = lam->getCallOperator();
+    if (op == nullptr || !op->hasBody()) return;
+    LocalDeclCollector locals;
+    locals.TraverseStmt(op->getBody());
+    for (const clang::ParmVarDecl* p : op->parameters()) locals.add(p);
+    OwnerComputesScan scan(ctx_, sm_, locals);
+    scan.TraverseStmt(op->getBody());
+  }
+
+  bool isBoundaryCandidate(const clang::FunctionDecl* fd) const {
+    if (fd->isImplicit() || fd->isDeleted() || fd->isDefaulted()) return false;
+    if (fd->isConstexpr() || fd->isOverloadedOperator()) return false;
+    if (fd->getDescribedFunctionTemplate() != nullptr) return false;
+    if (isa<clang::CXXConstructorDecl>(fd) ||
+        isa<clang::CXXDestructorDecl>(fd) ||
+        isa<clang::CXXDeductionGuideDecl>(fd)) {
+      return false;
+    }
+    if (const auto* m = dyn_cast<clang::CXXMethodDecl>(fd)) {
+      if (m->getParent()->isLambda()) return false;
+    }
+    if (!fd->isExternallyVisible()) return false;
+    const std::string qn = fd->getQualifiedNameAsString();
+    if (qn.find("::detail") != std::string::npos ||
+        qn.find("(anonymous") != std::string::npos || qn == "main") {
+      return false;
+    }
+    bool hasCoreParam = false;
+    for (const clang::ParmVarDecl* p : fd->parameters()) {
+      clang::QualType t = p->getType().getNonReferenceType();
+      if (t->isPointerType()) t = t->getPointeeType();
+      const clang::CXXRecordDecl* rd =
+          t.getUnqualifiedType()->getAsCXXRecordDecl();
+      if (rd == nullptr) continue;
+      const std::string rqn = rd->getQualifiedNameAsString();
+      if (rqn == "hicond::Graph" || rqn == "hicond::CsrMatrix" ||
+          rqn == "hicond::Decomposition" || rqn == "hicond::RootedForest") {
+        hasCoreParam = true;
+        break;
+      }
+    }
+    if (!hasCoreParam) return false;
+    const clang::FunctionDecl* canon = fd->getCanonicalDecl();
+    if (ctx_.options().fixture_mode) {
+      return ctx_.checkEnabledAt(sm_, canon->getLocation(),
+                                 "boundary-validation");
+    }
+    // Only functions whose first declaration sits in a public (non-infra)
+    // header are API boundaries.
+    const std::string rel = ctx_.relativePath(sm_, canon->getLocation());
+    const llvm::StringRef r(rel);
+    const auto hasPrefix = [&](llvm::StringRef p) {
+      return r.size() >= p.size() && r.substr(0, p.size()) == p;
+    };
+    if (!hasPrefix("src/hicond/")) return false;
+    if (hasPrefix("src/hicond/util/") || hasPrefix("src/hicond/obs/")) {
+      return false;
+    }
+    const std::size_t dot = rel.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : rel.substr(dot);
+    return ext == ".hpp" || ext == ".h";
+  }
+
+  void finalizeBoundaryValidation() {
+    struct Info {
+      const clang::FunctionDecl* fd = nullptr;
+      bool validated = false;
+      std::vector<unsigned> callees;  // indices into infos
+    };
+    llvm::DenseMap<const clang::FunctionDecl*, unsigned> index;
+    std::vector<Info> infos;
+    infos.reserve(bodies_.size());
+    for (const clang::FunctionDecl* fd : bodies_) {
+      index[fd->getCanonicalDecl()] = static_cast<unsigned>(infos.size());
+      infos.push_back({fd, false, {}});
+    }
+    for (Info& info : infos) {
+      const clang::Stmt* body = info.fd->getBody();
+      const auto b = sm_.getDecomposedExpansionLoc(body->getBeginLoc());
+      const auto e = sm_.getDecomposedExpansionLoc(body->getEndLoc());
+      if (b.first == e.first && macros_.anyInRange(b.first, b.second, e.second)) {
+        info.validated = true;
+        continue;
+      }
+      CalleeCollector cc;
+      cc.TraverseStmt(const_cast<clang::Stmt*>(body));
+      for (const clang::FunctionDecl* callee : cc.callees) {
+        // A call into anything validation-shaped counts, including
+        // validators defined in other translation units.
+        if (lowered(callee->getNameAsString()).find("validat") !=
+            std::string::npos) {
+          info.validated = true;
+          break;
+        }
+        const auto it = index.find(callee->getCanonicalDecl());
+        if (it != index.end()) info.callees.push_back(it->second);
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Info& info : infos) {
+        if (info.validated) continue;
+        for (const unsigned c : info.callees) {
+          if (infos[c].validated) {
+            info.validated = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    for (const Info& info : infos) {
+      if (info.validated || !isBoundaryCandidate(info.fd)) continue;
+      ctx_.reportIfActive(
+          sm_, info.fd->getLocation(), "boundary-validation",
+          "exported function '" + info.fd->getQualifiedNameAsString() +
+              "' takes a core structure but never reaches "
+              "HICOND_VALIDATE/HICOND_CHECK (directly or via callees in "
+              "this TU); validate inputs at the API boundary or annotate "
+              "with 'hicond-tidy: allow(boundary-validation)'");
+    }
+  }
+
+  TidyContext& ctx_;
+  clang::ASTContext& ast_;
+  const clang::SourceManager& sm_;
+  const MacroUseLog& macros_;
+  std::vector<const clang::FunctionDecl*> bodies_;
+};
+
+class TidyPPCallbacks : public clang::PPCallbacks {
+ public:
+  TidyPPCallbacks(clang::SourceManager& sm, std::shared_ptr<MacroUseLog> log)
+      : sm_(sm), log_(std::move(log)) {}
+
+  void MacroExpands(const clang::Token& name_tok,
+                    const clang::MacroDefinition& /*md*/,
+                    clang::SourceRange range,
+                    const clang::MacroArgs* /*args*/) override {
+    const clang::IdentifierInfo* id = name_tok.getIdentifierInfo();
+    if (id == nullptr) return;
+    const llvm::StringRef n = id->getName();
+    if (n != "HICOND_CHECK" && n != "HICOND_VALIDATE" &&
+        n != "HICOND_RUN_VALIDATION" && n != "HICOND_ASSERT" &&
+        n != "HICOND_ASSERT_EXPENSIVE") {
+      return;
+    }
+    const auto dec = sm_.getDecomposedExpansionLoc(range.getBegin());
+    log_->add(dec.first, dec.second);
+  }
+
+ private:
+  clang::SourceManager& sm_;
+  std::shared_ptr<MacroUseLog> log_;
+};
+
+}  // namespace
+
+void MacroUseLog::add(clang::FileID fid, unsigned offset) {
+  uses_[fid].push_back(offset);
+}
+
+bool MacroUseLog::anyInRange(clang::FileID fid, unsigned begin,
+                             unsigned end) const {
+  const auto it = uses_.find(fid);
+  if (it == uses_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](unsigned off) { return off >= begin && off <= end; });
+}
+
+std::unique_ptr<clang::PPCallbacks> makePPCallbacks(
+    clang::SourceManager& sm, std::shared_ptr<MacroUseLog> log) {
+  return std::make_unique<TidyPPCallbacks>(sm, std::move(log));
+}
+
+void runChecks(TidyContext& ctx, clang::ASTContext& ast,
+               const MacroUseLog& macros) {
+  TidyVisitor visitor(ctx, ast, macros);
+  visitor.TraverseDecl(ast.getTranslationUnitDecl());
+  visitor.finalize();
+}
+
+}  // namespace hicond_tidy

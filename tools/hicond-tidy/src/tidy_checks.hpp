@@ -1,0 +1,43 @@
+// The AST/preprocessor checks behind hicond-tidy. One MacroUseLog +
+// PPCallbacks pair is created per translation unit (FileIDs are
+// per-SourceManager); runChecks then walks the TU once with a
+// RecursiveASTVisitor and resolves the boundary-validation fixed point.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "clang/Basic/SourceLocation.h"
+
+namespace clang {
+class ASTContext;
+class PPCallbacks;
+class SourceManager;
+}  // namespace clang
+
+namespace hicond_tidy {
+
+class TidyContext;
+
+/// Expansion sites of the validation macros (HICOND_CHECK,
+/// HICOND_VALIDATE, HICOND_RUN_VALIDATION, HICOND_ASSERT,
+/// HICOND_ASSERT_EXPENSIVE), recorded during preprocessing so the
+/// boundary-validation check can ask "does this function body expand one?"
+class MacroUseLog {
+ public:
+  void add(clang::FileID fid, unsigned offset);
+  [[nodiscard]] bool anyInRange(clang::FileID fid, unsigned begin,
+                                unsigned end) const;
+
+ private:
+  std::map<clang::FileID, std::vector<unsigned>> uses_;
+};
+
+std::unique_ptr<clang::PPCallbacks> makePPCallbacks(
+    clang::SourceManager& sm, std::shared_ptr<MacroUseLog> log);
+
+void runChecks(TidyContext& ctx, clang::ASTContext& ast,
+               const MacroUseLog& macros);
+
+}  // namespace hicond_tidy

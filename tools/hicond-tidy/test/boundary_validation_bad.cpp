@@ -1,0 +1,38 @@
+// Exported functions that take a core structure but never reach the
+// validation macros. In fixture mode the main file stands in for a
+// public header.
+
+namespace hicond {
+struct Graph {
+  int n = 0;
+};
+struct CsrMatrix {
+  int rows = 0;
+};
+void report_check_failure(const char* what);
+}  // namespace hicond
+
+#define HICOND_CHECK(expr, what)                     \
+  do {                                               \
+    if (!(expr)) ::hicond::report_check_failure(what); \
+  } while (false)
+
+namespace hicond {
+
+int unchecked_entry(const Graph& g) {  // expect: boundary-validation
+  return g.n * 2;
+}
+
+int unchecked_matrix(const CsrMatrix* m) {  // expect: boundary-validation
+  return m->rows;
+}
+
+// Internal linkage: not itself an API boundary, but calling it does not
+// count as validation either.
+static int plain_helper(const Graph& g) { return g.n; }
+
+int calls_only_unchecked(const Graph& g) {  // expect: boundary-validation
+  return plain_helper(g) + 1;
+}
+
+}  // namespace hicond

@@ -1,0 +1,47 @@
+// Exported core-structure functions that do reach validation: directly,
+// through a validate-named callee, transitively through a helper in the
+// same TU, or via an explicit annotation.
+
+namespace hicond {
+struct Graph {
+  int n = 0;
+};
+void report_check_failure(const char* what);
+}  // namespace hicond
+
+#define HICOND_CHECK(expr, what)                     \
+  do {                                               \
+    if (!(expr)) ::hicond::report_check_failure(what); \
+  } while (false)
+
+namespace hicond {
+
+int checked_entry(const Graph& g) {
+  HICOND_CHECK(g.n >= 0, "vertex count must be non-negative");
+  return g.n;
+}
+
+void validate_graph(const Graph& g) {
+  HICOND_CHECK(g.n >= 0, "vertex count must be non-negative");
+}
+
+int via_validator_call(const Graph& g) {
+  validate_graph(g);
+  return g.n + 1;
+}
+
+}  // namespace hicond
+
+namespace {
+int checked_helper(const hicond::Graph& g) {
+  HICOND_CHECK(g.n >= 0, "vertex count must be non-negative");
+  return g.n;
+}
+}  // namespace
+
+int transitively_checked(const hicond::Graph& g) {
+  return checked_helper(g) * 2;
+}
+
+// hicond-tidy: allow(boundary-validation)
+int annotated_passthrough(const hicond::Graph& g) { return g.n; }

@@ -1,0 +1,10 @@
+// Raw std::chrono timing outside util/timer and obs/.
+
+#include <chrono>
+
+long long elapsed_ns() {
+  const auto start = std::chrono::steady_clock::now();  // expect: chrono-timing
+  const auto stop = std::chrono::steady_clock::now();  // expect: chrono-timing
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)  // expect: chrono-timing
+      .count();
+}

@@ -1,0 +1,18 @@
+// Timing through the project's Timer facade (stubbed), plus one
+// annotated direct use: no findings.
+
+#include <chrono>
+
+struct Timer {
+  double elapsed_ms() const { return 0.0; }
+};
+
+double measure() {
+  const Timer t;
+  return t.elapsed_ms();
+}
+
+long long annotated_epoch_ns() {
+  // hicond-tidy: allow(chrono-timing)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,13 @@
+// ==/!= on floating-point values outside util/float_eq.hpp.
+
+bool converged(double residual, double target) {
+  return residual == target;  // expect: float-compare
+}
+
+bool changed(float a, float b) {
+  return a != b;  // expect: float-compare
+}
+
+bool mixed_operands(double a, int b) {
+  return a == b;  // expect: float-compare
+}

@@ -1,0 +1,19 @@
+// Float comparisons done right: tolerance helpers, the 'float-eq: exact'
+// escape hatch, an allow() annotation, and integer == left alone.
+
+#include <cmath>
+
+bool within_tolerance(double residual, double eps) {
+  return std::fabs(residual) < eps;
+}
+
+bool is_unset_sentinel(double x) {
+  return x == -1.0;  // float-eq: exact
+}
+
+bool is_nonzero(double x) {
+  // hicond-tidy: allow(float-compare)
+  return x != 0.0;
+}
+
+bool same_count(int a, int b) { return a == b; }

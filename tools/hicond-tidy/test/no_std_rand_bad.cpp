@@ -1,0 +1,8 @@
+// Hidden-global-state randomness from the C library.
+
+#include <cstdlib>
+
+int noisy() {
+  std::srand(42);  // expect: no-std-rand
+  return std::rand();  // expect: no-std-rand
+}

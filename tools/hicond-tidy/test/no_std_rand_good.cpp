@@ -1,0 +1,22 @@
+// Explicit-state, seeded randomness (the project's Rng idiom, stubbed),
+// and an unrelated function that merely contains "rand" in its name.
+
+namespace hicond {
+struct Rng {
+  explicit Rng(unsigned long long seed) : state(seed) {}
+  unsigned long long next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  }
+  unsigned long long state;
+};
+}  // namespace hicond
+
+unsigned long long noisy() {
+  hicond::Rng rng(31);
+  return rng.next();
+}
+
+int operand_count(int n) { return n + 2; }
+
+int uses_similar_name() { return operand_count(3); }

@@ -1,0 +1,23 @@
+// Side-effecting range-for over unordered containers: element order is
+// hash order, which varies across standard libraries, so any
+// order-sensitive effect (float accumulation, appending) is
+// nondeterministic.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double sum_in_hash_order(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, value] : weights) {  // expect: ordered-iteration
+    total += value;
+  }
+  return total;
+}
+
+void collect_keys(const std::unordered_set<int>& keys,
+                  std::vector<int>& out) {
+  for (const int k : keys) {  // expect: ordered-iteration
+    out.push_back(k);
+  }
+}

@@ -1,0 +1,31 @@
+// Deterministic iteration: ordered containers, read-only scans of
+// unordered ones, and an annotated order-independent pass.
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+double sum_sorted(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, value] : weights) {
+    total += value;
+  }
+  return total;
+}
+
+bool any_above_one(const std::unordered_map<int, double>& weights) {
+  for (const auto& [key, value] : weights) {
+    if (value > 1.0) return true;
+  }
+  return false;
+}
+
+void scatter(const std::unordered_map<int, double>& weights,
+             std::vector<double>& out) {
+  // Each element lands in its own slot; order cannot matter.
+  // hicond-tidy: allow(ordered-iteration)
+  for (const auto& [key, value] : weights) {
+    out[static_cast<std::size_t>(key)] = value;
+  }
+}

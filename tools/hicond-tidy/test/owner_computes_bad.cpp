@@ -1,0 +1,47 @@
+// Writes inside funnel lambdas that violate owner-computes: the target
+// slot does not depend on the iteration variable, so iterations race and
+// the result depends on the schedule.
+
+#include <cstddef>
+#include <vector>
+
+namespace hicond {
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+template <typename Body>
+void parallel_region(Body&& body) {
+  body();
+}
+}  // namespace hicond
+
+void accumulate_into_slot0(std::vector<double>& out,
+                           const std::vector<double>& in) {
+  hicond::parallel_for(in.size(), [&](std::size_t i) {
+    out[0] += in[i];  // expect: owner-computes
+  });
+}
+
+void scalar_race(const std::vector<double>& in, double& total) {
+  hicond::parallel_for(in.size(), [&](std::size_t i) {
+    total += in[i];  // expect: owner-computes
+  });
+}
+
+void append_race(std::vector<double>& out, const std::vector<double>& in) {
+  hicond::parallel_for(in.size(), [&](std::size_t i) {
+    out.push_back(in[i]);  // expect: owner-computes
+  });
+}
+
+struct Accumulator {
+  std::vector<double> slots;
+  void run(const std::vector<double>& in);
+};
+
+void Accumulator::run(const std::vector<double>& in) {
+  hicond::parallel_for(in.size(), [&](std::size_t i) {
+    slots[0] = in[i];  // expect: owner-computes
+  });
+}

@@ -1,0 +1,45 @@
+// Owner-computes-clean funnel lambdas: every write lands in a slot owned
+// by the current iteration, or in lambda-local scratch.
+
+#include <cstddef>
+#include <vector>
+
+namespace hicond {
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+template <typename Body>
+void parallel_region(Body&& body) {
+  body();
+}
+}  // namespace hicond
+
+void owner_indexed(std::vector<double>& out, const std::vector<double>& in) {
+  hicond::parallel_for(in.size(), [&](std::size_t i) {
+    out[i] = in[i] * 2.0;
+  });
+}
+
+void scatter_by_permutation(std::vector<double>& out,
+                            const std::vector<std::size_t>& perm,
+                            const std::vector<double>& in) {
+  hicond::parallel_for(in.size(), [&](std::size_t i) {
+    out[perm[i]] = in[i];
+  });
+}
+
+void local_scratch(std::vector<double>& out, const std::vector<double>& in) {
+  hicond::parallel_for(in.size(), [&](std::size_t i) {
+    std::vector<double> scratch(4, 0.0);
+    for (std::size_t j = 0; j < 4; ++j) scratch[j] += in[i];
+    out[i] = scratch[0];
+  });
+}
+
+void annotated(std::vector<double>& out, const std::vector<double>& in) {
+  hicond::parallel_for(in.size(), [&](std::size_t i) {
+    // hicond-tidy: allow(owner-computes)
+    out[0] = in[i];
+  });
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Expected-diagnostics runner for the hicond-tidy fixtures.
+
+Each fixture under test/ annotates the lines where the analyzer must fire
+with `// expect: <check>[, <check>...]`. The runner executes
+
+    hicond-tidy --fixture-mode <fixture> -- -std=c++20 -fopenmp
+
+and demands an exact match: every expected (line, check) pair must be
+reported, nothing unexpected may be reported, and the exit code must be 1
+when findings exist and 0 when the fixture is clean. Exit code 2 (parse
+failure) always fails the fixture.
+
+Usage: run_fixture_tests.py <hicond-tidy-binary> [fixture-dir]
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+EXPECT = re.compile(r"//\s*expect:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+DIAG = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<check>[a-z-]+)\] ")
+
+EXTRA_FLAGS = ["--", "-std=c++20", "-fopenmp"]
+
+
+def expected_diags(fixture: pathlib.Path) -> set[tuple[int, str]]:
+    out: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(
+        fixture.read_text(encoding="utf-8").splitlines(), 1
+    ):
+        m = EXPECT.search(line)
+        if not m:
+            continue
+        for check in re.split(r"\s*,\s*", m.group(1).strip()):
+            out.add((lineno, check))
+    return out
+
+
+def actual_diags(stdout: str, fixture: pathlib.Path) -> set[tuple[int, str]]:
+    out: set[tuple[int, str]] = set()
+    for line in stdout.splitlines():
+        m = DIAG.match(line)
+        if not m:
+            continue
+        if pathlib.Path(m.group("file")).name != fixture.name:
+            continue
+        out.add((int(m.group("line")), m.group("check")))
+    return out
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tool = pathlib.Path(sys.argv[1])
+    fixture_dir = pathlib.Path(
+        sys.argv[2] if len(sys.argv) > 2 else pathlib.Path(__file__).parent
+    )
+    fixtures = sorted(fixture_dir.glob("*.cpp"))
+    if not fixtures:
+        print(f"error: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for fixture in fixtures:
+        expected = expected_diags(fixture)
+        proc = subprocess.run(
+            [str(tool), "--fixture-mode", str(fixture)] + EXTRA_FLAGS,
+            capture_output=True,
+            text=True,
+        )
+        actual = actual_diags(proc.stdout, fixture)
+        problems: list[str] = []
+        if proc.returncode == 2:
+            problems.append("tool reported a parse/tool failure (exit 2)")
+            if proc.stderr.strip():
+                problems.append("stderr: " + proc.stderr.strip())
+        expected_rc = 1 if expected else 0
+        if proc.returncode != 2 and proc.returncode != expected_rc:
+            problems.append(
+                f"exit code {proc.returncode}, expected {expected_rc}"
+            )
+        for line, check in sorted(expected - actual):
+            problems.append(f"missing diagnostic at line {line}: [{check}]")
+        for line, check in sorted(actual - expected):
+            problems.append(f"unexpected diagnostic at line {line}: [{check}]")
+        if problems:
+            failures += 1
+            print(f"FAIL {fixture.name}")
+            for p in problems:
+                print(f"  {p}")
+            if proc.stdout.strip():
+                print("  tool output:")
+                for line in proc.stdout.splitlines():
+                    print(f"    {line}")
+        else:
+            print(f"ok   {fixture.name} ({len(expected)} expected)")
+
+    if failures:
+        print(f"\n{failures}/{len(fixtures)} fixtures failed")
+        return 1
+    print(f"\nall {len(fixtures)} fixtures passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

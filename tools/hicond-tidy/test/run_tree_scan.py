@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Run hicond-tidy over the whole tree via compile_commands.json.
+
+Selects the translation units under src/, examples/ and bench/ from the
+exported compilation database (tests/ and fuzz/ are not part of the
+analyzer's contract) and runs the analyzer once over all of them, so
+cross-TU deduplication applies. Exits nonzero when the tool finds
+anything or fails to parse a TU.
+
+Usage: run_tree_scan.py <hicond-tidy-binary> <build-dir> <repo-root>
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+SCAN_PREFIXES = ("src/", "examples/", "bench/")
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tool, build_dir, repo_root = (pathlib.Path(a) for a in sys.argv[1:4])
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"error: {db_path} not found (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return 2
+
+    repo_root = repo_root.resolve()
+    files: list[str] = []
+    seen: set[str] = set()
+    for entry in json.loads(db_path.read_text(encoding="utf-8")):
+        path = pathlib.Path(entry["file"])
+        if not path.is_absolute():
+            path = (pathlib.Path(entry["directory"]) / path).resolve()
+        try:
+            rel = path.resolve().relative_to(repo_root).as_posix()
+        except ValueError:
+            continue
+        if rel.startswith(SCAN_PREFIXES) and rel not in seen:
+            seen.add(rel)
+            files.append(str(path))
+
+    if not files:
+        print("error: compilation database has no in-scope entries",
+              file=sys.stderr)
+        return 2
+
+    print(f"hicond-tidy tree scan: {len(files)} translation units")
+    proc = subprocess.run(
+        [str(tool), "-p", str(build_dir), f"--repo-root={repo_root}"]
+        + sorted(files),
+        capture_output=True,
+        text=True,
+    )
+    if proc.stdout.strip():
+        print(proc.stdout, end="")
+    if proc.stderr.strip():
+        print(proc.stderr, file=sys.stderr, end="")
+    if proc.returncode != 0:
+        print(f"\nhicond-tidy tree scan failed (exit {proc.returncode})")
+        return 1
+    print("hicond-tidy tree scan: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

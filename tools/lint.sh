@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Lint gate for hicond: clang-tidy (when available) + project rules.
+# Lint gate for hicond: project rules + their self-tests, clang-tidy and
+# hicond-tidy (both when available).
 #
 # Usage: tools/lint.sh [build-dir]
 #
 #   build-dir   A configured CMake build directory containing
-#               compile_commands.json (default: build). Only needed for the
-#               clang-tidy half; the project-rule checks always run.
+#               compile_commands.json (default: build). Needed for the
+#               clang-tidy and hicond-tidy halves; the project-rule checks
+#               always run.
 #
-# clang-tidy is optional at the tool level so the gate degrades gracefully
-# on machines without LLVM (the GitHub Actions lint job installs it and runs
-# the full gate). The script exits nonzero if any enabled check fails.
+# clang-tidy and hicond-tidy are optional at the tool level so the gate
+# degrades gracefully on machines without LLVM (the GitHub Actions lint and
+# hicond-tidy jobs install the toolchain and run the full gate). Set
+# HICOND_TIDY_BIN to point at a hicond-tidy binary explicitly; otherwise
+# the script looks for one in the build directory. The script exits nonzero
+# if any enabled check fails.
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -39,8 +44,28 @@ else
        "still run). Install LLVM or set CLANG_TIDY to enable." >&2
 fi
 
+# --- hicond-tidy ----------------------------------------------------------
+tidy_tool="${HICOND_TIDY_BIN:-${build_dir}/tools/hicond-tidy/hicond-tidy}"
+if [[ -x "${tidy_tool}" ]]; then
+  if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    echo "lint.sh: ${build_dir}/compile_commands.json not found;" >&2
+    echo "lint.sh: hicond-tidy needs -DCMAKE_EXPORT_COMPILE_COMMANDS=ON." >&2
+    status=1
+  else
+    echo "lint.sh: running hicond-tidy tree scan..."
+    python3 "${repo_root}/tools/hicond-tidy/test/run_tree_scan.py" \
+      "${tidy_tool}" "${build_dir}" "${repo_root}" || status=1
+  fi
+else
+  echo "lint.sh: hicond-tidy not built; skipping AST checks (configure" \
+       "with -DHICOND_TIDY=ON and LLVM/Clang dev packages to enable)." >&2
+fi
+
 # --- project rules --------------------------------------------------------
 python3 "${repo_root}/tools/check_project_rules.py" "${repo_root}" || status=1
+
+# --- project-rule self-tests ----------------------------------------------
+python3 "${repo_root}/tools/lint_tests/run_lint_tests.py" || status=1
 
 if [[ ${status} -ne 0 ]]; then
   echo "lint.sh: FAILED" >&2

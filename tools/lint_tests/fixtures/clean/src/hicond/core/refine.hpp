@@ -1,0 +1,3 @@
+#pragma once
+int refine(int x);
+void zero(double* xs, int n);

@@ -1,0 +1,7 @@
+#pragma once
+// The funnel: raw OpenMP pragmas are allowed in this one file.
+template <typename Fn>
+void parallel_for_impl(int n, Fn&& fn) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) fn(i);
+}

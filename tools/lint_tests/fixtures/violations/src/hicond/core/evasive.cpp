@@ -1,0 +1,6 @@
+// Multi-line continuation split that used to evade every omp-* rule.
+void evasive(double* xs, int n) {
+#pragma \
+  omp parallel for reduction(+ : xs[0])
+  for (int i = 0; i < n; ++i) xs[i] = 0.0;
+}

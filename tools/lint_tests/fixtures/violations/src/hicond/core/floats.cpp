@@ -1,0 +1,12 @@
+#include "hicond/core/floats.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+bool is_zero(double x) { return x == 0.0; }
+
+int noise() { return std::rand(); }
+
+double now_ms() {
+  return std::chrono::duration<double>(1.5).count();
+}

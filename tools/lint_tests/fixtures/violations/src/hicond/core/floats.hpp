@@ -1,0 +1,2 @@
+// Header deliberately missing '#pragma once'.
+bool is_zero(double x);

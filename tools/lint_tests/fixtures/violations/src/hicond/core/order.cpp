@@ -1,0 +1,4 @@
+#include <vector>
+#include "hicond/core/order.hpp"
+
+int order_count() { return 3; }

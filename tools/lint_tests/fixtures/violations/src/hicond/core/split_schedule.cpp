@@ -1,0 +1,8 @@
+// Continuation with the schedule clause on the second physical line:
+// joining must see it (so no omp-schedule report), but the parallel
+// entry is still outside the funnel.
+void split_schedule(double* xs, int n) {
+#pragma omp parallel for \
+    schedule(static)
+  for (int i = 0; i < n; ++i) xs[i] += 1.0;
+}

@@ -1,0 +1,7 @@
+#pragma once
+// Exemption probe: a raw pragma here must NOT be reported.
+template <typename Fn>
+void parallel_for_impl(int n, Fn&& fn) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) fn(i);
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Self-tests for the regex lint stack (tools/check_project_rules.py).
+
+Runs the linter over two committed fixture trees and asserts exact
+`path:line: [rule]` diagnostics:
+
+  fixtures/clean/       must produce zero violations and exit 0
+  fixtures/violations/  must produce exactly the prefixes listed in
+                        expected_violations.txt and exit 1
+
+This pins both directions: rules keep firing where they must (including
+the multi-line `#pragma \\` continuation evasion regression), and they
+stay quiet on conforming code and exempted files.
+
+Usage: run_lint_tests.py  (no arguments; paths are relative to this file)
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+LINTER = HERE.parent / "check_project_rules.py"
+DIAG_PREFIX = re.compile(r"^(.+?:\d+: \[[a-z-]+\])")
+
+
+def run_linter(tree: pathlib.Path) -> tuple[int, set[str], str]:
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), str(tree)],
+        capture_output=True,
+        text=True,
+    )
+    prefixes: set[str] = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_PREFIX.match(line)
+        if m:
+            prefixes.add(m.group(1))
+    return proc.returncode, prefixes, proc.stdout + proc.stderr
+
+
+def load_expected(path: pathlib.Path) -> set[str]:
+    out: set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            out.add(line)
+    return out
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    rc, diags, output = run_linter(HERE / "fixtures" / "clean")
+    if rc != 0:
+        failures.append(f"clean tree: expected exit 0, got {rc}\n{output}")
+    if diags:
+        failures.append(
+            "clean tree: unexpected diagnostics:\n  " + "\n  ".join(sorted(diags))
+        )
+
+    expected = load_expected(HERE / "expected_violations.txt")
+    rc, diags, output = run_linter(HERE / "fixtures" / "violations")
+    if rc != 1:
+        failures.append(f"violations tree: expected exit 1, got {rc}\n{output}")
+    missing = expected - diags
+    extra = diags - expected
+    if missing:
+        failures.append(
+            "violations tree: missing diagnostics:\n  "
+            + "\n  ".join(sorted(missing))
+        )
+    if extra:
+        failures.append(
+            "violations tree: unexpected diagnostics:\n  "
+            + "\n  ".join(sorted(extra))
+        )
+
+    if failures:
+        print("lint self-tests FAILED")
+        for f in failures:
+            print(f)
+        return 1
+    print(f"lint self-tests passed "
+          f"({len(expected)} expected violations verified, clean tree clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
