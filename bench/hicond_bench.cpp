@@ -16,6 +16,9 @@
 // every case also records key quality metrics (cluster counts, iterations,
 // operator complexity) so baselines catch algorithmic regressions, not just
 // slow machines.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -339,6 +342,208 @@ BenchCase case_serve_batch(vidx side, int k) {
   }};
 }
 
+// --- sharded serving: round trips through the real router deployment ------
+
+/// Set from argv[0] in main(); the router cases locate the sibling
+/// hicond_router/hicond_serve binaries relative to this (bench/ and
+/// examples/ live side by side in the build tree).
+std::string g_self_path;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+std::string sibling_binary(const char* env_override, const char* name) {
+  if (const char* env = std::getenv(env_override)) {
+    return env;
+  }
+  const std::size_t slash = g_self_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : g_self_path.substr(0, slash);
+  return dir + "/../examples/" + name;
+}
+
+/// One hicond_router process (3 workers) spoken to over stdio pipes --
+/// the routed cases measure true end-to-end request latency: framing,
+/// routing, worker IPC and the solve itself, exactly what a deployment
+/// pays per request on top of the in-process serve_* cases above.
+class RouterDeployment {
+ public:
+  explicit RouterDeployment(vidx side) {
+    const std::string router_bin =
+        sibling_binary("HICOND_ROUTER_BIN", "hicond_router");
+    const std::string serve_bin =
+        sibling_binary("HICOND_SERVE_BIN", "hicond_serve");
+    HICOND_CHECK(::access(router_bin.c_str(), X_OK) == 0,
+                 "hicond_router binary not found next to hicond_bench "
+                 "(build it, or set HICOND_ROUTER_BIN)");
+    HICOND_CHECK(::access(serve_bin.c_str(), X_OK) == 0,
+                 "hicond_serve binary not found next to hicond_bench "
+                 "(build it, or set HICOND_SERVE_BIN)");
+    char tmpl[] = "/tmp/hicond-bench-shard-XXXXXX";
+    HICOND_CHECK(::mkdtemp(tmpl) != nullptr,
+                 "mkdtemp failed for the router work directory");
+    dir_ = tmpl;
+    snapshot_ = dir_ + "/bench.hsnap";
+    const Graph g =
+        gen::grid2d(side, side, gen::WeightSpec::uniform(1.0, 2.0), 7);
+    serve::write_snapshot_file(snapshot_, g);
+    fingerprint_ = serve::fingerprint_hex(serve::graph_fingerprint(g));
+
+    int to_child[2];
+    int from_child[2];
+    HICOND_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+                 "pipe() failed for the router deployment");
+    pid_ = ::fork();
+    HICOND_CHECK(pid_ >= 0, "fork() failed for the router deployment");
+    if (pid_ == 0) {
+      ::dup2(to_child[0], 0);
+      ::dup2(from_child[1], 1);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      ::execl(router_bin.c_str(), "hicond_router", "--workers", "3",
+              "--worker-bin", serve_bin.c_str(), "--socket-dir",
+              dir_.c_str(), static_cast<char*>(nullptr));
+      std::fprintf(stderr, "exec hicond_router failed\n");
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    out_ = ::fdopen(to_child[1], "w");
+    in_ = ::fdopen(from_child[0], "r");
+    HICOND_CHECK(out_ != nullptr && in_ != nullptr,
+                 "fdopen failed for the router pipes");
+
+    obs::JsonWriter load;
+    load.begin_object();
+    load.kv("op", "load");
+    load.kv("path", snapshot_);
+    load.end_object();
+    const obs::JsonValue loaded = call(load.str());
+    HICOND_CHECK(loaded.at("ok").boolean, "router load failed");
+  }
+
+  ~RouterDeployment() {
+    if (out_ != nullptr) {
+      std::fputs("{\"op\":\"shutdown\"}\n", out_);
+      std::fflush(out_);
+      std::fclose(out_);
+    }
+    if (in_ != nullptr) {
+      std::fclose(in_);
+    }
+    if (pid_ > 0) {
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    ::unlink(snapshot_.c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  RouterDeployment(const RouterDeployment&) = delete;
+  RouterDeployment& operator=(const RouterDeployment&) = delete;
+
+  /// One request/response round trip (the benchmarked unit).
+  obs::JsonValue call(const std::string& request) {
+    std::fputs(request.c_str(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+    char* line = nullptr;
+    std::size_t cap = 0;
+    const ssize_t got = ::getline(&line, &cap, in_);
+    HICOND_CHECK(got > 0, "router closed the stream mid-benchmark");
+    obs::JsonValue response;
+    try {
+      response = obs::parse_json(std::string_view(
+          line, static_cast<std::size_t>(got)));
+    } catch (...) {
+      std::free(line);
+      throw;
+    }
+    std::free(line);
+    return response;
+  }
+
+  [[nodiscard]] const std::string& fingerprint() const {
+    return fingerprint_;
+  }
+
+ private:
+  std::string dir_;
+  std::string snapshot_;
+  std::string fingerprint_;
+  pid_t pid_ = -1;
+  std::FILE* out_ = nullptr;
+  std::FILE* in_ = nullptr;
+};
+
+std::string router_solve_request(const std::string& fingerprint) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("op", "solve");
+  w.kv("graph", fingerprint);
+  w.kv("rhs_seed", 1000);
+  w.end_object();
+  return w.str();
+}
+
+BenchCase case_serve_router_solve_warm(vidx side) {
+  const std::string name =
+      "serve_router_solve_warm/grid2d_" + std::to_string(side);
+  return {name, [name, side](int repeats) {
+    RouterDeployment deployment(side);
+    const std::string request = router_solve_request(
+        deployment.fingerprint());
+    const obs::JsonValue cold = deployment.call(request);  // build once
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const obs::JsonValue warm = deployment.call(request);
+      if (first) {
+        out.metrics = {
+            {"vertices", static_cast<double>(side) * side},
+            {"cache_hit", warm.at("cache_hit").boolean ? 1.0 : 0.0},
+            {"cold_setup_seconds", cold.at("setup_seconds").number},
+            {"iterations", warm.at("iterations").number},
+            {"converged", warm.at("converged").boolean ? 1.0 : 0.0}};
+      }
+    });
+  }};
+}
+
+BenchCase case_serve_router_batch(vidx side, int k) {
+  const std::string name = "serve_router_batch_rhs" + std::to_string(k) +
+                           "/grid2d_" + std::to_string(side);
+  return {name, [name, side, k](int repeats) {
+    RouterDeployment deployment(side);
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("op", "batch_solve");
+    w.kv("graph", deployment.fingerprint());
+    w.key("rhs_random").begin_object();
+    w.kv("count", k);
+    w.kv("seed", 1000);
+    w.end_object();
+    w.end_object();
+    const std::string request = w.str();
+    (void)deployment.call(router_solve_request(
+        deployment.fingerprint()));  // warm the hierarchy
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const obs::JsonValue batch = deployment.call(request);
+      if (first) {
+        double iterations_total = 0.0;
+        bool converged_all = true;
+        for (const obs::JsonValue& it : batch.at("iterations").array) {
+          iterations_total += it.number;
+        }
+        for (const obs::JsonValue& c : batch.at("converged").array) {
+          converged_all = converged_all && c.boolean;
+        }
+        out.metrics = {{"vertices", static_cast<double>(side) * side},
+                       {"rhs", static_cast<double>(k)},
+                       {"iterations_total", iterations_total},
+                       {"converged_all", converged_all ? 1.0 : 0.0}};
+      }
+    });
+  }};
+}
+
 struct Suite {
   std::string name;
   int default_repeats;
@@ -356,6 +561,8 @@ Suite make_suite(const std::string& name) {
              case_steiner_apply(10), case_solve_multilevel(48),
              case_serve_solve_cold(48), case_serve_solve_warm(48),
              case_serve_batch(48, 1), case_serve_batch(48, 8),
+             case_serve_router_solve_warm(48),
+             case_serve_router_batch(48, 8),
              with_threads(case_laplacian_apply(12), 1),
              with_threads(case_laplacian_apply(12), 4),
              with_threads(case_laplacian_apply(12), 8),
@@ -371,6 +578,8 @@ Suite make_suite(const std::string& name) {
              case_steiner_apply(20), case_solve_multilevel(128),
              case_serve_solve_cold(128), case_serve_solve_warm(128),
              case_serve_batch(128, 1), case_serve_batch(128, 8),
+             case_serve_router_solve_warm(128),
+             case_serve_router_batch(128, 8),
              with_threads(case_laplacian_apply(32), 1),
              with_threads(case_laplacian_apply(32), 4),
              with_threads(case_laplacian_apply(32), 8),
@@ -505,6 +714,7 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_self_path = argv[0];
   std::string suite_name;
   std::string out_path;
   std::string input_path;

@@ -365,4 +365,36 @@ JsonValue parse_json(std::string_view text) {
   return Parser(text).parse_document();
 }
 
+void write_json(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::null:
+      w.null();
+      return;
+    case JsonValue::Kind::boolean:
+      w.value(v.boolean);
+      return;
+    case JsonValue::Kind::number:
+      w.value(v.number);
+      return;
+    case JsonValue::Kind::string:
+      w.value(v.string);
+      return;
+    case JsonValue::Kind::array:
+      w.begin_array();
+      for (const JsonValue& item : v.array) {
+        write_json(w, item);
+      }
+      w.end_array();
+      return;
+    case JsonValue::Kind::object:
+      w.begin_object();
+      for (const auto& [key, value] : v.object) {
+        w.key(key);
+        write_json(w, value);
+      }
+      w.end_object();
+      return;
+  }
+}
+
 }  // namespace hicond::obs

@@ -90,4 +90,10 @@ struct JsonValue {
 /// byte offset on malformed input or trailing garbage.
 [[nodiscard]] JsonValue parse_json(std::string_view text);
 
+/// Re-emit a parsed value through `w` (object keys keep insertion order,
+/// doubles print %.17g, so parse -> write_json round-trips numerically).
+/// Used by aggregators that embed one JSON document inside another, e.g.
+/// the shard router merging per-worker stats responses.
+void write_json(JsonWriter& w, const JsonValue& v);
+
 }  // namespace hicond::obs

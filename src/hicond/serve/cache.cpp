@@ -86,17 +86,20 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(
     const LaplacianSolverOptions& options) {
   HICOND_VALIDATE(expensive, graph_fingerprint(graph) == fingerprint,
                   "cache fingerprint does not match the supplied graph");
-  const std::string key =
-      fingerprint_hex(fingerprint) + "|" + solver_options_key(options);
+  const std::string options_key = solver_options_key(options);
+  const std::string key = fingerprint_hex(fingerprint) + "|" + options_key;
   auto& metrics = obs::MetricsRegistry::global();
   {
     const MutexLock lock(mu_);
     if (const auto it = index_.find(key); it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
+      it->second->hits += 1;
+      it->second->last_use = ++ticks_;
       metrics.counter_add("serve.cache.hits");
       return {it->second->solver, /*hit=*/true, 0.0};
     }
+    ++ticks_;
   }
   // Build outside the lock: hierarchy construction is the expensive part
   // and must not serialize against concurrent cache hits.
@@ -111,14 +114,15 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(
     if (const auto it = index_.find(key); it != index_.end()) {
       // A concurrent builder won the race; keep its entry.
       lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->last_use = ticks_;
       return {it->second->solver, /*hit=*/false, build_seconds};
     }
-    lru_.push_front(Entry{key, solver, bytes});
+    lru_.push_front(Entry{key, fingerprint, options_key, solver, bytes,
+                          /*hits=*/0, /*last_use=*/ticks_});
     index_[key] = lru_.begin();
     bytes_ += bytes;
     evict_to_budget_locked();
-    snapshot = Stats{hits_,          misses_,      evictions_,
-                     lru_.size(),    bytes_,       budget_bytes_};
+    snapshot = stats_locked();
   }
   metrics.counter_add("serve.cache.misses");
   metrics.histogram_record("serve.cache.build_seconds", build_seconds);
@@ -147,10 +151,20 @@ void HierarchyCache::evict_to_budget_locked() {
   }
 }
 
+HierarchyCache::Stats HierarchyCache::stats_locked() const {
+  Stats s{hits_,       misses_, evictions_,    lru_.size(),
+          bytes_,      budget_bytes_, ticks_,  {}};
+  s.per_entry.reserve(lru_.size());
+  for (const Entry& e : lru_) {  // front = most recently used
+    s.per_entry.push_back(EntryStats{e.fingerprint, e.options_key, e.hits,
+                                     e.last_use, e.bytes});
+  }
+  return s;
+}
+
 HierarchyCache::Stats HierarchyCache::stats() const {
   const MutexLock lock(mu_);
-  return {hits_,       misses_, evictions_,
-          lru_.size(), bytes_,  budget_bytes_};
+  return stats_locked();
 }
 
 void HierarchyCache::clear() {
@@ -158,7 +172,7 @@ void HierarchyCache::clear() {
   lru_.clear();
   index_.clear();
   bytes_ = 0;
-  record_gauges(Stats{hits_, misses_, evictions_, 0, 0, budget_bytes_});
+  record_gauges(stats_locked());
 }
 
 }  // namespace hicond::serve

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hicond/solver.hpp"
 #include "hicond/util/thread_annotations.hpp"
@@ -61,6 +62,18 @@ class HierarchyCache {
   [[nodiscard]] std::shared_ptr<const LaplacianSolver> peek(
       std::uint64_t fingerprint, const LaplacianSolverOptions& options) const;
 
+  /// Per-entry usage record: how often each resident hierarchy was served
+  /// from cache and when it was last touched (a logical access tick, not
+  /// wall time, so records are deterministic). This is what a router's
+  /// hot-set tracker consumes to decide which fingerprints to replicate.
+  struct EntryStats {
+    std::uint64_t fingerprint = 0;  ///< graph content hash of the entry
+    std::string options_key;        ///< canonical solver-options rendering
+    std::int64_t hits = 0;          ///< cache hits served by this entry
+    std::int64_t last_use = 0;      ///< access tick of the latest hit/build
+    std::size_t bytes = 0;          ///< footprint estimate
+  };
+
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
@@ -68,6 +81,9 @@ class HierarchyCache {
     std::size_t entries = 0;
     std::size_t bytes = 0;
     std::size_t budget_bytes = 0;
+    std::int64_t ticks = 0;  ///< total accesses (the logical clock)
+    /// Resident entries, most recently used first.
+    std::vector<EntryStats> per_entry;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -76,14 +92,20 @@ class HierarchyCache {
  private:
   struct Entry {
     std::string key;
+    std::uint64_t fingerprint = 0;
+    std::string options_key;
     std::shared_ptr<const LaplacianSolver> solver;
     std::size_t bytes = 0;
+    std::int64_t hits = 0;
+    std::int64_t last_use = 0;
   };
 
   void evict_to_budget_locked() HICOND_REQUIRES(mu_);
+  [[nodiscard]] Stats stats_locked() const HICOND_REQUIRES(mu_);
 
   mutable Mutex mu_;
   const std::size_t budget_bytes_;  ///< immutable after construction
+  std::int64_t ticks_ HICOND_GUARDED_BY(mu_) = 0;
   std::size_t bytes_ HICOND_GUARDED_BY(mu_) = 0;
   std::int64_t hits_ HICOND_GUARDED_BY(mu_) = 0;
   std::int64_t misses_ HICOND_GUARDED_BY(mu_) = 0;

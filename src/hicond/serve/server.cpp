@@ -19,26 +19,12 @@
 #include "hicond/obs/metrics.hpp"
 #include "hicond/serve/batch.hpp"
 #include "hicond/serve/snapshot.hpp"
+#include "hicond/serve/wire.hpp"
 #include "hicond/util/rng.hpp"
 
 namespace hicond::serve {
 
 namespace {
-
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
-}
-
-Graph load_graph_any(const std::string& path) {
-  if (ends_with(path, ".hsnap")) {
-    return read_snapshot_file(path);
-  }
-  if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
-    return read_metis_file(path);
-  }
-  return read_graph_file(path);
-}
 
 std::string error_response(std::int64_t id, std::string_view code,
                            std::string_view message) {
@@ -194,7 +180,7 @@ std::string ServerCore::process(const Pending& pending) {
   if (op == "load") {
     const obs::JsonValue& path = request.at("path");
     HICOND_CHECK(path.is_string(), "load needs a string \"path\"");
-    Graph g = load_graph_any(path.string);
+    Graph g = read_graph_auto(path.string);
     const std::uint64_t fp = graph_fingerprint(g);
     const auto n = g.num_vertices();
     const auto arcs = g.num_arcs();
@@ -220,6 +206,20 @@ std::string ServerCore::process(const Pending& pending) {
     w.kv("entries", cs.entries);
     w.kv("bytes", cs.bytes);
     w.kv("budget_bytes", cs.budget_bytes);
+    w.kv("ticks", cs.ticks);
+    // Per-entry usage, most recently used first: the hot-set signal a
+    // router consumes to decide which fingerprints to replicate.
+    w.key("per_entry");
+    w.begin_array();
+    for (const HierarchyCache::EntryStats& e : cs.per_entry) {
+      w.begin_object();
+      w.kv("fingerprint", fingerprint_hex(e.fingerprint));
+      w.kv("hits", e.hits);
+      w.kv("last_use", e.last_use);
+      w.kv("bytes", e.bytes);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
     w.kv("graphs_loaded", graphs_.size());
     w.kv("queue_depth", queue_.size());
@@ -390,28 +390,14 @@ int serve_stream(ServerCore& core, std::istream& in, std::ostream& out) {
 
 namespace {
 
-/// Send all of `data` on `fd`, retrying on short writes and EINTR.
-bool send_all(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t sent = ::send(fd, data, len, 0);
-    if (sent < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    data += sent;
-    len -= static_cast<std::size_t>(sent);
-  }
-  return true;
-}
-
 void serve_connection(ServerCore& core, int fd) {
-  std::string buffer;
+  // Responses (large batch_solve bodies included) go through the shared
+  // full-write helper, which absorbs EINTR and short writes (serve/wire.hpp).
+  wire::LineBuffer buffer;
   char chunk[4096];
-  const auto emit = [&](const std::string& response) {
-    const std::string framed = response + "\n";
-    return send_all(fd, framed.data(), framed.size());
+  std::string line;
+  const auto emit = [fd](const std::string& response) {
+    return wire::write_line(fd, response);
   };
   for (;;) {
     const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
@@ -422,11 +408,7 @@ void serve_connection(ServerCore& core, int fd) {
       break;
     }
     buffer.append(chunk, static_cast<std::size_t>(got));
-    std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start);
-         nl != std::string::npos; nl = buffer.find('\n', start)) {
-      const std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
+    while (buffer.next_line(line)) {
       if (line.empty()) {
         continue;
       }
@@ -445,7 +427,6 @@ void serve_connection(ServerCore& core, int fd) {
         return;
       }
     }
-    buffer.erase(0, start);
   }
 }
 

@@ -1,0 +1,215 @@
+// Fingerprint-routed sharding router over hicond_serve workers.
+//
+// One slow hierarchy build in the single-process server blocks every
+// tenant; the router fixes that by consistent-hashing each graph
+// fingerprint onto a ring of N worker processes (shard/ring.hpp) so cached
+// hierarchies live where their traffic lands, and by supervising those
+// workers (shard/worker_pool.hpp) so a crashed worker is respawned, its
+// load set replayed, and its in-flight requests retried -- once -- without
+// the client seeing anything but latency.
+//
+// Protocol: the client-facing framing is exactly the worker NDJSON protocol
+// (docs/SERVING.md) plus one router-only op, `topology`. `load`, `solve`
+// and `batch_solve` lines are forwarded to the owning worker *verbatim*, so
+// a routed response body is the byte-for-byte response a lone server would
+// have produced -- which is what makes the `solution_fnv` fixtures a free
+// bitwise verification of the whole deployment. `stats` fans out to every
+// worker and merges the per-worker documents into one aggregate; `shutdown`
+// drains, stops every worker, and exits.
+//
+// The exchange with a worker is bulk-synchronous in the sense of the
+// distributed expander-decomposition literature (Chen et al., PAPERS.md):
+// the router extracts a bounded window of requests per worker, the worker
+// reduces them strictly in order, and responses are matched back by
+// position -- a worker connection is a FIFO lane, never a reordering
+// channel, so no sequence numbers ride the wire.
+//
+// Failure model:
+//   * worker death (EOF/EPIPE on its lane): respawn, replay every `load`
+//     the dead worker owned (preloads included), then re-dispatch its
+//     in-flight requests exactly once; a request whose retry also dies gets
+//     a `worker_failed` error. Requests for *replicated* fingerprints are
+//     promoted to the replica worker immediately instead of waiting out the
+//     respawn.
+//   * hot-set replication: the router counts requests per fingerprint and
+//     mirrors the top-K hot fingerprints onto their ring-replica position,
+//     so losing a worker degrades latency, not availability.
+//   * backpressure: per-worker in-flight windows plus a bounded backlog;
+//     beyond both, requests are shed with `queue_full` exactly like the
+//     single-server queue. Deadlines are enforced router-side while a
+//     request waits (and again worker-side once forwarded).
+//
+// Concurrency contract: the router is a single-threaded poll loop -- every
+// member below is touched from one thread, which is why none of it carries
+// a lock. Workers are separate *processes*; all sharing is over sockets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hicond/obs/json.hpp"
+#include "hicond/serve/shard/ring.hpp"
+#include "hicond/serve/shard/worker_pool.hpp"
+#include "hicond/serve/wire.hpp"
+#include "hicond/util/timer.hpp"
+
+namespace hicond::serve::shard {
+
+struct RouterOptions {
+  int workers = 3;
+  int vnodes = 64;             ///< ring points per worker
+  int inflight_window = 8;     ///< outstanding requests per worker lane
+  std::size_t backlog_capacity = 256;  ///< queued-behind-window, per worker
+  /// Applied when a request carries no "deadline_ms"; <= 0 disables.
+  /// Enforced while a request waits router-side; the forwarded line is
+  /// untouched, so workers apply their own --deadline-ms default as well.
+  double default_deadline_ms = 0.0;
+  int replicate_top_k = 2;          ///< hot fingerprints to mirror
+  std::int64_t hot_threshold = 8;   ///< min requests before a fp is "hot"
+  int hot_recompute_interval = 32;  ///< routed requests between hot scans
+  int max_spawn_attempts = 3;       ///< consecutive respawn failures allowed
+  double drain_timeout_seconds = 30.0;  ///< bound on shutdown drain
+  WorkerOptions worker;  ///< spawn configuration for the pool
+};
+
+class Router {
+ public:
+  /// Spawns and connects every worker (throws when one cannot start).
+  /// Also ignores SIGPIPE process-wide: every transport in this subsystem
+  /// handles EPIPE as a return code, and a late write to a SIGKILLed
+  /// worker must not kill the router.
+  explicit Router(const RouterOptions& options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Load a graph before serving: registers it in the routing table and
+  /// forwards the load to its owning worker. Returns the fingerprint.
+  /// Throws when the file cannot be read.
+  std::uint64_t preload(const std::string& path);
+
+  /// Serve NDJSON on an fd pair (the stdio transport). EOF triggers a full
+  /// drain-and-stop, like the single server. Returns 0 on clean exit.
+  int run_stream(int in_fd, int out_fd);
+
+  /// Same protocol over a unix domain socket: accepts one client
+  /// connection at a time, serves each until its EOF (workers stay up
+  /// between clients), and returns after a shutdown request. Returns 0 on
+  /// clean exit.
+  int run_unix_socket(const std::string& path);
+
+ private:
+  enum class Action {
+    relay,   ///< response goes back to the client
+    absorb,  ///< router-internal (replica mirror, replay, worker shutdown)
+    stats,   ///< one leg of a stats fan-out
+  };
+
+  enum class DispatchResult { sent, queued, shed };
+
+  struct Pending {
+    std::string raw;              ///< forwarded line (also the retry payload)
+    std::int64_t client_id = -1;  ///< for router-generated error responses
+    std::uint64_t fp = 0;
+    bool has_fp = false;
+    bool retried = false;    ///< one retry spent (next failure is terminal)
+    bool discarded = false;  ///< already answered; drop worker's response
+    Action action = Action::relay;
+    int stats_tag = -1;
+    double deadline_ms = -1.0;  ///< <= 0 none; clock starts at admission
+    Timer since;
+  };
+
+  /// One worker lane: FIFO in-flight matching plus a bounded backlog and
+  /// the buffered byte streams of its non-blocking connection.
+  struct Lane {
+    std::deque<Pending> inflight;
+    std::deque<Pending> backlog;
+    std::string outbound;
+    wire::LineBuffer inbound;
+    int spawn_attempts = 0;
+    bool failed = false;  ///< gave up respawning (max_spawn_attempts)
+  };
+
+  struct StatsFanout {
+    std::int64_t client_id = -1;
+    int outstanding = 0;
+    std::vector<std::pair<int, obs::JsonValue>> docs;  ///< (worker, stats)
+    std::vector<int> unavailable;  ///< workers down/failed at fan-out time
+  };
+
+  int run_loop(int client_in, int client_out, bool shutdown_on_eof);
+
+  void handle_client_line(const std::string& line);
+  void handle_load(const obs::JsonValue& request, const std::string& line,
+                   std::int64_t id, double deadline_ms);
+  void handle_solve(const obs::JsonValue& request, const std::string& line,
+                    std::int64_t id, double deadline_ms);
+  void start_stats_fanout(std::int64_t id, double deadline_ms);
+  void finish_stats(int tag);
+  void handle_topology(std::int64_t id);
+  void begin_drain(std::int64_t id);
+  void maybe_finish_drain();
+
+  /// Worker a fingerprint's requests go to right now: the ring primary,
+  /// unless it is unavailable and the fingerprint is replicated (promotion)
+  /// or the primary is permanently failed.
+  int route_worker(std::uint64_t fp);
+  DispatchResult dispatch(int w, Pending&& p);
+  void refill_window(int w);
+  void flush(int w);
+  void on_worker_readable(int w);
+  void complete_line(int w, const std::string& line);
+  void handle_worker_death(int w);
+  void on_worker_up(int w);
+  void fail_worker(int w);
+  void upkeep();
+  void check_deadlines();
+  void maybe_recompute_hot();
+
+  void respond(const std::string& body);
+  void respond_error(std::int64_t id, const char* code,
+                     const std::string& message);
+  [[nodiscard]] std::string load_line_for(std::uint64_t fp) const;
+  void fanout_worker_unavailable(int tag, int w);
+
+  RouterOptions options_;
+  HashRing ring_;
+  WorkerPool pool_;
+  std::vector<Lane> lanes_;
+
+  /// Routing table: every fingerprint loaded this session -> source path
+  /// (std::map: deterministic replay order).
+  std::map<std::uint64_t, std::string> loads_;
+  std::map<std::uint64_t, std::int64_t> requests_by_fp_;
+  std::set<std::uint64_t> replicated_;  ///< mirrored to their replica slot
+
+  std::map<int, StatsFanout> fanouts_;
+  int next_stats_tag_ = 0;
+
+  int client_out_ = -1;
+  wire::LineBuffer client_buffer_;
+  bool client_gone_ = false;
+  bool draining_ = false;
+  bool worker_shutdowns_sent_ = false;
+  std::int64_t shutdown_id_ = -1;
+  bool shutdown_requested_ = false;  ///< respond when the drain completes
+  Timer drain_timer_;
+  bool stop_ = false;
+
+  int routed_since_hot_scan_ = 0;
+  std::int64_t stat_requests_ = 0;
+  std::int64_t stat_routed_ = 0;
+  std::int64_t stat_retries_ = 0;
+  std::int64_t stat_restarts_ = 0;
+  std::int64_t stat_promotions_ = 0;
+  std::int64_t stat_replications_ = 0;
+  std::int64_t stat_shed_ = 0;
+};
+
+}  // namespace hicond::serve::shard

@@ -6,8 +6,10 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <string_view>
 #include <vector>
 
+#include "hicond/graph/io.hpp"
 #include "hicond/obs/metrics.hpp"
 #include "hicond/util/common.hpp"
 
@@ -304,6 +306,21 @@ Graph read_snapshot_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   HICOND_CHECK(in.good(), "cannot open snapshot file: " + path);
   return read_snapshot(in);
+}
+
+Graph read_graph_auto(const std::string& path) {
+  const auto ends_with = [&path](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           std::string_view(path).substr(path.size() - suffix.size()) ==
+               suffix;
+  };
+  if (ends_with(".hsnap")) {
+    return read_snapshot_file(path);
+  }
+  if (ends_with(".metis") || ends_with(".graph")) {
+    return read_metis_file(path);
+  }
+  return read_graph_file(path);
 }
 
 }  // namespace hicond::serve

@@ -65,4 +65,9 @@ void write_snapshot_file(const std::string& path, const Graph& g);
 [[nodiscard]] Graph read_snapshot(std::istream& in);
 [[nodiscard]] Graph read_snapshot_file(const std::string& path);
 
+/// Extension-dispatched graph reader shared by the worker server and the
+/// router: `.hsnap` loads a snapshot, `.metis`/`.graph` the METIS format,
+/// anything else a weighted edge list (graph/io.hpp).
+[[nodiscard]] Graph read_graph_auto(const std::string& path);
+
 }  // namespace hicond::serve

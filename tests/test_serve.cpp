@@ -127,6 +127,35 @@ TEST(ServeCache, EvictsLeastRecentlyUsedUnderBudget) {
   EXPECT_NE(cache.peek(serve::graph_fingerprint(g2), options), nullptr);
 }
 
+TEST(ServeCache, PerEntryStatsTrackHitsAndRecency) {
+  const Graph g1 = gen::grid2d(10, 10, gen::WeightSpec::uniform(0.5, 2.0), 1);
+  const Graph g2 = gen::grid2d(11, 11, gen::WeightSpec::uniform(0.5, 2.0), 2);
+  const std::uint64_t fp1 = serve::graph_fingerprint(g1);
+  const std::uint64_t fp2 = serve::graph_fingerprint(g2);
+  const LaplacianSolverOptions options;
+  HierarchyCache cache(std::size_t{64} << 20);
+
+  (void)cache.get_or_build(fp1, g1, options);  // tick 1: miss
+  (void)cache.get_or_build(fp2, g2, options);  // tick 2: miss
+  (void)cache.get_or_build(fp1, g1, options);  // tick 3: hit, fp1 -> MRU
+  (void)cache.get_or_build(fp1, g1, options);  // tick 4: hit
+
+  const HierarchyCache::Stats stats = cache.stats();
+  ASSERT_EQ(stats.per_entry.size(), 2u);
+  // per_entry is MRU-first, so the twice-hit fp1 leads.
+  EXPECT_EQ(stats.per_entry[0].fingerprint, fp1);
+  EXPECT_EQ(stats.per_entry[0].hits, 2);
+  EXPECT_EQ(stats.per_entry[0].last_use, 4);
+  EXPECT_GT(stats.per_entry[0].bytes, 0u);
+  EXPECT_EQ(stats.per_entry[1].fingerprint, fp2);
+  EXPECT_EQ(stats.per_entry[1].hits, 0);
+  EXPECT_EQ(stats.per_entry[1].last_use, 2);
+  // Ticks are deterministic logical time (one per lookup), never wall
+  // clock, so two identical runs report identical stats documents.
+  EXPECT_EQ(stats.ticks, 4);
+  EXPECT_EQ(stats.per_entry[0].options_key, serve::solver_options_key(options));
+}
+
 // --- batched solves: bitwise equal to sequential, per thread count --------
 
 TEST(ServeBatch, BatchedMatchesSequentialBitwiseAcrossThreadCounts) {

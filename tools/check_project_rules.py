@@ -282,7 +282,7 @@ def main() -> int:
             for m in re.finditer(r'#\s*include\s+"([^"]+)"',
                                  test_path.read_text(encoding="utf-8")):
                 test_includes.add(m.group(1))
-        for header in sorted(serve_dir.glob("*.hpp")):
+        for header in sorted(serve_dir.rglob("*.hpp")):
             include_name = header.relative_to(root / "src").as_posix()
             if include_name not in test_includes:
                 err(header, 1, "serve-coverage",

@@ -1,0 +1,387 @@
+#!/usr/bin/env python3
+"""Scripted end-to-end session against the sharded hicond serving stack.
+
+Drives the real hicond_router + hicond_serve binaries through the real wire
+protocol (router on stdio, workers over unix sockets) and asserts the
+sharding subsystem's contract:
+
+  1. reference: a lone hicond_serve answers every solve/batch_solve first;
+     its solution_fnv values are the ground truth for bitwise equality.
+  2. topology: the router reports 3 live workers with distinct pids, the
+     ring parameters, and -- after loads -- each graph's primary/replica
+     placement.
+  3. routing: every solve and batch_solve routed through the router returns
+     solution_fnv values byte-identical to the lone server's; warm repeats
+     are cache hits with identical bits.
+  4. replication: hammering one fingerprint past the hot threshold mirrors
+     it to its replica position (`replicated` flips in topology).
+  5. supervision: SIGKILLing the worker that owns a slow cold build while
+     the request is in flight must be invisible to the client -- the router
+     respawns the worker, replays its loads, retries the request once, and
+     the retried response is still bitwise identical; stats report the
+     restart/retry and topology shows a new pid.
+  6. aggregated stats: the fanned-out stats document carries the aggregate
+     cache/requests section, router counters, and one per-worker breakdown
+     (including the per-entry cache stats) per live worker.
+  7. shutdown: drains, stops every worker process, exits 0.
+
+Usage: shard_smoke.py HICOND_ROUTER_BIN HICOND_SERVE_BIN HICOND_TOOL_BIN
+                      [WORK_DIR]
+Exit 0 when every assertion holds.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+WORKERS = 3
+RHS_SEED = 17
+BATCH_K = 4
+HOT_THRESHOLD = 4
+HOT_INTERVAL = 6
+
+
+def fail(message):
+    print(f"shard_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition, message):
+    if not condition:
+        fail(message)
+
+
+class Session:
+    """One NDJSON server process (router or lone worker) spoken to over
+    stdin/stdout. post()/read_response() are split so the kill-mid-flight
+    test can interleave a signal between request and response."""
+
+    def __init__(self, argv):
+        self.proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.next_id = 0
+
+    def post(self, request):
+        self.next_id += 1
+        request = dict(request, id=self.next_id)
+        self.proc.stdin.write(json.dumps(request) + "\n")
+        self.proc.stdin.flush()
+        return self.next_id
+
+    def read_response(self, want_id):
+        line = self.proc.stdout.readline()
+        check(line, f"server closed the stream awaiting response {want_id}")
+        response = json.loads(line)
+        check(
+            response.get("id") == want_id,
+            f"response id mismatch: want {want_id}, got {response}",
+        )
+        return response
+
+    def call(self, request):
+        return self.read_response(self.post(request))
+
+    def finish(self):
+        out, err = self.proc.communicate(timeout=120)
+        check(
+            self.proc.returncode == 0,
+            f"server exited {self.proc.returncode}; stderr:\n{err}",
+        )
+        check(not out.strip(), f"unexpected trailing output: {out!r}")
+
+
+def run(tool, *args):
+    result = subprocess.run(
+        [tool, *args], capture_output=True, text=True, check=False
+    )
+    check(
+        result.returncode == 0,
+        f"{os.path.basename(tool)} {' '.join(args)} exited "
+        f"{result.returncode}: {result.stderr}",
+    )
+    return result.stdout.strip()
+
+
+def pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+def main():
+    if len(sys.argv) < 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    router_bin, serve_bin, tool_bin = sys.argv[1], sys.argv[2], sys.argv[3]
+    work = sys.argv[4] if len(sys.argv) > 4 else tempfile.mkdtemp(
+        prefix="hicond_shard_smoke_"
+    )
+    os.makedirs(work, exist_ok=True)
+
+    # Several small graphs so the ring has something to spread, plus one
+    # large graph whose cold hierarchy build is slow enough that a SIGKILL
+    # sent right after the solve request reliably lands mid-flight.
+    snaps, fingerprints = [], []
+    for i, side in enumerate([24, 28, 32, 36]):
+        wel = os.path.join(work, f"g{i}.wel")
+        snap = os.path.join(work, f"g{i}.hsnap")
+        run(tool_bin, "gen", "grid2d", str(side), wel, str(3 + i))
+        run(tool_bin, "snapshot-convert", wel, snap)
+        snaps.append(snap)
+        fingerprints.append(run(tool_bin, "fingerprint", snap))
+    big_wel = os.path.join(work, "big.wel")
+    big_snap = os.path.join(work, "big.hsnap")
+    run(tool_bin, "gen", "grid2d", "160", big_wel, "99")
+    run(tool_bin, "snapshot-convert", big_wel, big_snap)
+    big_fp = run(tool_bin, "fingerprint", big_snap)
+
+    # ---- reference pass: lone worker ground truth --------------------------
+    lone = Session([serve_bin])
+    truth_solve, truth_batch = {}, {}
+    for snap, fp in zip(snaps + [big_snap], fingerprints + [big_fp]):
+        loaded = lone.call({"op": "load", "path": snap})
+        check(loaded.get("ok") is True, f"reference load failed: {loaded}")
+        check(loaded.get("graph") == fp, "reference fingerprint mismatch")
+        solved = lone.call({"op": "solve", "graph": fp, "rhs_seed": RHS_SEED})
+        check(solved.get("ok") is True, f"reference solve failed: {solved}")
+        truth_solve[fp] = solved["solution_fnv"]
+    batch = lone.call(
+        {
+            "op": "batch_solve",
+            "graph": fingerprints[0],
+            "rhs_random": {"count": BATCH_K, "seed": RHS_SEED},
+        }
+    )
+    check(batch.get("ok") is True, f"reference batch failed: {batch}")
+    truth_batch[fingerprints[0]] = batch["solution_fnv"]
+    shut = lone.call({"op": "shutdown"})
+    check(shut.get("ok") is True, "reference shutdown failed")
+    lone.finish()
+
+    # ---- the sharded deployment -------------------------------------------
+    router = Session(
+        [
+            router_bin,
+            "--workers", str(WORKERS),
+            "--worker-bin", serve_bin,
+            "--socket-dir", os.path.join(work, "sockets"),
+            "--hot-threshold", str(HOT_THRESHOLD),
+            "--hot-interval", str(HOT_INTERVAL),
+            "--replicate-top-k", "1",
+        ]
+    )
+    os.makedirs(os.path.join(work, "sockets"), exist_ok=True)
+
+    topo = router.call({"op": "topology"})
+    check(topo.get("ok") is True, f"topology failed: {topo}")
+    check(topo["workers_total"] == WORKERS, f"expected {WORKERS} workers")
+    check(
+        topo["ring"]["vnodes_per_worker"] >= 1
+        and topo["ring"]["hot_threshold"] == HOT_THRESHOLD,
+        f"ring parameters not reported: {topo}",
+    )
+    states = [w["state"] for w in topo["workers"]]
+    check(states == ["up"] * WORKERS, f"workers not all up: {states}")
+    pids = [w["pid"] for w in topo["workers"]]
+    check(len(set(pids)) == WORKERS, f"worker pids not distinct: {pids}")
+    check(all(pid_alive(p) for p in pids), "a reported worker pid is dead")
+
+    for snap, fp in zip(snaps + [big_snap], fingerprints + [big_fp]):
+        loaded = router.call({"op": "load", "path": snap})
+        check(loaded.get("ok") is True, f"routed load failed: {loaded}")
+        check(
+            loaded.get("graph") == fp,
+            f"routed load fingerprint {loaded.get('graph')} != {fp}",
+        )
+
+    topo = router.call({"op": "topology"})
+    placements = {g["fingerprint"]: g for g in topo["graphs"]}
+    check(
+        set(placements) == set(fingerprints + [big_fp]),
+        f"topology graph set mismatch: {sorted(placements)}",
+    )
+    for fp, entry in placements.items():
+        check(0 <= entry["primary"] < WORKERS, f"bad primary: {entry}")
+        check(
+            0 <= entry["replica"] < WORKERS
+            and entry["replica"] != entry["primary"],
+            f"bad replica: {entry}",
+        )
+        check(entry["replicated"] is False, "nothing should be hot yet")
+
+    # ---- bitwise equality through the router ------------------------------
+    for fp in fingerprints:
+        cold = router.call({"op": "solve", "graph": fp, "rhs_seed": RHS_SEED})
+        check(cold.get("ok") is True, f"routed solve failed: {cold}")
+        check(cold.get("cache_hit") is False, "routed first solve must miss")
+        check(
+            cold["solution_fnv"] == truth_solve[fp],
+            f"routed solve of {fp} is not bitwise equal to the lone "
+            f"server: {cold['solution_fnv']} != {truth_solve[fp]}",
+        )
+        warm = router.call({"op": "solve", "graph": fp, "rhs_seed": RHS_SEED})
+        check(warm.get("cache_hit") is True, "routed second solve must hit")
+        check(
+            warm["solution_fnv"] == truth_solve[fp],
+            "routed warm solve changed the bits",
+        )
+    rbatch = router.call(
+        {
+            "op": "batch_solve",
+            "graph": fingerprints[0],
+            "rhs_random": {"count": BATCH_K, "seed": RHS_SEED},
+        }
+    )
+    check(rbatch.get("ok") is True, f"routed batch failed: {rbatch}")
+    check(
+        rbatch["solution_fnv"] == truth_batch[fingerprints[0]],
+        "routed batch_solve columns are not bitwise equal to the lone "
+        "server's",
+    )
+    print("shard_smoke: routed solves bitwise-identical to lone server")
+
+    # ---- hot-set replication ----------------------------------------------
+    hot_fp = fingerprints[1]
+    for _ in range(HOT_THRESHOLD + HOT_INTERVAL + 2):
+        hammered = router.call(
+            {"op": "solve", "graph": hot_fp, "rhs_seed": RHS_SEED}
+        )
+        check(hammered.get("ok") is True, "hammered solve failed")
+        check(
+            hammered["solution_fnv"] == truth_solve[hot_fp],
+            "hammered solve changed the bits",
+        )
+    topo = router.call({"op": "topology"})
+    hot_entry = next(
+        g for g in topo["graphs"] if g["fingerprint"] == hot_fp
+    )
+    check(
+        hot_entry["replicated"] is True,
+        f"hot fingerprint was not replicated: {hot_entry}",
+    )
+    print(
+        f"shard_smoke: hot fingerprint {hot_fp} replicated to worker "
+        f"{hot_entry['replica']}"
+    )
+
+    # ---- SIGKILL mid-build: supervised retry must be invisible -------------
+    big_entry = next(g for g in topo["graphs"] if g["fingerprint"] == big_fp)
+    victim = big_entry["primary"]
+    victim_pid = next(
+        w["pid"] for w in topo["workers"] if w["worker"] == victim
+    )
+    solve_id = router.post(
+        {"op": "solve", "graph": big_fp, "rhs_seed": RHS_SEED}
+    )
+    time.sleep(0.05)  # let the router forward; the cold build takes longer
+    os.kill(victim_pid, signal.SIGKILL)
+    recovered = router.read_response(solve_id)
+    check(
+        recovered.get("ok") is True,
+        f"solve across a worker SIGKILL failed: {recovered}",
+    )
+    check(
+        recovered["solution_fnv"] == truth_solve[big_fp],
+        "retried solve after SIGKILL is not bitwise equal to the lone "
+        f"server: {recovered['solution_fnv']} != {truth_solve[big_fp]}",
+    )
+    topo = router.call({"op": "topology"})
+    victim_row = next(
+        w for w in topo["workers"] if w["worker"] == victim
+    )
+    check(victim_row["state"] == "up", f"victim not respawned: {victim_row}")
+    check(victim_row["restarts"] >= 1, "restart not counted in topology")
+    check(
+        victim_row["pid"] != victim_pid and pid_alive(victim_row["pid"]),
+        "victim pid did not change across the restart",
+    )
+    # The replayed load is warm state: a repeat solve still matches.
+    again = router.call({"op": "solve", "graph": big_fp, "rhs_seed": RHS_SEED})
+    check(
+        again.get("ok") is True
+        and again["solution_fnv"] == truth_solve[big_fp],
+        "post-restart solve drifted",
+    )
+    print(
+        f"shard_smoke: SIGKILL of worker {victim} (pid {victim_pid}) "
+        "recovered; retried solve bitwise-identical"
+    )
+
+    # ---- aggregated stats --------------------------------------------------
+    # Re-warm the hammered fingerprint first: if its primary was the SIGKILL
+    # victim, the restart emptied that worker's cache (replay restores the
+    # load set, hierarchies rebuild on demand), so its per-entry row only
+    # reappears once it is solved again.
+    for _ in range(2):
+        rewarm = router.call(
+            {"op": "solve", "graph": hot_fp, "rhs_seed": RHS_SEED}
+        )
+        check(
+            rewarm.get("ok") is True
+            and rewarm["solution_fnv"] == truth_solve[hot_fp],
+            "post-restart re-warm of the hot fingerprint drifted",
+        )
+    stats = router.call({"op": "stats"})
+    check(stats.get("ok") is True, f"stats failed: {stats}")
+    check(stats["workers"] == WORKERS, "stats worker count wrong")
+    agg = stats["aggregate"]
+    for field in ["hits", "misses", "evictions", "entries", "bytes",
+                  "budget_bytes"]:
+        check(field in agg["cache"], f"aggregate.cache missing {field}")
+    check(agg["cache"]["hits"] >= 1, "aggregate cache hits not counted")
+    check(agg["graphs_loaded"] >= len(snaps), "aggregate graphs_loaded low")
+    rt = stats["router"]
+    for field in ["requests", "routed", "retries", "restarts",
+                  "replica_promotions", "replications", "shed",
+                  "workers_up", "hot"]:
+        check(field in rt, f"router stats missing {field}")
+    check(rt["retries"] >= 1, "router did not count the retry")
+    check(rt["restarts"] >= 1, "router did not count the restart")
+    check(rt["replications"] >= 1, "router did not count the replication")
+    check(rt["workers_up"] == WORKERS, "not all workers up in stats")
+    check(hot_fp in rt["hot"], f"hot list missing {hot_fp}: {rt['hot']}")
+    per_worker = stats["per_worker"]
+    check(len(per_worker) == WORKERS, "per_worker breakdown wrong length")
+    entries = []
+    for row in per_worker:
+        check(row["state"] == "up", f"worker not up in stats: {row}")
+        check("stats" in row, f"up worker carries no stats doc: {row}")
+        cache = row["stats"]["cache"]
+        check("per_entry" in cache, "worker cache stats missing per_entry")
+        entries.extend(cache["per_entry"])
+    hot_rows = [e for e in entries if e["fingerprint"] == hot_fp]
+    check(hot_rows, "hammered fingerprint absent from per-entry stats")
+    check(
+        sum(e["hits"] for e in hot_rows) >= 1,
+        f"hammered fingerprint shows no hits: {hot_rows}",
+    )
+
+    # ---- shutdown ----------------------------------------------------------
+    all_pids = [w["pid"] for w in topo["workers"]]
+    shut = router.call({"op": "shutdown"})
+    check(shut.get("ok") is True, f"shutdown failed: {shut}")
+    check(shut.get("workers_stopped") == WORKERS, f"bad shutdown: {shut}")
+    router.finish()
+    deadline = time.time() + 10
+    while time.time() < deadline and any(pid_alive(p) for p in all_pids):
+        time.sleep(0.05)
+    survivors = [p for p in all_pids if pid_alive(p)]
+    check(not survivors, f"worker processes survived shutdown: {survivors}")
+
+    print("shard_smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
