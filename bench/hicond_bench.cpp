@@ -48,6 +48,7 @@
 #include "hicond/util/rng.hpp"
 #include "hicond/util/stats.hpp"
 #include "hicond/util/timer.hpp"
+#include "hicond/util/unique_fd.hpp"
 
 namespace {
 
@@ -386,31 +387,44 @@ class RouterDeployment {
     serve::write_snapshot_file(snapshot_, g);
     fingerprint_ = serve::fingerprint_hex(serve::graph_fingerprint(g));
 
-    int to_child[2];
-    int from_child[2];
-    HICOND_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
-                 "pipe() failed for the router deployment");
+    // Each pipe end lands in a unique_fd as soon as it exists, so a failure
+    // anywhere below (second pipe(), fork, fdopen) closes the rest instead
+    // of leaking them.
+    unique_fd request_rd, request_wr, response_rd, response_wr;
+    {
+      int ends[2];
+      HICOND_CHECK(::pipe(ends) == 0,
+                   "pipe() failed for the router deployment");
+      request_rd.reset(ends[0]);
+      request_wr.reset(ends[1]);
+      HICOND_CHECK(::pipe(ends) == 0,
+                   "pipe() failed for the router deployment");
+      response_rd.reset(ends[0]);
+      response_wr.reset(ends[1]);
+    }
     pid_ = ::fork();
     HICOND_CHECK(pid_ >= 0, "fork() failed for the router deployment");
     if (pid_ == 0) {
-      ::dup2(to_child[0], 0);
-      ::dup2(from_child[1], 1);
-      ::close(to_child[0]);
-      ::close(to_child[1]);
-      ::close(from_child[0]);
-      ::close(from_child[1]);
+      ::dup2(request_rd.get(), 0);
+      ::dup2(response_wr.get(), 1);
+      request_rd.reset();
+      request_wr.reset();
+      response_rd.reset();
+      response_wr.reset();
       ::execl(router_bin.c_str(), "hicond_router", "--workers", "3",
               "--worker-bin", serve_bin.c_str(), "--socket-dir",
               dir_.c_str(), static_cast<char*>(nullptr));
       std::fprintf(stderr, "exec hicond_router failed\n");
       ::_exit(127);
     }
-    ::close(to_child[0]);
-    ::close(from_child[1]);
-    out_ = ::fdopen(to_child[1], "w");
-    in_ = ::fdopen(from_child[0], "r");
-    HICOND_CHECK(out_ != nullptr && in_ != nullptr,
-                 "fdopen failed for the router pipes");
+    request_rd.reset();
+    response_wr.reset();
+    out_ = ::fdopen(request_wr.get(), "w");
+    HICOND_CHECK(out_ != nullptr, "fdopen failed for the router pipes");
+    (void)request_wr.release();  // fclose(out_) owns the descriptor now
+    in_ = ::fdopen(response_rd.get(), "r");
+    HICOND_CHECK(in_ != nullptr, "fdopen failed for the router pipes");
+    (void)response_rd.release();
 
     obs::JsonWriter load;
     load.begin_object();

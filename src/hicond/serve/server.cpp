@@ -21,6 +21,7 @@
 #include "hicond/serve/snapshot.hpp"
 #include "hicond/serve/wire.hpp"
 #include "hicond/util/rng.hpp"
+#include "hicond/util/unique_fd.hpp"
 
 namespace hicond::serve {
 
@@ -314,12 +315,17 @@ std::string ServerCore::process(const Pending& pending) {
     const obs::JsonValue& spec = request.at("rhs_random");
     HICOND_CHECK(spec.is_object(),
                  "rhs_random must be an object {count, seed}");
-    const auto count = static_cast<int>(number_or(spec, "count", 1.0));
+    const auto count = static_cast<std::int64_t>(number_or(spec, "count", 1.0));
     const auto seed =
         static_cast<std::uint64_t>(number_or(spec, "seed", 0.0));
     HICOND_CHECK(count >= 1, "rhs_random.count must be at least 1");
-    rhs.reserve(static_cast<std::size_t>(count));
-    for (int j = 0; j < count; ++j) {
+    // A wire-supplied count is untrusted: without the upper cap a hostile
+    // {"count": 2e9} forces a multi-GB allocation before any solve runs.
+    constexpr std::uint64_t kMaxRandomRhs = 4096;
+    const std::size_t columns = checked_size(
+        static_cast<std::uint64_t>(count), kMaxRandomRhs, "rhs_random.count");
+    rhs.reserve(columns);
+    for (std::size_t j = 0; j < columns; ++j) {
       rhs.push_back(random_rhs(seed + static_cast<std::uint64_t>(j), n));
     }
   }
@@ -391,23 +397,17 @@ int serve_stream(ServerCore& core, std::istream& in, std::ostream& out) {
 namespace {
 
 void serve_connection(ServerCore& core, int fd) {
-  // Responses (large batch_solve bodies included) go through the shared
-  // full-write helper, which absorbs EINTR and short writes (serve/wire.hpp).
+  // Both directions go through the shared wire helpers, which absorb EINTR
+  // and short reads/writes in one audited place (serve/wire.hpp).
   wire::LineBuffer buffer;
-  char chunk[4096];
   std::string line;
   const auto emit = [fd](const std::string& response) {
     return wire::write_line(fd, response);
   };
   for (;;) {
-    const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
-    if (got < 0 && errno == EINTR) {
-      continue;
-    }
-    if (got <= 0) {
+    if (wire::read_into(fd, buffer) != wire::ReadStatus::data) {
       break;
     }
-    buffer.append(chunk, static_cast<std::size_t>(got));
     while (buffer.next_line(line)) {
       if (line.empty()) {
         continue;
@@ -436,29 +436,27 @@ int serve_unix_socket(ServerCore& core, const std::string& path) {
   sockaddr_un addr{};
   HICOND_CHECK(path.size() < sizeof addr.sun_path,
                "unix socket path is too long");
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  HICOND_CHECK(listener >= 0, "failed to create unix socket");
+  const unique_fd listener(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  HICOND_CHECK(static_cast<bool>(listener), "failed to create unix socket");
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   ::unlink(path.c_str());
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listener, 8) != 0) {
-    ::close(listener);
-    HICOND_CHECK(false, "failed to bind/listen on unix socket path");
-  }
+  HICOND_CHECK(::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr) == 0 &&
+                   ::listen(listener.get(), 8) == 0,
+               "failed to bind/listen on unix socket path");
   while (!core.shutting_down()) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) {
+    const unique_fd fd(::accept(listener.get(), nullptr, nullptr));
+    if (!fd) {
       if (errno == EINTR) {
         continue;
       }
       break;
     }
-    serve_connection(core, fd);
-    ::close(fd);
+    // unique_fd closes the connection even when serve_connection throws
+    // (a malformed request reaching a HICOND_CHECK used to leak it here).
+    serve_connection(core, fd.get());
   }
-  ::close(listener);
   ::unlink(path.c_str());
   return 0;
 }

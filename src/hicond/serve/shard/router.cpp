@@ -16,6 +16,7 @@
 #include "hicond/obs/metrics.hpp"
 #include "hicond/serve/snapshot.hpp"
 #include "hicond/util/common.hpp"
+#include "hicond/util/unique_fd.hpp"
 
 namespace hicond::serve::shard {
 
@@ -332,21 +333,13 @@ void Router::flush(int w) {
 void Router::on_worker_readable(int w) {
   Lane& lane = lanes_[static_cast<std::size_t>(w)];
   const int fd = pool_.fd(w);
-  char chunk[65536];
   bool died = false;
   for (;;) {
-    const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
-    if (got > 0) {
-      lane.inbound.append(chunk, static_cast<std::size_t>(got));
+    const wire::ReadStatus status = wire::read_into(fd, lane.inbound);
+    if (status == wire::ReadStatus::data) {
       continue;
     }
-    if (got < 0 && errno == EINTR) {
-      continue;
-    }
-    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      break;
-    }
-    died = true;  // EOF or hard error
+    died = status != wire::ReadStatus::would_block;  // EOF or hard error
     break;
   }
   // Complete whatever responses did arrive before acting on the death --
@@ -927,16 +920,14 @@ int Router::run_loop(int client_in, int client_out, bool shutdown_on_eof) {
       }
     }
     if (watch_client && (fds[0].revents & (POLLIN | POLLHUP)) != 0) {
-      char chunk[65536];
-      const ssize_t got = ::read(client_in, chunk, sizeof chunk);
-      if (got > 0) {
-        client_buffer_.append(chunk, static_cast<std::size_t>(got));
+      const wire::ReadStatus status = wire::read_into(client_in, client_buffer_);
+      if (status == wire::ReadStatus::data) {
         while (!draining_ && client_buffer_.next_line(line)) {
           if (!line.empty()) {
             handle_client_line(line);
           }
         }
-      } else if (got == 0 || errno != EINTR) {
+      } else if (status != wire::ReadStatus::would_block) {
         client_eof = true;
         if (shutdown_on_eof) {
           begin_drain(-2);
@@ -976,29 +967,28 @@ int Router::run_unix_socket(const std::string& path) {
   sockaddr_un addr{};
   HICOND_CHECK(path.size() < sizeof addr.sun_path,
                "unix socket path is too long");
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  HICOND_CHECK(listener >= 0, "failed to create unix socket");
+  const unique_fd listener(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  HICOND_CHECK(static_cast<bool>(listener), "failed to create unix socket");
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   ::unlink(path.c_str());
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listener, 8) != 0) {
-    ::close(listener);
-    HICOND_CHECK(false, "failed to bind/listen on unix socket path");
-  }
+  HICOND_CHECK(::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr) == 0 &&
+                   ::listen(listener.get(), 8) == 0,
+               "failed to bind/listen on unix socket path");
   while (!stop_) {
-    const int fd = ::accept4(listener, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) {
+    const unique_fd fd(
+        ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC));
+    if (!fd) {
       if (errno == EINTR) {
         continue;
       }
       break;
     }
-    run_loop(fd, fd, /*shutdown_on_eof=*/false);
-    ::close(fd);
+    // unique_fd closes the connection even when run_loop throws mid-session
+    // (it used to leak here and strand the client).
+    run_loop(fd.get(), fd.get(), /*shutdown_on_eof=*/false);
   }
-  ::close(listener);
   ::unlink(path.c_str());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 #include "hicond/serve/wire.hpp"
 #include "hicond/util/common.hpp"
@@ -62,7 +63,7 @@ WorkerPool::State WorkerPool::state(int i) const {
 
 int WorkerPool::fd(int i) const {
   HICOND_CHECK(i >= 0 && i < count(), "worker index out of range");
-  return workers_[static_cast<std::size_t>(i)].fd;
+  return workers_[static_cast<std::size_t>(i)].fd.get();
 }
 
 pid_t WorkerPool::pid(int i) const {
@@ -139,16 +140,17 @@ bool WorkerPool::try_connect(int i) {
                "worker socket path is too long");
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, w.socket.c_str(), w.socket.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  HICOND_CHECK(fd >= 0, "failed to create worker connection socket");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+  unique_fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  HICOND_CHECK(static_cast<bool>(fd), "failed to create worker connection socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof addr) != 0) {
-    ::close(fd);  // not bound yet (ENOENT/ECONNREFUSED); try again later
-    return false;
+    return false;  // not bound yet (ENOENT/ECONNREFUSED); try again later
   }
-  HICOND_CHECK(wire::set_nonblocking(fd),
+  // unique_fd also closes on the throw below -- a failing fcntl used to
+  // leak the freshly connected socket here.
+  HICOND_CHECK(wire::set_nonblocking(fd.get()),
                "failed to set worker connection non-blocking");
-  w.fd = fd;
+  w.fd = std::move(fd);
   w.state = State::up;
   return true;
 }
@@ -168,10 +170,7 @@ void WorkerPool::start_and_connect(int i) {
 void WorkerPool::mark_dead(int i) {
   HICOND_CHECK(i >= 0 && i < count(), "worker index out of range");
   Worker& w = workers_[static_cast<std::size_t>(i)];
-  if (w.fd >= 0) {
-    ::close(w.fd);
-    w.fd = -1;
-  }
+  w.fd.reset();
   reap_if_exited(i, /*block=*/false);
   w.state = State::down;
 }
@@ -193,10 +192,7 @@ bool WorkerPool::reap_if_exited(int i, bool block) noexcept {
 void WorkerPool::kill_all() noexcept {
   for (int i = 0; i < count(); ++i) {
     Worker& w = workers_[static_cast<std::size_t>(i)];
-    if (w.fd >= 0) {
-      ::close(w.fd);
-      w.fd = -1;
-    }
+    w.fd.reset();
     if (w.pid >= 0) {
       ::kill(w.pid, SIGKILL);
       reap_if_exited(i, /*block=*/true);
@@ -211,10 +207,7 @@ int WorkerPool::reap_all(double timeout_seconds) noexcept {
   int killed = 0;
   for (int i = 0; i < count(); ++i) {
     Worker& w = workers_[static_cast<std::size_t>(i)];
-    if (w.fd >= 0) {
-      ::close(w.fd);
-      w.fd = -1;
-    }
+    w.fd.reset();
     while (w.pid >= 0 && !reap_if_exited(i, /*block=*/false)) {
       if (waited.seconds() > timeout_seconds) {
         ::kill(w.pid, SIGKILL);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hicond/util/timer.hpp"
+#include "hicond/util/unique_fd.hpp"
 
 namespace hicond::serve::shard {
 
@@ -87,7 +88,7 @@ class WorkerPool {
  private:
   struct Worker {
     pid_t pid = -1;
-    int fd = -1;
+    unique_fd fd;
     State state = State::down;
     std::int64_t spawns = 0;
     std::string socket;

@@ -129,6 +129,28 @@ bool drain_nonblocking(int fd, std::string& buffer) {
   return ok;
 }
 
+ReadStatus read_into(int fd, LineBuffer& buffer) {
+  HICOND_CHECK(fd >= 0, "read_into needs a valid file descriptor");
+  char chunk[65536];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(got));
+      return ReadStatus::data;
+    }
+    if (got == 0) {
+      return ReadStatus::eof;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return ReadStatus::would_block;
+    }
+    return ReadStatus::error;
+  }
+}
+
 void LineBuffer::append(const char* data, std::size_t len) {
   // Compact consumed bytes before growing; amortized O(1) per byte.
   if (start_ > 0 && (start_ >= data_.size() || start_ > 4096)) {

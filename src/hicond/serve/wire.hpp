@@ -38,6 +38,23 @@ namespace hicond::serve::wire {
 /// Set O_NONBLOCK on `fd`; returns false when fcntl fails.
 [[nodiscard]] bool set_nonblocking(int fd);
 
+class LineBuffer;
+
+/// Outcome of one read_into() call.
+enum class ReadStatus {
+  data,         ///< at least one byte was appended to the buffer
+  would_block,  ///< non-blocking fd with nothing to read right now
+  eof,          ///< orderly shutdown: the peer closed its end
+  error,        ///< hard error (ECONNRESET, EBADF, ...)
+};
+
+/// Read one chunk from `fd` into `buffer`, absorbing EINTR. Works on both
+/// blocking fds (blocks until data, EOF or error) and non-blocking fds
+/// (returns would_block instead of blocking). This is the read-side
+/// counterpart of write_all/drain_nonblocking: every transport in serve/
+/// reads through it so EINTR and partial reads are handled in one place.
+[[nodiscard]] ReadStatus read_into(int fd, LineBuffer& buffer);
+
 /// Write as much of `buffer` as a non-blocking `fd` accepts right now,
 /// erasing the sent prefix. Returns false on a hard error; EAGAIN simply
 /// leaves the unsent suffix in place for the next poll round.

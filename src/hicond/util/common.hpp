@@ -2,6 +2,7 @@
 // invariant-validation facility shared by every hicond module.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -104,3 +105,23 @@ namespace detail {
 /// was configured with HICOND_VALIDATE=expensive.
 #define HICOND_ASSERT_EXPENSIVE(expr) \
   HICOND_VALIDATE(expensive, expr, "internal invariant")
+
+namespace hicond {
+
+/// Validate an untrusted size before it reaches an allocation, resize() or
+/// subscript. Throws invalid_argument_error (via HICOND_CHECK) when
+/// `n > cap`; otherwise returns `n` narrowed to std::size_t. `what` names
+/// the quantity in the error message ("batch_solve rhs count", ...).
+///
+/// This is the designated sanitizer of the untrusted-size hicond-tidy
+/// check: an integer decoded from snapshot bytes or the NDJSON wire is
+/// tainted until it flows through checked_size(), a validate() call, or an
+/// explicit HICOND_CHECK range test.
+[[nodiscard]] inline std::size_t checked_size(std::uint64_t n,
+                                              std::uint64_t cap,
+                                              const char* what) {
+  HICOND_CHECK(n <= cap, std::string(what) + " out of range");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace hicond

@@ -290,6 +290,47 @@ TEST(ServeServer, BatchColumnsMatchSingleSolvesOverTheWire) {
   }
 }
 
+TEST(ServeServer, HostileRandomRhsCountIsRejectedBeforeAllocating) {
+  const Graph g = test_graph();
+  const std::string path = write_test_snapshot(g, "serve_count_cap.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+  InProcessClient client;
+  ASSERT_TRUE(client.call(R"({"op":"load","path":")" + path + R"("})")
+                  .at("ok")
+                  .boolean);
+  // A wire-supplied count is untrusted: 2e9 columns would reserve multi-GB
+  // before any solve runs. The server must reject it as bad_request (the
+  // untrusted-size cap), not attempt the allocation.
+  const auto huge = client.call(
+      R"({"id":9,"op":"batch_solve","graph":")" + fp +
+      R"(","rhs_random":{"count":2000000000,"seed":1}})");
+  EXPECT_FALSE(huge.at("ok").boolean);
+  EXPECT_EQ(huge.at("error").string, "bad_request");
+  EXPECT_NE(huge.at("message").string.find("rhs_random.count"),
+            std::string::npos);
+
+  // Just past the cap is rejected too -- the boundary is exact...
+  const auto past_cap = client.call(
+      R"({"id":10,"op":"batch_solve","graph":")" + fp +
+      R"(","rhs_random":{"count":4097,"seed":1}})");
+  EXPECT_FALSE(past_cap.at("ok").boolean);
+  EXPECT_EQ(past_cap.at("error").string, "bad_request");
+
+  // ...while ordinary small batches still work.
+  const auto ok = client.call(
+      R"({"id":11,"op":"batch_solve","graph":")" + fp +
+      R"(","rhs_random":{"count":2,"seed":1}})");
+  ASSERT_TRUE(ok.at("ok").boolean);
+  EXPECT_EQ(ok.at("solution_fnv").array.size(), 2u);
+
+  // Zero and negative counts keep their existing lower-bound rejection.
+  const auto zero = client.call(
+      R"({"id":12,"op":"batch_solve","graph":")" + fp +
+      R"(","rhs_random":{"count":0,"seed":1}})");
+  EXPECT_FALSE(zero.at("ok").boolean);
+  EXPECT_EQ(zero.at("error").string, "bad_request");
+}
+
 TEST(ServeServer, DeadlineExceededIsWellFormedError) {
   const Graph g = test_graph();
   const std::string path = write_test_snapshot(g, "serve_deadline.hsnap");

@@ -15,8 +15,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -27,6 +29,7 @@
 #include "hicond/serve/wire.hpp"
 #include "hicond/util/common.hpp"
 #include "hicond/util/rng.hpp"
+#include "hicond/util/unique_fd.hpp"
 
 namespace hicond {
 namespace {
@@ -211,6 +214,150 @@ TEST(shard_wire, LineBufferKeepsPartialTail) {
   buffer.append("\n", 1);
   ASSERT_TRUE(buffer.next_line(line));
   EXPECT_EQ(line, "second-half");
+}
+
+TEST(shard_wire, ReadIntoReportsDataWouldBlockAndEof) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  unique_fd tx(fds[0]);
+  const unique_fd rx(fds[1]);
+  ASSERT_TRUE(wire::set_nonblocking(rx.get()));
+
+  wire::LineBuffer buffer;
+  EXPECT_EQ(wire::read_into(rx.get(), buffer),
+            wire::ReadStatus::would_block);
+  ASSERT_TRUE(wire::write_line(tx.get(), "hello"));
+  EXPECT_EQ(wire::read_into(rx.get(), buffer), wire::ReadStatus::data);
+  std::string line;
+  ASSERT_TRUE(buffer.next_line(line));
+  EXPECT_EQ(line, "hello");
+
+  // Closing the write side must surface as a clean eof, not an error.
+  tx.reset();
+  EXPECT_EQ(wire::read_into(rx.get(), buffer), wire::ReadStatus::eof);
+}
+
+TEST(shard_wire, ReadIntoReportsHardErrors) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  wire::LineBuffer buffer;
+  // EBADF is a hard error, distinct from eof and would_block.
+  EXPECT_EQ(wire::read_into(fds[1], buffer), wire::ReadStatus::error);
+}
+
+TEST(shard_wire, ReadIntoReassemblesLinesAcrossChunks) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  unique_fd tx(fds[0]);
+  const unique_fd rx(fds[1]);
+
+  const std::string stream = "{\"id\":1}\n{\"id\":2}\npartial";
+  for (std::size_t pos = 0; pos < stream.size(); pos += 5) {
+    ASSERT_TRUE(wire::write_all(tx.get(), stream.data() + pos,
+                                std::min<std::size_t>(5,
+                                                      stream.size() - pos)));
+  }
+  tx.reset();
+
+  wire::LineBuffer buffer;
+  std::vector<std::string> lines;
+  std::string line;
+  for (;;) {
+    const wire::ReadStatus status = wire::read_into(rx.get(), buffer);
+    if (status == wire::ReadStatus::eof) {
+      break;
+    }
+    ASSERT_EQ(status, wire::ReadStatus::data);
+    while (buffer.next_line(line)) {
+      lines.push_back(line);
+    }
+  }
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_EQ(lines[0], "{\"id\":1}");
+  EXPECT_EQ(lines[1], "{\"id\":2}");
+  // The unterminated tail stays buffered, exactly as written.
+  EXPECT_EQ(buffer.buffered(), 7U);
+}
+
+// ---------------------------------------------------------------------------
+// unique_fd
+// ---------------------------------------------------------------------------
+
+TEST(shard_unique_fd, OwnsMovesAndReleases) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int raw = fds[0];
+  {
+    unique_fd a(raw);
+    EXPECT_TRUE(static_cast<bool>(a));
+    EXPECT_EQ(a.get(), raw);
+    unique_fd b(std::move(a));
+    EXPECT_EQ(a.get(), -1);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_EQ(b.get(), raw);
+    // Still open while owned: F_GETFD succeeds.
+    ASSERT_NE(::fcntl(raw, F_GETFD), -1);
+  }
+  // Destruction closed it.
+  EXPECT_EQ(::fcntl(raw, F_GETFD), -1);
+
+  // release() hands the descriptor back without closing (the fdopen
+  // handoff in bench/hicond_bench.cpp depends on this).
+  unique_fd keeper(fds[1]);
+  const int released = keeper.release();
+  EXPECT_EQ(released, fds[1]);
+  EXPECT_FALSE(static_cast<bool>(keeper));
+  ASSERT_NE(::fcntl(released, F_GETFD), -1);
+  ::close(released);
+}
+
+TEST(shard_unique_fd, ResetAndMoveAssignCloseTheHeldDescriptor) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  unique_fd a(fds[0]);
+  unique_fd b(fds[1]);
+  a = std::move(b);  // must close fds[0], adopt fds[1]
+  EXPECT_EQ(::fcntl(fds[0], F_GETFD), -1);
+  ASSERT_NE(::fcntl(fds[1], F_GETFD), -1);
+  EXPECT_EQ(a.get(), fds[1]);
+  EXPECT_EQ(b.get(), -1);
+  a.reset();  // must close fds[1]
+  EXPECT_EQ(::fcntl(fds[1], F_GETFD), -1);
+  EXPECT_EQ(a.get(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// worker pool descriptor hygiene
+// ---------------------------------------------------------------------------
+
+int open_fd_count() {
+  int count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
+TEST(shard_worker_pool, FailedSpawnDoesNotLeakDescriptors) {
+  serve::shard::WorkerOptions options;
+  options.binary = "/nonexistent/hicond_serve_binary";
+  options.socket_dir = ::testing::TempDir();
+  options.spawn_timeout_seconds = 5.0;
+
+  const int before = open_fd_count();
+  for (int round = 0; round < 3; ++round) {
+    serve::shard::WorkerPool pool(options, 1);
+    EXPECT_THROW(pool.start_and_connect(0), invalid_argument_error);
+    EXPECT_EQ(pool.state(0), serve::shard::WorkerPool::State::down);
+    EXPECT_EQ(pool.fd(0), -1);
+  }
+  // Every connect attempt's socket and every dead child's fd must be
+  // closed again: the pool may not leak one descriptor per failure.
+  EXPECT_EQ(open_fd_count(), before);
 }
 
 }  // namespace

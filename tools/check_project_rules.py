@@ -59,6 +59,30 @@ Rules (each failure prints `path:line: [rule] message` and exits nonzero):
                       tests/ — the serving subsystem is the outermost API
                       boundary and ships nothing untested.
 
+  syscall-discipline  Direct read/write/readv/writev/pread/pwrite/send/
+                      recv/sendto/recvfrom/sendmsg/recvmsg calls are only
+                      allowed in serve/wire.{hpp,cpp} and
+                      util/unique_fd.hpp.  Raw I/O syscalls can return
+                      short counts or EINTR; everything else goes through
+                      the wire helpers (write_all, write_line, read_into,
+                      drain_nonblocking), which retry correctly.  tests/
+                      are exempt (tests drive sockets directly to provoke
+                      edge cases).  This is the regex mirror of the
+                      hicond-tidy AST check of the same name; suppress a
+                      deliberate use with `// hicond-tidy:
+                      allow(syscall-discipline)` on the same or previous
+                      line.
+
+  fd-close            Raw `close()` / `::close()` calls are only allowed
+                      in util/unique_fd.hpp and serve/wire.{hpp,cpp}.
+                      Descriptors are owned by hicond::unique_fd, whose
+                      reset() is the single close site — a raw close
+                      either double-closes an owned fd or marks a leak on
+                      every early-return path.  tests/ are exempt.
+                      Regex mirror of the hicond-tidy fd-ownership check;
+                      `// hicond-tidy: allow(fd-ownership)` (or
+                      allow(fd-close)) suppresses it.
+
 Run: python3 tools/check_project_rules.py [root]
 """
 from __future__ import annotations
@@ -94,6 +118,25 @@ FLOAT_EQ = re.compile(
 FLOAT_EQ_EXEMPT_FILES = {"src/hicond/util/float_eq.hpp"}
 FLOAT_EQ_ANNOTATION = "float-eq: exact"
 
+# Raw I/O syscalls and close() are funneled through these three files; see
+# the syscall-discipline and fd-close rules (and docs/STATIC_ANALYSIS.md).
+WIRE_ALLOWED_FILES = {
+    "src/hicond/serve/wire.cpp",
+    "src/hicond/serve/wire.hpp",
+    "src/hicond/util/unique_fd.hpp",
+}
+# A free-function call: optionally `::`-qualified, but not a member access
+# (`.read(`, `->read(`) and not a suffix of a longer identifier.  `::` is
+# accepted so `::read(` and explicit global qualification are caught.
+_RAW_IO_NAMES = (
+    "read|write|readv|writev|pread|pwrite|"
+    "send|recv|sendto|recvfrom|sendmsg|recvmsg"
+)
+RAW_IO_SYSCALL = re.compile(
+    rf"(?:(?<![\w.>:])|(?<=::))(?:{_RAW_IO_NAMES})\s*\("
+)
+RAW_CLOSE = re.compile(r"(?:(?<![\w.>:])|(?<=::))close\s*\(")
+
 
 def strip_comments(line: str) -> str:
     """Best-effort removal of // comments and string literals for token rules."""
@@ -119,6 +162,41 @@ def logical_source_lines(text: str):
             full = full[:-1].rstrip() + " " + lines[i].strip()
         yield start + 1, full
         i += 1
+
+
+def logical_source_lines_tight(text: str):
+    """Yield (start_lineno, joined) with continuations joined WITHOUT a space.
+
+    logical_source_lines() joins with a space, which is right for pragma
+    token rules but wrong for identifier rules: a call spliced mid-token
+    (`::clo\\` + `se(fd)`) reassembles to `::close(fd)` only under a
+    no-space join.  Token rules (syscall-discipline, fd-close) match on
+    this variant so backslash splices cannot hide a name.
+    """
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        start = i
+        full = lines[i].rstrip()
+        while full.endswith("\\") and i + 1 < len(lines):
+            i += 1
+            full = full[:-1].rstrip() + lines[i].strip()
+        yield start + 1, full
+        i += 1
+
+
+def tidy_allowed(lines: list[str], lineno: int, rules: tuple[str, ...]) -> bool:
+    """True if a `hicond-tidy: allow(<rule>)` marker covers this line.
+
+    Mirrors the C++ tool's suppression scope: the marker counts on the
+    flagged line itself or on the physical line directly above it.
+    """
+    for rule in rules:
+        marker = f"hicond-tidy: allow({rule})"
+        for idx in (lineno - 1, lineno - 2):
+            if 0 <= idx < len(lines) and marker in lines[idx]:
+                return True
+    return False
 
 
 def logical_pragma_lines(text: str):
@@ -211,6 +289,29 @@ def main() -> int:
                             "raw std::chrono outside util/timer and obs/; "
                             "use util/timer (Timer, time_best_of) or "
                             "HICOND_SPAN")
+
+            # --- syscall-discipline / fd-close --------------------------
+            # Regex mirror of the hicond-tidy AST checks: raw I/O syscalls
+            # and close() outside the wire/unique_fd funnel.  Matched on
+            # no-space-joined logical lines so a backslash splice through
+            # the middle of an identifier cannot hide it.
+            if rel not in WIRE_ALLOWED_FILES and not rel.startswith("tests/"):
+                for lineno, tight in logical_source_lines_tight(text):
+                    code = strip_comments(tight)
+                    if RAW_IO_SYSCALL.search(code) and not tidy_allowed(
+                        lines, lineno, ("syscall-discipline",)
+                    ):
+                        err(path, lineno, "syscall-discipline",
+                            "raw I/O syscall outside serve/wire and "
+                            "util/unique_fd.hpp; use wire::write_all/"
+                            "write_line/read_into/drain_nonblocking")
+                    if RAW_CLOSE.search(code) and not tidy_allowed(
+                        lines, lineno, ("fd-close", "fd-ownership")
+                    ):
+                        err(path, lineno, "fd-close",
+                            "raw close() outside util/unique_fd.hpp; own "
+                            "descriptors with hicond::unique_fd (reset() "
+                            "is the single close site)")
 
             # --- check-coverage (library .cpp only) ---------------------
             if (

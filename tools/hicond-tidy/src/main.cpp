@@ -7,7 +7,12 @@
 // when anything was found, 2 on tool/parse failure, 0 when clean. The
 // check catalog and the suppression syntax are documented in
 // docs/STATIC_ANALYSIS.md.
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
 
 #include "clang/AST/ASTConsumer.h"
 #include "clang/AST/ASTContext.h"
@@ -41,6 +46,70 @@ llvm::cl::opt<std::string> gRepoRoot(
     llvm::cl::desc("Repository root the path policy is relative to "
                    "(default: current directory)"),
     llvm::cl::cat(gCategory));
+
+llvm::cl::opt<std::string> gSarif(
+    "sarif",
+    llvm::cl::desc("Also write the findings as a SARIF 2.1.0 log to this "
+                   "path (for code-scanning upload from CI)"),
+    llvm::cl::cat(gCategory));
+
+void appendJsonEscaped(std::string& out, llvm::StringRef s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Minimal SARIF 2.1.0 document: one run, one rule per distinct check, one
+/// result per diagnostic. Enough for GitHub code scanning and `sarif`
+/// viewers without pulling a JSON library into the tool.
+std::string renderSarif(const std::vector<hicond_tidy::Diagnostic>& diags) {
+  std::string out;
+  out +=
+      "{\"version\":\"2.1.0\",\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{"
+      "\"tool\":{\"driver\":{\"name\":\"hicond-tidy\",\"rules\":[";
+  std::vector<std::string> rules;
+  for (const hicond_tidy::Diagnostic& d : diags) {
+    if (std::find(rules.begin(), rules.end(), d.check) == rules.end()) {
+      rules.push_back(d.check);
+    }
+  }
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"id\":\"";
+    appendJsonEscaped(out, rules[i]);
+    out += "\"}";
+  }
+  out += "]}},\"results\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const hicond_tidy::Diagnostic& d = diags[i];
+    if (i > 0) out += ',';
+    out += "{\"ruleId\":\"";
+    appendJsonEscaped(out, d.check);
+    out += "\",\"level\":\"error\",\"message\":{\"text\":\"";
+    appendJsonEscaped(out, d.message);
+    out += "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+           "{\"uri\":\"";
+    appendJsonEscaped(out, d.file);
+    out += "\"},\"region\":{\"startLine\":" + std::to_string(d.line) +
+           "}}}]}";
+  }
+  out += "]}]}\n";
+  return out;
+}
 
 class TidyConsumer : public clang::ASTConsumer {
  public:
@@ -124,6 +193,16 @@ int main(int argc, const char** argv) {
   const int tool_status = tool.run(&factory);
 
   const std::size_t findings = ctx.flush(llvm::outs());
+  if (!gSarif.empty()) {
+    std::error_code ec;
+    llvm::raw_fd_ostream sarif(gSarif, ec);
+    if (ec) {
+      llvm::errs() << "hicond-tidy: cannot write SARIF log to " << gSarif
+                   << ": " << ec.message() << "\n";
+      return 2;
+    }
+    sarif << renderSarif(ctx.diagnostics());
+  }
   if (tool_status != 0) {
     llvm::errs() << "hicond-tidy: one or more translation units failed to "
                     "parse; findings above may be incomplete\n";

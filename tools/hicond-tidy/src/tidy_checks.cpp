@@ -257,6 +257,320 @@ class OwnerComputesScan : public clang::RecursiveASTVisitor<OwnerComputesScan> {
   const LocalDeclCollector& locals_;
 };
 
+// --- untrusted-size taint machinery ----------------------------------------
+
+/// Is this call one of the designated taint sanitizers: hicond::checked_size
+/// or anything validation-shaped (validate(), revalidate_...)?
+bool isSanitizerCall(const clang::CallExpr* c) {
+  const clang::FunctionDecl* fd = c->getDirectCallee();
+  if (fd == nullptr || fd->getIdentifier() == nullptr) return false;
+  const std::string name = fd->getNameAsString();
+  return name == "checked_size" ||
+         lowered(name).find("validat") != std::string::npos;
+}
+
+/// Is this call a taint source -- an integer freshly decoded from untrusted
+/// bytes? Snapshot Reader::u8/u16/u32/u64 member calls and the NDJSON
+/// number_or() helper qualify; JsonValue's raw `.number` member is handled
+/// separately as a MemberExpr.
+bool isSourceCall(const clang::CallExpr* c) {
+  const clang::FunctionDecl* fd = c->getDirectCallee();
+  if (fd == nullptr || fd->getIdentifier() == nullptr) return false;
+  const llvm::StringRef n = fd->getName();
+  if (n == "number_or") return true;
+  if (isa<clang::CXXMemberCallExpr>(c)) {
+    return n == "u8" || n == "u16" || n == "u32" || n == "u64";
+  }
+  return false;
+}
+
+bool isSourceMember(const clang::MemberExpr* me) {
+  const clang::ValueDecl* d = me->getMemberDecl();
+  return d != nullptr && d->getIdentifier() != nullptr &&
+         d->getName() == "number";
+}
+
+/// Collects the variables an expression reads and whether it contains a
+/// taint source directly. Sanitizer calls are opaque: their result is clean
+/// by definition, so the scan does not descend into them.
+class ExprTaintScan : public clang::RecursiveASTVisitor<ExprTaintScan> {
+ public:
+  bool TraverseCallExpr(clang::CallExpr* c) {
+    return traverseCall(c, [&] {
+      return clang::RecursiveASTVisitor<ExprTaintScan>::TraverseCallExpr(c);
+    });
+  }
+  bool TraverseCXXMemberCallExpr(clang::CXXMemberCallExpr* c) {
+    return traverseCall(c, [&] {
+      return clang::RecursiveASTVisitor<
+          ExprTaintScan>::TraverseCXXMemberCallExpr(c);
+    });
+  }
+  bool VisitMemberExpr(clang::MemberExpr* me) {
+    if (isSourceMember(me)) has_source = true;
+    return true;
+  }
+  bool VisitDeclRefExpr(clang::DeclRefExpr* dre) {
+    if (const auto* vd = dyn_cast<clang::VarDecl>(dre->getDecl())) {
+      vars.push_back(vd->getCanonicalDecl());
+    }
+    return true;
+  }
+
+  std::vector<const clang::VarDecl*> vars;
+  bool has_source = false;
+
+ private:
+  template <typename Recurse>
+  bool traverseCall(clang::CallExpr* c, Recurse recurse) {
+    if (isSanitizerCall(c)) return true;  // result is clean; args untouched
+    if (isSourceCall(c)) {
+      has_source = true;
+      return true;
+    }
+    return recurse();
+  }
+};
+
+/// Function-local taint simulation for the untrusted-size check.
+///
+/// One pass over a function body collects Assign / Sanitize / Sink events
+/// keyed by their physical file offset; replaying them in source order
+/// approximates straight-line dataflow. Sources: snapshot Reader u8..u64,
+/// JsonValue .number, number_or(). Sanitizers: mentioning a variable inside
+/// a HICOND_CHECK-family invocation, or passing it to checked_size()/any
+/// validate-shaped call. Sinks: resize/reserve arguments, new T[n] sizes,
+/// subscript indices -- unless the sink itself sits inside a validation
+/// macro (the check *is* the validation there). Source order is an
+/// approximation (it ignores branches and loop back-edges), which is the
+/// right trade for a lint: re-sanitize inside the loop if it fires.
+class TaintScan : public clang::RecursiveASTVisitor<TaintScan> {
+ public:
+  TaintScan(TidyContext& ctx, const clang::SourceManager& sm,
+            const MacroUseLog& macros)
+      : ctx_(ctx), sm_(sm), macros_(macros) {}
+
+  void run(const clang::FunctionDecl* fd) {
+    events_.clear();
+    fid_ = clang::FileID();
+    TraverseStmt(fd->getBody());
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.offset < b.offset;
+                     });
+    llvm::DenseSet<const clang::VarDecl*> tainted;
+    for (const Event& ev : events_) {
+      switch (ev.kind) {
+        case Event::assign: {
+          const bool rhs_tainted =
+              ev.has_source ||
+              std::any_of(ev.vars.begin(), ev.vars.end(),
+                          [&](const clang::VarDecl* v) {
+                            return tainted.count(v) != 0;
+                          });
+          if (rhs_tainted) {
+            tainted.insert(ev.var);
+          } else if (!ev.compound) {
+            tainted.erase(ev.var);
+          }
+          break;
+        }
+        case Event::sanitize:
+          tainted.erase(ev.var);
+          break;
+        case Event::sink: {
+          const clang::VarDecl* hit = nullptr;
+          for (const clang::VarDecl* v : ev.vars) {
+            if (tainted.count(v) != 0) {
+              hit = v;
+              break;
+            }
+          }
+          if (ev.has_source || hit != nullptr) {
+            ctx_.reportIfActive(
+                sm_, ev.loc, "untrusted-size",
+                "untrusted " + ev.what +
+                    (hit != nullptr ? " ('" + hit->getNameAsString() + "')"
+                                    : "") +
+                    " decoded from wire/snapshot input reaches " + ev.use +
+                    " without a cap; route it through hicond::checked_size()"
+                    ", a validate() call, or a HICOND_CHECK range test "
+                    "first");
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  bool VisitVarDecl(clang::VarDecl* v) {
+    const clang::Expr* init = v->getInit();
+    if (init == nullptr) return true;
+    unsigned offset = 0;
+    if (!fileOffset(v->getLocation(), offset)) return true;
+    addAssign(v->getCanonicalDecl(), init, /*compound=*/false, offset);
+    return true;
+  }
+
+  bool VisitBinaryOperator(clang::BinaryOperator* b) {
+    if (!b->isAssignmentOp()) return true;
+    const auto* dre =
+        dyn_cast<clang::DeclRefExpr>(b->getLHS()->IgnoreParenImpCasts());
+    if (dre == nullptr) return true;
+    const auto* vd = dyn_cast<clang::VarDecl>(dre->getDecl());
+    if (vd == nullptr) return true;
+    unsigned offset = 0;
+    if (!fileOffset(b->getOperatorLoc(), offset)) return true;
+    addAssign(vd->getCanonicalDecl(), b->getRHS(),
+              b->isCompoundAssignmentOp(), offset);
+    return true;
+  }
+
+  bool VisitDeclRefExpr(clang::DeclRefExpr* dre) {
+    // A variable mentioned inside a HICOND_CHECK-family invocation has, by
+    // project convention, just been range-tested: sanitize it from there on.
+    const auto* vd = dyn_cast<clang::VarDecl>(dre->getDecl());
+    if (vd == nullptr) return true;
+    unsigned offset = 0;
+    clang::FileID fid;
+    if (!fileLoc(dre->getLocation(), fid, offset)) return true;
+    if (macros_.containsOffset(fid, offset)) {
+      events_.push_back(Event::sanitizeAt(vd->getCanonicalDecl(), offset));
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* c) {
+    if (!isSanitizerCall(c)) return true;
+    unsigned offset = 0;
+    if (!fileOffset(c->getExprLoc(), offset)) return true;
+    for (const clang::Expr* arg : c->arguments()) {
+      ExprTaintScan scan;
+      scan.TraverseStmt(const_cast<clang::Expr*>(arg));
+      for (const clang::VarDecl* v : scan.vars) {
+        events_.push_back(Event::sanitizeAt(v, offset));
+      }
+    }
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* c) {
+    const clang::CXXMethodDecl* m = c->getMethodDecl();
+    if (m == nullptr || m->getIdentifier() == nullptr) return true;
+    const llvm::StringRef name = m->getName();
+    if ((name == "resize" || name == "reserve") && c->getNumArgs() >= 1) {
+      addSink(c->getArg(0), "size", "'" + name.str() + "()'");
+    }
+    return true;
+  }
+
+  bool VisitCXXNewExpr(clang::CXXNewExpr* e) {
+    if (e->isArray()) {
+      if (const auto size = e->getArraySize()) {
+        if (*size != nullptr) {
+          addSink(*size, "size", "an array-new allocation");
+        }
+      }
+    }
+    return true;
+  }
+
+  bool VisitArraySubscriptExpr(clang::ArraySubscriptExpr* e) {
+    addSink(e->getIdx(), "index", "a subscript");
+    return true;
+  }
+
+  bool VisitCXXOperatorCallExpr(clang::CXXOperatorCallExpr* c) {
+    if (c->getOperator() == clang::OO_Subscript && c->getNumArgs() == 2) {
+      addSink(c->getArg(1), "index", "a subscript");
+    }
+    return true;
+  }
+
+ private:
+  struct Event {
+    enum Kind { assign, sanitize, sink };
+    Kind kind = assign;
+    unsigned offset = 0;
+    const clang::VarDecl* var = nullptr;        // assign lhs / sanitize target
+    std::vector<const clang::VarDecl*> vars;    // assign rhs / sink reads
+    bool has_source = false;
+    bool compound = false;
+    clang::SourceLocation loc;
+    std::string what;  // sink only: "size" / "index"
+    std::string use;   // sink only: what it reaches
+
+    static Event sanitizeAt(const clang::VarDecl* v, unsigned offset) {
+      Event ev;
+      ev.kind = sanitize;
+      ev.offset = offset;
+      ev.var = v;
+      return ev;
+    }
+  };
+
+  bool fileLoc(clang::SourceLocation loc, clang::FileID& fid,
+               unsigned& offset) const {
+    const clang::SourceLocation file_loc = sm_.getFileLoc(loc);
+    if (file_loc.isInvalid()) return false;
+    const auto dec = sm_.getDecomposedLoc(file_loc);
+    fid = dec.first;
+    offset = dec.second;
+    return true;
+  }
+
+  /// Offset within the function's own file; events from other files
+  /// (macro bodies in headers) are dropped rather than mis-ordered.
+  bool fileOffset(clang::SourceLocation loc, unsigned& offset) {
+    clang::FileID fid;
+    if (!fileLoc(loc, fid, offset)) return false;
+    if (fid_.isInvalid()) fid_ = fid;
+    return fid == fid_;
+  }
+
+  void addAssign(const clang::VarDecl* lhs, const clang::Expr* rhs,
+                 bool compound, unsigned offset) {
+    ExprTaintScan scan;
+    scan.TraverseStmt(const_cast<clang::Expr*>(rhs));
+    Event ev;
+    ev.kind = Event::assign;
+    ev.offset = offset;
+    ev.var = lhs;
+    ev.vars = std::move(scan.vars);
+    ev.has_source = scan.has_source;
+    ev.compound = compound;
+    events_.push_back(std::move(ev));
+  }
+
+  void addSink(const clang::Expr* arg, const char* what,
+               const std::string& use) {
+    unsigned offset = 0;
+    clang::FileID fid;
+    if (!fileLoc(arg->getExprLoc(), fid, offset)) return;
+    if (fid_.isValid() && fid != fid_) return;
+    if (macros_.containsOffset(fid, offset)) {
+      return;  // HICOND_CHECK(!seen[tag], ...) -- the check is the guard
+    }
+    ExprTaintScan scan;
+    scan.TraverseStmt(const_cast<clang::Expr*>(arg));
+    Event ev;
+    ev.kind = Event::sink;
+    ev.offset = offset;
+    ev.vars = std::move(scan.vars);
+    ev.has_source = scan.has_source;
+    ev.loc = arg->getExprLoc();
+    ev.what = what;
+    ev.use = use;
+    events_.push_back(std::move(ev));
+  }
+
+  TidyContext& ctx_;
+  const clang::SourceManager& sm_;
+  const MacroUseLog& macros_;
+  clang::FileID fid_;
+  std::vector<Event> events_;
+};
+
 /// Collects direct callees (calls and constructions) of a function body
 /// for the boundary-validation reachability pass.
 class CalleeCollector : public clang::RecursiveASTVisitor<CalleeCollector> {
@@ -368,23 +682,38 @@ class TidyVisitor : public clang::RecursiveASTVisitor<TidyVisitor> {
     return true;
   }
 
-  // --- no-std-rand, owner-computes dispatch --------------------------------
+  // --- no-std-rand, fd-ownership, syscall-discipline, owner-computes -------
   bool VisitCallExpr(clang::CallExpr* c) {
     const clang::FunctionDecl* fd = c->getDirectCallee();
     if (fd == nullptr) return true;
     if (fd->getIdentifier() != nullptr) {
       const llvm::StringRef n = fd->getName();
-      if (n == "rand" || n == "srand" || n == "rand_r") {
-        const clang::DeclContext* dc =
-            fd->getDeclContext()->getRedeclContext();
-        if (dc->isTranslationUnit() || dc->isStdNamespace()) {
-          ctx_.reportIfActive(
-              sm_, c->getExprLoc(), "no-std-rand",
-              "'" + n.str() +
-                  "()' draws from hidden global state and is not "
-                  "reproducible across platforms; use hicond::Rng "
-                  "(util/rng.hpp) with an explicit seed");
-        }
+      const clang::DeclContext* dc = fd->getDeclContext()->getRedeclContext();
+      const bool global_fn = dc->isTranslationUnit() || dc->isStdNamespace();
+      if (global_fn && (n == "rand" || n == "srand" || n == "rand_r")) {
+        ctx_.reportIfActive(
+            sm_, c->getExprLoc(), "no-std-rand",
+            "'" + n.str() +
+                "()' draws from hidden global state and is not "
+                "reproducible across platforms; use hicond::Rng "
+                "(util/rng.hpp) with an explicit seed");
+      }
+      if (global_fn && n == "close") {
+        ctx_.reportIfActive(
+            sm_, c->getExprLoc(), "fd-ownership",
+            "raw close() call; descriptors must be owned by "
+            "hicond::unique_fd (util/unique_fd.hpp) so early returns and "
+            "exceptions cannot leak them -- use reset()/scope exit "
+            "instead");
+      }
+      if (global_fn && isRawIoSyscall(n)) {
+        ctx_.reportIfActive(
+            sm_, c->getExprLoc(), "syscall-discipline",
+            "direct '" + n.str() +
+                "()' outside serve/wire.{hpp,cpp}; raw I/O syscalls drop "
+                "bytes on EINTR/short transfers -- go through the wire "
+                "helpers (write_all/write_line/read_into/"
+                "drain_nonblocking)");
       }
     }
     const std::string qn = fd->getQualifiedNameAsString();
@@ -413,6 +742,7 @@ class TidyVisitor : public clang::RecursiveASTVisitor<TidyVisitor> {
     if (rd != nullptr && isInChronoNamespace(rd)) {
       reportChrono(v->getLocation());
     }
+    checkFdOwnership(v);
     return true;
   }
 
@@ -432,9 +762,74 @@ class TidyVisitor : public clang::RecursiveASTVisitor<TidyVisitor> {
     return true;
   }
 
-  void finalize() { finalizeBoundaryValidation(); }
+  void finalize() {
+    finalizeBoundaryValidation();
+    runTaintScans();
+  }
 
  private:
+  static bool isRawIoSyscall(llvm::StringRef n) {
+    static const char* kSyscalls[] = {
+        "read",  "write",  "readv",   "writev",   "pread",   "pwrite",
+        "send",  "recv",   "sendto",  "recvfrom", "sendmsg", "recvmsg",
+    };
+    return std::any_of(std::begin(kSyscalls), std::end(kSyscalls),
+                       [&](const char* s) { return n == s; });
+  }
+
+  /// `int fd = socket(...)`: the descriptor lives in a raw int, so any
+  /// early return / throw between here and the close() leaks it.
+  void checkFdOwnership(const clang::VarDecl* v) {
+    if (v->getType().isNull() ||
+        !v->getType().getNonReferenceType()->isIntegerType()) {
+      return;
+    }
+    const clang::Expr* init = v->getInit();
+    if (init == nullptr) return;
+    const auto* call =
+        dyn_cast<clang::CallExpr>(init->IgnoreParenImpCasts());
+    if (call == nullptr) return;
+    const clang::FunctionDecl* fd = call->getDirectCallee();
+    if (fd == nullptr || fd->getIdentifier() == nullptr) return;
+    const clang::DeclContext* dc = fd->getDeclContext()->getRedeclContext();
+    if (!dc->isTranslationUnit() && !dc->isStdNamespace()) return;
+    static const char* kFdProducers[] = {
+        "open",          "openat",        "creat",         "socket",
+        "accept",        "accept4",       "dup",           "dup3",
+        "eventfd",       "epoll_create",  "epoll_create1", "memfd_create",
+        "timerfd_create", "signalfd",     "inotify_init",  "inotify_init1",
+        "mkstemp",
+    };
+    const llvm::StringRef n = fd->getName();
+    const bool produces_fd =
+        std::any_of(std::begin(kFdProducers), std::end(kFdProducers),
+                    [&](const char* s) { return n == s; });
+    if (!produces_fd) return;
+    ctx_.reportIfActive(
+        sm_, v->getLocation(), "fd-ownership",
+        "descriptor returned by '" + n.str() +
+            "()' is stored in a raw int; wrap it in hicond::unique_fd "
+            "(util/unique_fd.hpp) at the call site so error paths cannot "
+            "leak it");
+  }
+
+  /// Run the untrusted-size event simulation over every function body in
+  /// scope for the check. Lambda call operators are covered through their
+  /// enclosing function's body, so the scan treats enclosing function +
+  /// lambdas as one local scope.
+  void runTaintScans() {
+    for (const clang::FunctionDecl* fd : bodies_) {
+      if (const auto* m = dyn_cast<clang::CXXMethodDecl>(fd)) {
+        if (m->getParent()->isLambda()) continue;
+      }
+      if (!ctx_.checkEnabledAt(sm_, fd->getLocation(), "untrusted-size")) {
+        continue;
+      }
+      TaintScan scan(ctx_, sm_, macros_);
+      scan.run(fd);
+    }
+  }
+
   void reportChrono(clang::SourceLocation loc) {
     ctx_.reportIfActive(
         sm_, loc, "chrono-timing",
@@ -600,6 +995,10 @@ class TidyPPCallbacks : public clang::PPCallbacks {
     }
     const auto dec = sm_.getDecomposedExpansionLoc(range.getBegin());
     log_->add(dec.first, dec.second);
+    const auto end = sm_.getDecomposedExpansionLoc(range.getEnd());
+    if (end.first == dec.first && end.second >= dec.second) {
+      log_->addRange(dec.first, dec.second, end.second);
+    }
   }
 
  private:
@@ -619,6 +1018,19 @@ bool MacroUseLog::anyInRange(clang::FileID fid, unsigned begin,
   if (it == uses_.end()) return false;
   return std::any_of(it->second.begin(), it->second.end(),
                      [&](unsigned off) { return off >= begin && off <= end; });
+}
+
+void MacroUseLog::addRange(clang::FileID fid, unsigned begin, unsigned end) {
+  ranges_[fid].emplace_back(begin, end);
+}
+
+bool MacroUseLog::containsOffset(clang::FileID fid, unsigned offset) const {
+  const auto it = ranges_.find(fid);
+  if (it == ranges_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const std::pair<unsigned, unsigned>& r) {
+                       return offset >= r.first && offset <= r.second;
+                     });
 }
 
 std::unique_ptr<clang::PPCallbacks> makePPCallbacks(

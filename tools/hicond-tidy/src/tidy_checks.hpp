@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "clang/Basic/SourceLocation.h"
@@ -22,16 +23,22 @@ class TidyContext;
 
 /// Expansion sites of the validation macros (HICOND_CHECK,
 /// HICOND_VALIDATE, HICOND_RUN_VALIDATION, HICOND_ASSERT,
-/// HICOND_ASSERT_EXPENSIVE), recorded during preprocessing so the
-/// boundary-validation check can ask "does this function body expand one?"
+/// HICOND_ASSERT_EXPENSIVE), recorded during preprocessing. Two queries:
+/// boundary-validation asks "does this function body expand one?"
+/// (anyInRange over expansion begins), and untrusted-size asks "is this
+/// token inside a validation-macro invocation?" (containsOffset over the
+/// full [begin, end] invocation ranges).
 class MacroUseLog {
  public:
   void add(clang::FileID fid, unsigned offset);
+  void addRange(clang::FileID fid, unsigned begin, unsigned end);
   [[nodiscard]] bool anyInRange(clang::FileID fid, unsigned begin,
                                 unsigned end) const;
+  [[nodiscard]] bool containsOffset(clang::FileID fid, unsigned offset) const;
 
  private:
   std::map<clang::FileID, std::vector<unsigned>> uses_;
+  std::map<clang::FileID, std::vector<std::pair<unsigned, unsigned>>> ranges_;
 };
 
 std::unique_ptr<clang::PPCallbacks> makePPCallbacks(

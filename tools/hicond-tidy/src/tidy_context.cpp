@@ -89,6 +89,19 @@ bool TidyContext::checkEnabledAt(const clang::SourceManager& sm,
   if (check == "ordered-iteration") {
     return startsWith(r, "src/hicond/");
   }
+  if (check == "fd-ownership" || check == "syscall-discipline") {
+    // The wire helpers and unique_fd are the designated raw-syscall /
+    // raw-close sites everything else must route through.
+    return r != "src/hicond/serve/wire.cpp" &&
+           r != "src/hicond/serve/wire.hpp" &&
+           r != "src/hicond/util/unique_fd.hpp";
+  }
+  if (check == "untrusted-size") {
+    // The taint model's sources (snapshot Reader, NDJSON numbers) live in
+    // the serve layer; scoping the check there keeps its source-order
+    // approximation away from unrelated numeric kernels.
+    return startsWith(r, "src/hicond/serve/");
+  }
   return true;
 }
 

@@ -72,6 +72,11 @@ class TidyContext {
   /// Print all diagnostics sorted by (file, line, check); returns count.
   std::size_t flush(llvm::raw_ostream& os);
 
+  /// Diagnostics in flush() order (sorted only after flush() has run).
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
   /// Repo-relative path of `loc`'s expansion file, or "" when the file is
   /// not under the repository root (always "" in fixture mode for
   /// non-main files; the main fixture file maps to its basename).

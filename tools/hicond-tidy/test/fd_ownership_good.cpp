@@ -1,0 +1,55 @@
+// Descriptor handling that must come back clean: immediate unique_fd
+// wrapping, member functions that happen to be called close(), borrowing
+// a raw fd without owning it, and the pragma escape hatch.
+
+extern "C" {
+int socket(int domain, int type, int protocol);
+int close(int fd);
+}
+
+// Stand-in for hicond::unique_fd (util/unique_fd.hpp).
+class unique_fd {
+ public:
+  unique_fd() = default;
+  explicit unique_fd(int fd) : fd_(fd) {}
+  ~unique_fd() { reset(); }
+  unique_fd(const unique_fd&) = delete;
+  unique_fd& operator=(const unique_fd&) = delete;
+  int get() const { return fd_; }
+  void reset(int fd = -1) {
+    if (fd_ >= 0) {
+      // hicond-tidy: allow(fd-ownership)
+      close(fd_);
+    }
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+bool configure(int fd);
+
+int wrapped_socket() {
+  const unique_fd fd(socket(1, 1, 0));  // owned immediately: clean
+  if (!configure(fd.get())) {
+    return -1;  // unique_fd closes on this path
+  }
+  return 0;
+}
+
+struct Connection {
+  void close();  // member close() is not the libc close()
+};
+
+void member_close(Connection& c) { c.close(); }
+
+int borrow_without_owning(const unique_fd& fd) {
+  const int raw = fd.get();  // plain int copy of a borrowed fd: clean
+  return raw;
+}
+
+void suppressed_close(int fd) {
+  // hicond-tidy: allow(fd-ownership)
+  close(fd);
+}

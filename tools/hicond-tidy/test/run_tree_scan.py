@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Run hicond-tidy over the whole tree via compile_commands.json.
 
-Selects the translation units under src/, examples/ and bench/ from the
-exported compilation database (tests/ and fuzz/ are not part of the
+Selects the translation units under src/, examples/, bench/ and fuzz/
+from the exported compilation database (tests/ are not part of the
 analyzer's contract) and runs the analyzer once over all of them, so
 cross-TU deduplication applies. Exits nonzero when the tool finds
 anything or fails to parse a TU.
 
+With --sarif=<path>, the analyzer additionally writes its findings as a
+SARIF 2.1.0 log to <path> (written on clean scans too, with an empty
+result list) for upload from CI.
+
 Usage: run_tree_scan.py <hicond-tidy-binary> <build-dir> <repo-root>
+                        [--sarif=<path>]
 """
 from __future__ import annotations
 
@@ -16,14 +21,17 @@ import pathlib
 import subprocess
 import sys
 
-SCAN_PREFIXES = ("src/", "examples/", "bench/")
+SCAN_PREFIXES = ("src/", "examples/", "bench/", "fuzz/")
 
 
 def main() -> int:
-    if len(sys.argv) != 4:
+    args = sys.argv[1:]
+    sarif = [a for a in args if a.startswith("--sarif=")]
+    args = [a for a in args if not a.startswith("--sarif=")]
+    if len(args) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    tool, build_dir, repo_root = (pathlib.Path(a) for a in sys.argv[1:4])
+    tool, build_dir, repo_root = (pathlib.Path(a) for a in args)
     db_path = build_dir / "compile_commands.json"
     if not db_path.is_file():
         print(f"error: {db_path} not found (configure with "
@@ -53,6 +61,7 @@ def main() -> int:
     print(f"hicond-tidy tree scan: {len(files)} translation units")
     proc = subprocess.run(
         [str(tool), "-p", str(build_dir), f"--repo-root={repo_root}"]
+        + sarif
         + sorted(files),
         capture_output=True,
         text=True,

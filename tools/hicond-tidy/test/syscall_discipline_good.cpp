@@ -1,0 +1,36 @@
+// I/O that must come back clean: the wire helper facade, member functions
+// named like syscalls (std::ostream::write and friends), and the pragma
+// escape hatch.
+
+namespace hicond::serve::wire {
+bool write_all(int fd, const void* data, unsigned long len);
+bool write_line(int fd, const char* body);
+enum class ReadStatus { data, would_block, eof, error };
+class LineBuffer;
+ReadStatus read_into(int fd, LineBuffer& buffer);
+}  // namespace hicond::serve::wire
+
+extern "C" {
+long write(int fd, const void* buf, unsigned long len);
+}
+
+struct Stream {
+  // Member read/write are ordinary methods, not the raw syscalls.
+  Stream& write(const char* data, long len);
+  Stream& read(char* data, long len);
+};
+
+void through_the_facade(int fd, const char* data, unsigned long len) {
+  (void)hicond::serve::wire::write_all(fd, data, len);
+  (void)hicond::serve::wire::write_line(fd, data);
+}
+
+void member_functions(Stream& s, char* buf) {
+  s.write(buf, 8);
+  s.read(buf, 8);
+}
+
+void suppressed_write(int fd, const char* data, unsigned long len) {
+  // hicond-tidy: allow(syscall-discipline)
+  write(fd, data, len);
+}

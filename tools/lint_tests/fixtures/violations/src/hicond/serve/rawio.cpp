@@ -1,0 +1,18 @@
+// Raw I/O syscalls and close() outside the wire/unique_fd funnel, plus
+// mid-identifier backslash splices that must not hide either token.
+#define HICOND_CHECK(x) ((void)(x))
+
+void raw_io(int fd, char* buf) {
+  HICOND_CHECK(fd >= 0);
+  read(fd, buf, 16);
+  (void)::write(fd, buf, 16);
+  recv(fd, buf, 16, 0);
+  close(fd);
+}
+
+void spliced(int fd, char* buf) {
+  ::wri\
+te(fd, buf, 8);
+  ::clo\
+se(fd);
+}

@@ -159,11 +159,38 @@ def make_graph_io() -> None:
     write("graph_io", "large_header", b"999999 1\n0 1 1.0\n")
 
 
+# ---------------------------------------------------------------------------
+# wire: raw bytes framed by wire::LineBuffer and round-tripped through a
+# socketpair; complete lines additionally go through router-style request
+# parsing (id / op / deadline_ms).
+# ---------------------------------------------------------------------------
+def make_wire() -> None:
+    write(
+        "wire",
+        "three_requests",
+        b'{"id":1,"op":"topology"}\n'
+        b'{"id":2,"op":"solve","deadline_ms":250.0,"rhs":[0.5,-1.0]}\n'
+        b'{"id":3,"op":"stats"}\n',
+    )
+    write("wire", "short_lines", b"a\nbb\nccc\ndddd\n")
+    write("wire", "no_trailing_newline", b'{"id":4,"op":"load"')
+    write("wire", "empty_lines", b"\n\n\n")
+    # '\r' is payload, not a delimiter: NDJSON frames on bare '\n'.
+    write("wire", "crlf_is_payload", b"line1\r\nline2\r\n")
+    write("wire", "all_bytes", bytes(range(256)) + b"\n")
+    write("wire", "bad_request_lines", b'{"op":42}\n{"id":"x","op":[]}\n')
+    # Longer than one read_into chunk boundary-derived append; ends with an
+    # unterminated tail that must stay buffered.
+    write("wire", "long_line", b"x" * 5000 + b"\n" + b"y" * 100)
+    write("wire", "empty", b"")
+
+
 def main() -> None:
     make_json()
     make_graph_csr()
     make_forest_parents()
     make_graph_io()
+    make_wire()
 
 
 if __name__ == "__main__":
