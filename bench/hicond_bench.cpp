@@ -31,6 +31,7 @@
 
 #include <omp.h>
 
+#include "hicond/dynamic/update.hpp"
 #include "hicond/graph/generators.hpp"
 #include "hicond/la/vector_ops.hpp"
 #include "hicond/obs/json.hpp"
@@ -343,6 +344,70 @@ BenchCase case_serve_batch(vidx side, int k) {
   }};
 }
 
+/// The serve-side update path: one resident base hierarchy, and every
+/// sample lands one reweight batch under a fresh derived fingerprint via
+/// HierarchyCache::update_entry. `repair` selects the local-repair path;
+/// with it off the same updates pay a full cold rebuild -- the pair is the
+/// wall-clock evidence that repair beats rebuild (asserted in CI on the
+/// smoke suite's 20k tree case).
+BenchCase case_serve_update(vidx n, bool repair) {
+  const std::string name = std::string("serve_update_") +
+                           (repair ? "repair" : "rebuild") + "/tree_" +
+                           std::to_string(n);
+  return {name, [name, n, repair](int repeats) {
+    const Graph g =
+        gen::random_tree(n, gen::WeightSpec::uniform(1.0, 2.0), 11);
+    const std::uint64_t fp = serve::graph_fingerprint(g);
+    const LaplacianSolverOptions opt{.hierarchy = {.coarsest_size = 64}};
+    serve::HierarchyCache cache(std::size_t{2} << 30);
+    (void)cache.get_or_build(fp, g, opt);  // resident base entry, untimed
+    // Reweight an intra-cluster edge: the quotient stays intact, so the
+    // repair path is pure incremental work while the rebuild path still
+    // pays the full hierarchy.
+    const LaminarHierarchy h = build_hierarchy(g, opt.hierarchy);
+    vidx eu = 0;
+    vidx ev = g.neighbors(0)[0];
+    if (!h.levels.empty()) {
+      const auto& assign = h.levels.front().decomposition.assignment;
+      for (vidx u = 0; u < g.num_vertices(); ++u) {
+        const auto nbrs = g.neighbors(u);
+        const auto it = std::find_if(
+            nbrs.begin(), nbrs.end(), [&](vidx x) {
+              return u < x && assign[static_cast<std::size_t>(u)] ==
+                                  assign[static_cast<std::size_t>(x)];
+            });
+        if (it != nbrs.end()) {
+          eu = u;
+          ev = *it;
+          break;
+        }
+      }
+    }
+    const double base_w = g.edge_weight(eu, ev);
+    int sample = 0;
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      // A fresh weight per sample keeps every derived fingerprint distinct,
+      // so no sample short-circuits on the idempotent-retry path.
+      const std::vector<dynamic::EdgeUpdate> updates{
+          {dynamic::UpdateKind::reweight, eu, ev,
+           base_w * (2.0 + 0.001 * static_cast<double>(++sample))}};
+      const Graph mutated = dynamic::apply_updates(g, updates);
+      const auto outcome = cache.update_entry(
+          fp, serve::graph_fingerprint(mutated), mutated, updates, opt, {},
+          /*allow_repair=*/repair);
+      if (first) {
+        out.metrics = {
+            {"vertices", static_cast<double>(g.num_vertices())},
+            {"repaired", outcome.repaired ? 1.0 : 0.0},
+            {"upper_rebuilt", outcome.upper_rebuilt ? 1.0 : 0.0},
+            {"clusters_touched",
+             static_cast<double>(outcome.clusters_touched)},
+            {"build_seconds", outcome.build_seconds}};
+      }
+    });
+  }};
+}
+
 // --- sharded serving: round trips through the real router deployment ------
 
 /// Set from argv[0] in main(); the router cases locate the sibling
@@ -575,6 +640,7 @@ Suite make_suite(const std::string& name) {
              case_steiner_apply(10), case_solve_multilevel(48),
              case_serve_solve_cold(48), case_serve_solve_warm(48),
              case_serve_batch(48, 1), case_serve_batch(48, 8),
+             case_serve_update(20000, true), case_serve_update(20000, false),
              case_serve_router_solve_warm(48),
              case_serve_router_batch(48, 8),
              with_threads(case_laplacian_apply(12), 1),
@@ -592,6 +658,8 @@ Suite make_suite(const std::string& name) {
              case_steiner_apply(20), case_solve_multilevel(128),
              case_serve_solve_cold(128), case_serve_solve_warm(128),
              case_serve_batch(128, 1), case_serve_batch(128, 8),
+             case_serve_update(200000, true),
+             case_serve_update(200000, false),
              case_serve_router_solve_warm(128),
              case_serve_router_batch(128, 8),
              with_threads(case_laplacian_apply(32), 1),

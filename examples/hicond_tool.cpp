@@ -15,6 +15,10 @@
 //       snapshot, hicond/serve/snapshot.hpp), .metis/.graph, .wel
 //   hicond_tool fingerprint <graph>
 //       print the 16-hex-digit content fingerprint (the serve cache key)
+//   hicond_tool mutate <in> <updates.json> <out>
+//       apply an edge-update batch (dynamic/update.hpp) and write the
+//       mutated graph; updates.json is {"updates":[...]} or a bare array
+//       of {"kind":"insert|delete|reweight","u":U,"v":V,"weight":W}
 //
 // Global flags (accepted anywhere on the command line):
 //   --trace out.json   record scoped spans, write a Chrome trace-event file
@@ -34,10 +38,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "hicond/certify/certify.hpp"
+#include "hicond/dynamic/update.hpp"
 #include "hicond/graph/connectivity.hpp"
 #include "hicond/graph/generators.hpp"
 #include "hicond/graph/io.hpp"
@@ -78,6 +84,7 @@ int usage() {
                "  hicond_tool solve <graph.wel> [precond]\n"
                "  hicond_tool snapshot-convert <in> <out>\n"
                "  hicond_tool fingerprint <graph>\n"
+               "  hicond_tool mutate <in> <updates.json> <out>\n"
                "(.hsnap = binary snapshot, .metis/.graph = METIS, "
                "otherwise .wel)\n"
                "global flags: --trace out.json | --report | --json | "
@@ -318,6 +325,48 @@ int cmd_snapshot_convert(int argc, char** argv) {
   return 0;
 }
 
+// Extension-dispatched writer mirroring read_any_graph.
+void write_any_graph(const std::string& path, const Graph& g) {
+  if (path.ends_with(".hsnap")) {
+    serve::write_snapshot_file(path, g);
+  } else if (path.ends_with(".metis") || path.ends_with(".graph")) {
+    write_metis_file(path, g);
+  } else {
+    write_graph_file(path, g);
+  }
+}
+
+int cmd_mutate(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const Graph g = read_any_graph(argv[2]);
+  std::ifstream in(argv[3]);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read %s\n", argv[3]);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::JsonValue doc = obs::parse_json(text.str());
+  // Accept the serve wire shape ({"updates":[...]}) or a bare array, so
+  // the same file drives both this command and an `update` request.
+  const obs::JsonValue* list = doc.is_object() ? doc.find("updates") : &doc;
+  if (list == nullptr) {
+    std::fprintf(stderr, "%s has no \"updates\" array\n", argv[3]);
+    return 1;
+  }
+  const std::vector<dynamic::EdgeUpdate> updates =
+      dynamic::parse_updates(*list, std::size_t{1} << 20);
+  const Graph mutated = dynamic::apply_updates(g, updates);
+  write_any_graph(argv[4], mutated);
+  std::printf("%s\n",
+              serve::fingerprint_hex(serve::graph_fingerprint(mutated)).c_str());
+  std::fprintf(stderr, "%s + %zu update(s) -> %s (n=%lld, m=%lld)\n", argv[2],
+               updates.size(), argv[4],
+               static_cast<long long>(mutated.num_vertices()),
+               static_cast<long long>(mutated.num_edges()));
+  return 0;
+}
+
 int cmd_fingerprint(int argc, char** argv) {
   if (argc < 3) return usage();
   const Graph g = read_any_graph(argv[2]);
@@ -387,6 +436,8 @@ int main(int argc, char** argv) {
   } else if (std::strcmp(args[1], "fingerprint") == 0 ||
              std::strcmp(args[1], "--fingerprint") == 0) {
     rc = cmd_fingerprint(n_args, args.data());
+  } else if (std::strcmp(args[1], "mutate") == 0) {
+    rc = cmd_mutate(n_args, args.data());
   } else {
     rc = usage();
   }

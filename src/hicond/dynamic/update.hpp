@@ -1,0 +1,71 @@
+// Edge-update batches over immutable CSR graphs (the dynamic subsystem's
+// entry point).
+//
+// A serving process cannot afford a from-scratch reload per edge change
+// (ROADMAP item 2), so updates are applied as a batch rewrite of the CSR
+// arrays: untouched adjacency rows are copied verbatim, touched rows are
+// re-merged in sorted order, and the result goes through Graph::from_csr.
+// Because from_csr demands canonically sorted rows, the rebuilt graph is in
+// canonical (sorted-adjacency) form regardless of the update order -- which
+// is what makes the content fingerprint (serve/snapshot.hpp) well behaved
+// under mutation: an insert followed by the matching delete restores the
+// original fingerprint bit for bit.
+//
+// Updates are validated *in order* against the running state of the batch:
+// inserting an edge that is already present (in the base graph or earlier in
+// the batch), deleting or reweighting an absent edge, and non-positive or
+// non-finite weights (including reweight-to-zero) are all rejected with
+// invalid_argument_error before any array is rebuilt.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hicond/graph/graph.hpp"
+
+namespace hicond::obs {
+struct JsonValue;
+}  // namespace hicond::obs
+
+namespace hicond::dynamic {
+
+enum class UpdateKind {
+  insert,    ///< add a new edge (u, v) with the given weight
+  remove,    ///< delete an existing edge (u, v)
+  reweight,  ///< replace the weight of an existing edge (u, v)
+};
+
+/// One edge mutation. Endpoints are unordered ((u, v) == (v, u)); `weight`
+/// is ignored for UpdateKind::remove.
+struct EdgeUpdate {
+  UpdateKind kind = UpdateKind::insert;
+  vidx u = 0;
+  vidx v = 0;
+  double weight = 0.0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// Apply a batch of updates and return the mutated graph in canonical CSR
+/// form. The base graph is untouched (Graph is immutable); cost is
+/// O(n + m + b log b) for b updates. An empty (or net-no-op) batch returns a
+/// graph bitwise identical to `g`, so its fingerprint is unchanged. Throws
+/// invalid_argument_error on the violations documented above.
+[[nodiscard]] Graph apply_updates(const Graph& g,
+                                  std::span<const EdgeUpdate> updates);
+
+/// Sorted, deduplicated endpoints of every update in the batch -- the
+/// vertices whose incident clusters repair_decomposition re-examines.
+[[nodiscard]] std::vector<vidx> touched_vertices(
+    std::span<const EdgeUpdate> updates);
+
+/// Parse the wire form of an update list (the "updates" array of the serve
+/// `update` op and of `hicond_tool mutate` files): each element is
+/// {"kind":"insert"|"delete"|"remove"|"reweight","u":U,"v":V,"weight":W}
+/// with "weight" required for insert/reweight. `max_updates` caps the
+/// untrusted array length before any allocation (checked_size). Throws
+/// invalid_argument_error on malformed input.
+[[nodiscard]] std::vector<EdgeUpdate> parse_updates(
+    const obs::JsonValue& array, std::size_t max_updates);
+
+}  // namespace hicond::dynamic

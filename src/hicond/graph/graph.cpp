@@ -140,6 +140,20 @@ bool Graph::has_edge(vidx u, vidx v) const {
   return false;
 }
 
+bool Graph::identical_to(const Graph& other) const noexcept {
+  if (n_ != other.n_ || offsets_ != other.offsets_ ||
+      targets_ != other.targets_) {
+    return false;
+  }
+  if (weights_.size() != other.weights_.size()) return false;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    // Bitwise comparison: equal canonical graphs carry identical weight
+    // bits (weights are positive finite, so IEEE == is bit equality here).
+    if (weights_[i] != other.weights_[i]) return false;  // float-eq: exact
+  }
+  return true;
+}
+
 std::vector<WeightedEdge> Graph::edge_list() const {
   std::vector<WeightedEdge> edges;
   edges.reserve(static_cast<std::size_t>(num_edges()));

@@ -117,6 +117,14 @@ class Graph {
   /// All undirected edges with u < v, in CSR order.
   [[nodiscard]] std::vector<WeightedEdge> edge_list() const;
 
+  /// True when the CSR arrays of the two graphs are bitwise identical
+  /// (same vertex count, offsets, targets, weights). Because construction
+  /// canonicalizes rows, this is content equality for graphs built through
+  /// any public constructor -- it is the in-memory analogue of comparing
+  /// snapshot fingerprints, and what the dynamic-repair path uses to decide
+  /// whether a quotient actually changed. O(n + m).
+  [[nodiscard]] bool identical_to(const Graph& other) const noexcept;
+
   /// y = A_G x where A_G is the graph Laplacian; parallel over vertices.
   void laplacian_apply(std::span<const double> x, std::span<double> y) const;
 

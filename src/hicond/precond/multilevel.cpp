@@ -12,6 +12,18 @@ namespace hicond {
 
 MultilevelSteinerSolver MultilevelSteinerSolver::build(
     LaminarHierarchy hierarchy, const MultilevelOptions& options) {
+  return build_impl(std::move(hierarchy), options, nullptr);
+}
+
+MultilevelSteinerSolver MultilevelSteinerSolver::build(
+    LaminarHierarchy hierarchy, const MultilevelOptions& options,
+    const MultilevelSteinerSolver& reuse) {
+  return build_impl(std::move(hierarchy), options, reuse.state_.get());
+}
+
+MultilevelSteinerSolver MultilevelSteinerSolver::build_impl(
+    LaminarHierarchy hierarchy, const MultilevelOptions& options,
+    const State* reuse) {
   HICOND_CHECK(!hierarchy.levels.empty() ||
                    hierarchy.coarsest.num_vertices() > 0,
                "empty hierarchy");
@@ -37,8 +49,18 @@ MultilevelSteinerSolver MultilevelSteinerSolver::build(
     }
   }
   if (s.state_->hierarchy.coarsest.num_vertices() > 1) {
-    s.state_->coarsest_solver = std::make_unique<LaplacianDirectSolver>(
-        s.state_->hierarchy.coarsest);
+    // The factorization is a pure function of the coarsest graph, so when an
+    // earlier solver factored the identical graph, alias it: same bits, no
+    // refactorization. This is what makes repaired-hierarchy rebuilds cheap
+    // when the quotient chain survived an update.
+    if (reuse != nullptr && reuse->coarsest_solver != nullptr &&
+        s.state_->hierarchy.coarsest.identical_to(reuse->hierarchy.coarsest)) {
+      s.state_->coarsest_solver = reuse->coarsest_solver;
+      obs::MetricsRegistry::global().counter_add("multilevel.coarsest_reuses");
+    } else {
+      s.state_->coarsest_solver = std::make_shared<LaplacianDirectSolver>(
+          s.state_->hierarchy.coarsest);
+    }
   }
   s.state_->cycle_stats.assign(
       static_cast<std::size_t>(s.state_->hierarchy.num_levels()) + 1, {});

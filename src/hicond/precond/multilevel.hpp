@@ -45,6 +45,20 @@ class MultilevelSteinerSolver {
   [[nodiscard]] static MultilevelSteinerSolver build(
       LaminarHierarchy hierarchy, const MultilevelOptions& options = {});
 
+  /// Build over `hierarchy`, reusing state from `reuse` where it provably
+  /// carries over: when the coarsest graphs are bitwise identical the
+  /// coarsest LDL' factorization -- the dominant setup cost on deep
+  /// hierarchies -- is shared instead of refactored. This is the
+  /// dynamic-repair fast path: a repaired hierarchy whose quotient chain was
+  /// preserved (RepairResult::upper_rebuilt == false) keeps the old coarsest
+  /// graph, so the factorization transfers. The result is bitwise identical
+  /// to a from-scratch build (the factorization is a pure function of the
+  /// coarsest graph). Per-level smoother state is rebuilt (smoothers hold
+  /// pointers into their own hierarchy and must not alias another's).
+  [[nodiscard]] static MultilevelSteinerSolver build(
+      LaminarHierarchy hierarchy, const MultilevelOptions& options,
+      const MultilevelSteinerSolver& reuse);
+
   /// z = M^{-1} r (one or more symmetric V-cycles starting from z = 0).
   void apply(std::span<const double> r, std::span<double> z) const;
 
@@ -88,9 +102,16 @@ class MultilevelSteinerSolver {
     /// Per-level cluster-major index driving the parallel restriction.
     std::vector<ClusterIndex> restriction;
     std::vector<std::unique_ptr<ChebyshevSmoother>> chebyshev;  ///< per level
-    std::unique_ptr<LaplacianDirectSolver> coarsest_solver;
+    /// Shared so a rebuilt solver with an identical coarsest graph (the
+    /// dynamic-repair path) can alias the factorization instead of
+    /// refactoring; LaplacianDirectSolver is immutable after construction.
+    std::shared_ptr<const LaplacianDirectSolver> coarsest_solver;
     std::vector<LevelCycleStats> cycle_stats;  ///< levels + coarsest
   };
+
+  [[nodiscard]] static MultilevelSteinerSolver build_impl(
+      LaminarHierarchy hierarchy, const MultilevelOptions& options,
+      const State* reuse);
 
   void cycle(int level, std::span<const double> r, std::span<double> z) const;
   void cycle_block(int level, std::span<const double> r, std::span<double> z,

@@ -130,6 +130,93 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(
   return {std::move(solver), /*hit=*/false, build_seconds};
 }
 
+HierarchyCache::UpdateOutcome HierarchyCache::update_entry(
+    std::uint64_t old_fingerprint, std::uint64_t new_fingerprint,
+    const Graph& new_graph, std::span<const dynamic::EdgeUpdate> updates,
+    const LaplacianSolverOptions& options,
+    const dynamic::RepairOptions& repair_options, bool allow_repair) {
+  HICOND_VALIDATE(expensive, graph_fingerprint(new_graph) == new_fingerprint,
+                  "update fingerprint does not match the updated graph");
+  const std::string options_key = solver_options_key(options);
+  const std::string key =
+      fingerprint_hex(new_fingerprint) + "|" + options_key;
+  auto& metrics = obs::MetricsRegistry::global();
+  UpdateOutcome outcome;
+  {
+    const MutexLock lock(mu_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      // Idempotence: the new fingerprint is already resident (e.g. a retried
+      // update after a worker death) -- serve it, do not rebuild.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      it->second->hits += 1;
+      it->second->last_use = ++ticks_;
+      metrics.counter_add("serve.cache.update_idempotent_hits");
+      outcome.solver = it->second->solver;
+      outcome.already_cached = true;
+      return outcome;
+    }
+    ++ticks_;
+  }
+  // Probe, repair and build outside the lock (same policy as get_or_build:
+  // construction must not serialize concurrent cache hits).
+  const std::shared_ptr<const LaplacianSolver> old_solver =
+      peek(old_fingerprint, options);
+  const Timer build_timer;
+  std::shared_ptr<const LaplacianSolver> solver;
+  if (!allow_repair) {
+    outcome.decline_reason = "repair_disabled";
+  } else if (old_solver == nullptr) {
+    outcome.decline_reason = "old_fingerprint_not_cached";
+  } else {
+    dynamic::RepairResult rr = dynamic::repair_decomposition(
+        new_graph, updates, old_solver->multilevel().hierarchy(),
+        options.hierarchy, repair_options);
+    outcome.clusters_dirty = rr.clusters_dirty;
+    if (rr.repaired) {
+      solver = std::make_shared<const LaplacianSolver>(
+          new_graph, std::move(rr.hierarchy), options,
+          &old_solver->multilevel());
+      outcome.repaired = true;
+      outcome.upper_rebuilt = rr.upper_rebuilt;
+      outcome.clusters_touched = rr.clusters_touched;
+    } else {
+      outcome.decline_reason = rr.decline_reason;
+    }
+  }
+  if (solver == nullptr) {
+    solver = std::make_shared<const LaplacianSolver>(new_graph, options);
+  }
+  outcome.build_seconds = build_timer.seconds();
+  const std::size_t bytes = approx_solver_bytes(*solver);
+  Stats snapshot;
+  {
+    const MutexLock lock(mu_);
+    ++misses_;
+    if (const auto it = index_.find(key); it != index_.end()) {
+      // A concurrent builder won the race; keep its entry.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->last_use = ticks_;
+      outcome.solver = it->second->solver;
+      return outcome;
+    }
+    lru_.push_front(Entry{key, new_fingerprint, options_key, solver, bytes,
+                          /*hits=*/0, /*last_use=*/ticks_});
+    index_[key] = lru_.begin();
+    bytes_ += bytes;
+    evict_to_budget_locked();
+    snapshot = stats_locked();
+  }
+  metrics.counter_add("serve.cache.updates");
+  metrics.counter_add(outcome.repaired ? "serve.cache.update_repairs"
+                                       : "serve.cache.update_cold_builds");
+  metrics.histogram_record("serve.cache.build_seconds",
+                           outcome.build_seconds);
+  record_gauges(snapshot);
+  outcome.solver = std::move(solver);
+  return outcome;
+}
+
 std::shared_ptr<const LaplacianSolver> HierarchyCache::peek(
     std::uint64_t fingerprint, const LaplacianSolverOptions& options) const {
   const std::string key =

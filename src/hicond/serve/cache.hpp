@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "hicond/dynamic/repair.hpp"
 #include "hicond/solver.hpp"
 #include "hicond/util/thread_annotations.hpp"
 
@@ -61,6 +62,36 @@ class HierarchyCache {
   /// Probe without building; nullptr on miss (does not touch LRU order).
   [[nodiscard]] std::shared_ptr<const LaplacianSolver> peek(
       std::uint64_t fingerprint, const LaplacianSolverOptions& options) const;
+
+  struct UpdateOutcome {
+    std::shared_ptr<const LaplacianSolver> solver;
+    bool repaired = false;        ///< built by local repair (not cold)
+    bool already_cached = false;  ///< new fingerprint was already resident
+    bool upper_rebuilt = false;   ///< repair had to rebuild above level 0
+    vidx clusters_touched = 0;    ///< dissolved (dirty + halo) clusters
+    vidx clusters_dirty = 0;
+    /// Why the build fell back to cold ("flat_hierarchy",
+    /// "dirty_volume_exceeded", "old_fingerprint_not_cached",
+    /// "repair_disabled"); empty when repaired or already cached.
+    std::string decline_reason;
+    double build_seconds = 0.0;  ///< 0 when already cached
+  };
+
+  /// Update-in-place: install a solver for `new_fingerprint` (the graph
+  /// after `updates` were applied to the old graph) under the same options,
+  /// repairing the old entry's hierarchy locally when possible. Falls back
+  /// to a cold build when the old fingerprint is not resident, repair
+  /// declines (see dynamic/repair.hpp), or `allow_repair` is false -- the
+  /// result is a resident entry for the new key either way. Idempotent: if
+  /// the new key is already cached the existing solver is returned with
+  /// `already_cached` set and no work done (this is what makes a retried
+  /// router `update` land exactly once).
+  [[nodiscard]] UpdateOutcome update_entry(
+      std::uint64_t old_fingerprint, std::uint64_t new_fingerprint,
+      const Graph& new_graph, std::span<const dynamic::EdgeUpdate> updates,
+      const LaplacianSolverOptions& options,
+      const dynamic::RepairOptions& repair_options = {},
+      bool allow_repair = true);
 
   /// Per-entry usage record: how often each resident hierarchy was served
   /// from cache and when it was last touched (a logical access tick, not

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "hicond/dynamic/update.hpp"
+#include "hicond/graph/connectivity.hpp"
 #include "hicond/graph/io.hpp"
 #include "hicond/la/vector_ops.hpp"
 #include "hicond/obs/json.hpp"
@@ -119,8 +121,8 @@ std::optional<std::string> ServerCore::submit(const std::string& line) {
     HICOND_CHECK(op != nullptr && op->is_string(),
                  "request needs a string \"op\" field");
     if (op->string != "load" && op->string != "solve" &&
-        op->string != "batch_solve" && op->string != "stats" &&
-        op->string != "shutdown") {
+        op->string != "batch_solve" && op->string != "update" &&
+        op->string != "stats" && op->string != "shutdown") {
       return error_response(id, "unknown_op",
                             "unsupported op: " + op->string);
     }
@@ -239,10 +241,11 @@ std::string ServerCore::process(const Pending& pending) {
     return w.str();
   }
 
-  // solve / batch_solve share graph resolution and option overrides.
+  // solve / batch_solve / update share graph resolution and option
+  // overrides.
   const obs::JsonValue& graph_field = request.at("graph");
   HICOND_CHECK(graph_field.is_string(),
-               "solve needs a string \"graph\" fingerprint");
+               "request needs a string \"graph\" fingerprint");
   const std::uint64_t fp = parse_fingerprint(graph_field.string);
   const auto git = graphs_.find(fp);
   if (git == graphs_.end()) {
@@ -259,6 +262,77 @@ std::string ServerCore::process(const Pending& pending) {
   solver_options.max_iterations = static_cast<int>(number_or(
       request, "max_iterations",
       static_cast<double>(solver_options.max_iterations)));
+
+  if (op == "update") {
+    // A wire-supplied batch length is untrusted; cap it before parsing
+    // allocates (same discipline as rhs_random.count below).
+    constexpr std::uint64_t kMaxUpdates = std::uint64_t{1} << 20;
+    const std::vector<dynamic::EdgeUpdate> updates =
+        dynamic::parse_updates(request.at("updates"), kMaxUpdates);
+    std::string mode = "auto";
+    if (const obs::JsonValue* mv = request.find("mode"); mv != nullptr) {
+      HICOND_CHECK(mv->is_string(), "update mode must be a string");
+      mode = mv->string;
+      HICOND_CHECK(mode == "auto" || mode == "rebuild",
+                   "update mode must be \"auto\" or \"rebuild\"");
+    }
+    Graph new_graph = dynamic::apply_updates(graph, updates);
+    const std::uint64_t new_fp = graph_fingerprint(new_graph);
+    const auto new_n = static_cast<std::int64_t>(new_graph.num_vertices());
+    const auto new_arcs = static_cast<std::int64_t>(new_graph.num_arcs());
+    if (new_fp == fp) {
+      // Net no-op batch: canonical form is unchanged, so the fingerprint is
+      // too; nothing is registered or built.
+      w.kv("ok", true);
+      w.kv("op", op);
+      w.kv("graph", graph_field.string);
+      w.kv("new_graph", graph_field.string);
+      w.kv("unchanged", true);
+      w.kv("n", new_n);
+      w.kv("arcs", new_arcs);
+      w.end_object();
+      return w.str();
+    }
+    if (!is_connected(new_graph)) {
+      // Reject before registering anything: a disconnected graph cannot be
+      // served (LaplacianSolver requires connectivity), so the update must
+      // not land partially.
+      return error_response(pending.id, "disconnected",
+                            "update would disconnect the graph; no state "
+                            "was changed");
+    }
+    // emplace keeps an existing registration (a retried update), so the
+    // shared_ptr handed to earlier solves stays valid.
+    const auto [new_git, inserted] = graphs_.emplace(
+        new_fp, std::make_shared<const Graph>(std::move(new_graph)));
+    static_cast<void>(inserted);
+    const HierarchyCache::UpdateOutcome outcome = cache_.update_entry(
+        fp, new_fp, *new_git->second, updates, solver_options, {},
+        /*allow_repair=*/mode != "rebuild");
+    if (expired()) {
+      // The repaired/rebuilt entry stays cached for later requests, but
+      // this response is shed.
+      return error_response(pending.id, "deadline_exceeded",
+                            "deadline expired during update build");
+    }
+    w.kv("ok", true);
+    w.kv("op", op);
+    w.kv("graph", graph_field.string);
+    w.kv("new_graph", fingerprint_hex(new_fp));
+    w.kv("unchanged", false);
+    w.kv("n", new_n);
+    w.kv("arcs", new_arcs);
+    w.kv("repaired", outcome.repaired);
+    w.kv("already_cached", outcome.already_cached);
+    w.kv("upper_rebuilt", outcome.upper_rebuilt);
+    w.kv("clusters_touched",
+         static_cast<std::int64_t>(outcome.clusters_touched));
+    w.kv("clusters_dirty", static_cast<std::int64_t>(outcome.clusters_dirty));
+    w.kv("decline_reason", outcome.decline_reason);
+    w.kv("setup_seconds", outcome.build_seconds);
+    w.end_object();
+    return w.str();
+  }
 
   const HierarchyCache::Lookup lookup =
       cache_.get_or_build(fp, graph, solver_options);

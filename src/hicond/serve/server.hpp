@@ -15,6 +15,11 @@
 //   {"op":"load","path":P}                 read a snapshot/text graph file
 //   {"op":"solve","graph":FP,...}          single RHS through the cache
 //   {"op":"batch_solve","graph":FP,...}    k RHS, blocked (serve/batch.hpp)
+//   {"op":"update","graph":FP,"updates":[...]}  apply an edge-update batch:
+//       registers the mutated graph under its new fingerprint and installs
+//       its solver by local hierarchy repair (dynamic/repair.hpp) when
+//       possible, cold build otherwise; "mode":"rebuild" forces the cold
+//       path. Response carries new_graph, repaired, clusters_touched.
 //   {"op":"stats"}                         cache + queue counters
 //   {"op":"shutdown"}                      drain and stop
 // Every response is a single JSON object with "id" echoed and "ok"; errors

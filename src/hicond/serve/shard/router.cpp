@@ -157,6 +157,8 @@ void Router::handle_client_line(const std::string& line) {
       handle_load(request, line, id, deadline_ms);
     } else if (op == "solve" || op == "batch_solve") {
       handle_solve(request, line, id, deadline_ms);
+    } else if (op == "update") {
+      handle_update(request, line, id, deadline_ms);
     } else {
       respond_error(id, "unknown_op", "unsupported op: " + op);
     }
@@ -222,7 +224,12 @@ void Router::handle_solve(const obs::JsonValue& request,
   ++stat_routed_;
   obs::MetricsRegistry::global().counter_add("serve.router.routed");
   requests_by_fp_[fp] += 1;
-  const int w = route_worker(fp);
+  // A derived fingerprint (the result of an `update`) routes through its
+  // root with failover disabled: the mutated state lives only on the
+  // worker that executed the update chain.
+  const std::uint64_t root = resolve_root(fp);
+  const bool derived = root != fp;
+  const int w = route_worker(root, /*allow_replica=*/!derived);
   if (w < 0) {
     respond_error(id, "worker_failed",
                   "no worker available for this fingerprint");
@@ -231,18 +238,57 @@ void Router::handle_solve(const obs::JsonValue& request,
   Pending p;
   p.raw = line;
   p.client_id = id;
-  p.fp = fp;
+  p.fp = root;
   p.has_fp = true;
+  p.primary_only = derived;
   p.deadline_ms = deadline_ms;
   (void)dispatch(w, std::move(p));
   maybe_recompute_hot();
+}
+
+void Router::handle_update(const obs::JsonValue& request,
+                           const std::string& line, std::int64_t id,
+                           double deadline_ms) {
+  const obs::JsonValue& graph_field = request.at("graph");
+  HICOND_CHECK(graph_field.is_string(),
+               "update needs a string \"graph\" fingerprint");
+  const std::uint64_t fp = parse_fingerprint(graph_field.string);
+  ++stat_updates_;
+  obs::MetricsRegistry::global().counter_add("serve.router.updates");
+  // Updates always run on the root's primary: executing one on the mirror
+  // would fork the derived state across two workers.
+  const std::uint64_t root = resolve_root(fp);
+  const int w = route_worker(root, /*allow_replica=*/false);
+  if (w < 0) {
+    respond_error(id, "worker_failed",
+                  "no worker available for this fingerprint");
+    return;
+  }
+  Pending p;
+  p.raw = line;
+  p.client_id = id;
+  p.fp = root;
+  p.has_fp = true;
+  p.is_update = true;
+  p.primary_only = true;
+  p.update_old = fp;
+  p.deadline_ms = deadline_ms;
+  (void)dispatch(w, std::move(p));
+}
+
+std::uint64_t Router::resolve_root(std::uint64_t fp) const {
+  if (loads_.count(fp) != 0) {
+    return fp;
+  }
+  const auto it = derived_root_.find(fp);
+  return it == derived_root_.end() ? fp : it->second;
 }
 
 // ---------------------------------------------------------------------------
 // Routing, dispatch, lanes
 // ---------------------------------------------------------------------------
 
-int Router::route_worker(std::uint64_t fp) {
+int Router::route_worker(std::uint64_t fp, bool allow_replica) {
   const int p = ring_.primary(fp);
   const auto usable = [this](int w) {
     return w >= 0 && !lanes_[static_cast<std::size_t>(w)].failed;
@@ -252,7 +298,7 @@ int Router::route_worker(std::uint64_t fp) {
   }
   // Primary down, starting, or failed: a replicated fingerprint is served
   // by its mirror instead of waiting out the respawn.
-  if (replicated_.count(fp) != 0) {
+  if (allow_replica && replicated_.count(fp) != 0) {
     const int r = ring_.replica(fp);
     if (usable(r) && pool_.state(r) == WorkerPool::State::up) {
       ++stat_promotions_;
@@ -263,6 +309,9 @@ int Router::route_worker(std::uint64_t fp) {
   }
   if (usable(p)) {
     return p;  // queue behind the respawn
+  }
+  if (!allow_replica) {
+    return -1;  // the state this request needs exists only on the primary
   }
   const int r = ring_.replica(fp);
   return usable(r) ? r : -1;
@@ -369,6 +418,12 @@ void Router::complete_line(int w, const std::string& line) {
   lane.inflight.pop_front();
   switch (p.action) {
     case Action::relay:
+      // Record even when the relay was discarded (deadline expired while in
+      // flight): the worker *did* execute the update, so the routing table
+      // must learn the derived fingerprint either way.
+      if (p.is_update) {
+        record_update_result(p, line);
+      }
       if (!p.discarded) {
         respond(line);
       }
@@ -389,6 +444,44 @@ void Router::complete_line(int w, const std::string& line) {
       }
       break;
     }
+  }
+}
+
+void Router::record_update_result(const Pending& p, const std::string& line) {
+  try {
+    const obs::JsonValue doc = obs::parse_json(line);
+    const obs::JsonValue* ok = doc.find("ok");
+    if (ok == nullptr || ok->kind != obs::JsonValue::Kind::boolean ||
+        !ok->boolean) {
+      return;  // the worker rejected the update; no state changed
+    }
+    if (const obs::JsonValue* unchanged = doc.find("unchanged");
+        unchanged != nullptr &&
+        unchanged->kind == obs::JsonValue::Kind::boolean &&
+        unchanged->boolean) {
+      return;  // empty batch: no new fingerprint to track
+    }
+    const obs::JsonValue* ng = doc.find("new_graph");
+    if (ng == nullptr || !ng->is_string()) {
+      return;
+    }
+    const std::uint64_t new_fp = parse_fingerprint(ng->string);
+    if (new_fp == p.update_old) {
+      return;
+    }
+    if (derived_root_.emplace(new_fp, p.fp).second) {
+      // First sighting of this derived fingerprint: keep the verbatim line
+      // so the owning primary can re-execute the chain after a respawn
+      // (cache idempotence worker-side makes the replay land exactly once).
+      update_replay_.emplace_back(p.fp, p.raw);
+    }
+    // The pre-update fingerprint's hot mirror is stale relative to the
+    // tenant's working set, which just moved to the derived fingerprint;
+    // stop promoting it and make replication re-earnable from fresh counts.
+    replicated_.erase(p.update_old);
+    requests_by_fp_.erase(p.update_old);
+  } catch (const std::exception&) {
+    // Unparseable relay body; nothing to track.
   }
 }
 
@@ -431,8 +524,9 @@ void Router::handle_worker_death(int w) {
         ++stat_retries_;
         obs::MetricsRegistry::global().counter_add("serve.router.retries");
         // Replicated fingerprints fail over immediately; everything else
-        // waits for the respawn at the front of the backlog.
-        if (p.has_fp && replicated_.count(p.fp) != 0) {
+        // (including primary-only update traffic, whose state the mirror
+        // does not have) waits for the respawn at the front of the backlog.
+        if (p.has_fp && !p.primary_only && replicated_.count(p.fp) != 0) {
           const int other = ring_.primary(p.fp) == w ? ring_.replica(p.fp)
                                                      : ring_.primary(p.fp);
           if (other >= 0 && other != w &&
@@ -491,6 +585,23 @@ void Router::on_worker_up(int w) {
     p.raw = load_line_for(fp);
     p.fp = fp;
     p.has_fp = true;
+    p.action = Action::absorb;
+    replay.push_back(std::move(p));
+  }
+  // Then every successful update whose root this worker primaries, in
+  // execution order: replay rebuilds the derived graphs the dead worker
+  // held (the loads above restored their roots first). Worker-side cache
+  // idempotence makes a replayed update land exactly once even when the
+  // retried in-flight copy of the same line also runs.
+  for (const auto& [root, line] : update_replay_) {
+    if (ring_.primary(root) != w) {
+      continue;
+    }
+    Pending p;
+    p.raw = line;
+    p.fp = root;
+    p.has_fp = true;
+    p.primary_only = true;
     p.action = Action::absorb;
     replay.push_back(std::move(p));
   }
@@ -718,6 +829,8 @@ void Router::finish_stats(int tag) {
   w.begin_object();
   w.kv("requests", stat_requests_);
   w.kv("routed", stat_routed_);
+  w.kv("updates", stat_updates_);
+  w.kv("derived_graphs", static_cast<std::int64_t>(derived_root_.size()));
   w.kv("retries", stat_retries_);
   w.kv("restarts", stat_restarts_);
   w.kv("replica_promotions", stat_promotions_);
@@ -802,6 +915,16 @@ void Router::handle_topology(std::int64_t id) {
     const auto rit = requests_by_fp_.find(fp);
     w.kv("requests", rit == requests_by_fp_.end() ? std::int64_t{0}
                                                   : rit->second);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("derived");
+  w.begin_array();
+  for (const auto& [fp, root] : derived_root_) {
+    w.begin_object();
+    w.kv("fingerprint", fingerprint_hex(fp));
+    w.kv("root", fingerprint_hex(root));
+    w.kv("primary", ring_.primary(root));
     w.end_object();
   }
   w.end_array();

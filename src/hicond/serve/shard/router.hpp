@@ -9,13 +9,25 @@
 // the client seeing anything but latency.
 //
 // Protocol: the client-facing framing is exactly the worker NDJSON protocol
-// (docs/SERVING.md) plus one router-only op, `topology`. `load`, `solve`
-// and `batch_solve` lines are forwarded to the owning worker *verbatim*, so
-// a routed response body is the byte-for-byte response a lone server would
-// have produced -- which is what makes the `solution_fnv` fixtures a free
-// bitwise verification of the whole deployment. `stats` fans out to every
-// worker and merges the per-worker documents into one aggregate; `shutdown`
-// drains, stops every worker, and exits.
+// (docs/SERVING.md) plus one router-only op, `topology`. `load`, `solve`,
+// `batch_solve` and `update` lines are forwarded to the owning worker
+// *verbatim*, so a routed response body is the byte-for-byte response a
+// lone server would have produced -- which is what makes the
+// `solution_fnv` fixtures a free bitwise verification of the whole
+// deployment. `stats` fans out to every worker and merges the per-worker
+// documents into one aggregate; `shutdown` drains, stops every worker, and
+// exits.
+//
+// `update` creates *derived* fingerprints: the mutated graph is registered
+// on exactly the worker that executed the update, so the router records
+// derived -> root in `derived_root_` and routes every request for a derived
+// fingerprint to its root's primary, with replica promotion disabled (the
+// mirror never saw the update). Successful update lines are kept, in
+// execution order, and replayed after the loads when the owning primary
+// respawns; worker-side cache idempotence makes a replayed or retried
+// update land exactly once. An update also drops the pre-update fingerprint
+// from the hot set -- its mirror is stale relative to the tenant's working
+// set, which has moved to the derived fingerprint.
 //
 // The exchange with a worker is bulk-synchronous in the sense of the
 // distributed expander-decomposition literature (Chen et al., PAPERS.md):
@@ -119,6 +131,11 @@ class Router {
     bool has_fp = false;
     bool retried = false;    ///< one retry spent (next failure is terminal)
     bool discarded = false;  ///< already answered; drop worker's response
+    bool is_update = false;  ///< an `update` op; completion is recorded
+    /// Never promote to the replica: the state this request needs (an update
+    /// chain's derived graphs) exists only on the root's primary worker.
+    bool primary_only = false;
+    std::uint64_t update_old = 0;  ///< `update` only: pre-update fingerprint
     Action action = Action::relay;
     int stats_tag = -1;
     double deadline_ms = -1.0;  ///< <= 0 none; clock starts at admission
@@ -150,6 +167,8 @@ class Router {
                    std::int64_t id, double deadline_ms);
   void handle_solve(const obs::JsonValue& request, const std::string& line,
                     std::int64_t id, double deadline_ms);
+  void handle_update(const obs::JsonValue& request, const std::string& line,
+                     std::int64_t id, double deadline_ms);
   void start_stats_fanout(std::int64_t id, double deadline_ms);
   void finish_stats(int tag);
   void handle_topology(std::int64_t id);
@@ -158,8 +177,16 @@ class Router {
 
   /// Worker a fingerprint's requests go to right now: the ring primary,
   /// unless it is unavailable and the fingerprint is replicated (promotion)
-  /// or the primary is permanently failed.
-  int route_worker(std::uint64_t fp);
+  /// or the primary is permanently failed. With `allow_replica` false the
+  /// replica is never considered (update chains live primary-only).
+  int route_worker(std::uint64_t fp, bool allow_replica = true);
+  /// The loaded fingerprint a request for `fp` routes by: `fp` itself when
+  /// it was loaded, its recorded root when it is update-derived.
+  [[nodiscard]] std::uint64_t resolve_root(std::uint64_t fp) const;
+  /// Parse a relayed `update` response and, on success, record the derived
+  /// fingerprint's root, keep the line for respawn replay, and drop the
+  /// pre-update fingerprint from the hot set.
+  void record_update_result(const Pending& p, const std::string& line);
   DispatchResult dispatch(int w, Pending&& p);
   void refill_window(int w);
   void flush(int w);
@@ -188,6 +215,14 @@ class Router {
   std::map<std::uint64_t, std::string> loads_;
   std::map<std::uint64_t, std::int64_t> requests_by_fp_;
   std::set<std::uint64_t> replicated_;  ///< mirrored to their replica slot
+  /// Update-derived fingerprint -> the loaded root it descends from. A
+  /// derived fingerprint routes to its root's primary, replica promotion
+  /// disabled: the mutated state exists on exactly one worker.
+  std::map<std::uint64_t, std::uint64_t> derived_root_;
+  /// Successful `update` lines in execution order, keyed by root
+  /// fingerprint; replayed after the loads when the root's primary
+  /// respawns, rebuilding the derived graphs the dead worker held.
+  std::vector<std::pair<std::uint64_t, std::string>> update_replay_;
 
   std::map<int, StatsFanout> fanouts_;
   int next_stats_tag_ = 0;
@@ -205,6 +240,7 @@ class Router {
   int routed_since_hot_scan_ = 0;
   std::int64_t stat_requests_ = 0;
   std::int64_t stat_routed_ = 0;
+  std::int64_t stat_updates_ = 0;
   std::int64_t stat_retries_ = 0;
   std::int64_t stat_restarts_ = 0;
   std::int64_t stat_promotions_ = 0;

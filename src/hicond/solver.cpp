@@ -23,6 +23,28 @@ LaplacianSolver::LaplacianSolver(Graph g,
   setup_seconds_ = setup_timer.seconds();
 }
 
+LaplacianSolver::LaplacianSolver(Graph g, LaminarHierarchy hierarchy,
+                                 const LaplacianSolverOptions& options,
+                                 const MultilevelSteinerSolver* reuse)
+    : options_(options), graph_(std::make_shared<Graph>(std::move(g))) {
+  HICOND_SPAN("solver.setup");
+  const Timer setup_timer;
+  HICOND_CHECK(graph_->num_vertices() >= 1, "empty graph");
+  const Graph& base = hierarchy.levels.empty() ? hierarchy.coarsest
+                                               : hierarchy.levels.front().graph;
+  HICOND_CHECK(base.identical_to(*graph_),
+               "hierarchy base graph does not match the solver's graph");
+  HICOND_CHECK(is_connected(*graph_),
+               "LaplacianSolver requires a connected graph");
+  solver_ = std::make_shared<MultilevelSteinerSolver>(
+      reuse != nullptr
+          ? MultilevelSteinerSolver::build(std::move(hierarchy),
+                                           options.multilevel, *reuse)
+          : MultilevelSteinerSolver::build(std::move(hierarchy),
+                                           options.multilevel));
+  setup_seconds_ = setup_timer.seconds();
+}
+
 SolveStats LaplacianSolver::solve(std::span<const double> b,
                                   std::span<double> x) const {
   HICOND_SPAN("solver.solve");

@@ -33,6 +33,17 @@ class LaplacianSolver {
  public:
   explicit LaplacianSolver(Graph g, const LaplacianSolverOptions& options = {});
 
+  /// Build from an externally constructed hierarchy instead of running
+  /// build_hierarchy -- the dynamic-repair entry point (dynamic/repair.hpp):
+  /// `hierarchy.levels[0].graph` (or `coarsest` for a flat hierarchy) must
+  /// be bitwise identical to `g`, which is checked. When `reuse` is non-null
+  /// its preconditioner state is carried over where provably unchanged (see
+  /// MultilevelSteinerSolver::build's reuse overload); the resulting solver
+  /// behaves bitwise identically to one built without `reuse`.
+  LaplacianSolver(Graph g, LaminarHierarchy hierarchy,
+                  const LaplacianSolverOptions& options = {},
+                  const MultilevelSteinerSolver* reuse = nullptr);
+
   /// Solve A x = b in the pseudo-inverse sense (b is projected onto the
   /// mean-free subspace; the returned x is mean-free). Throws numeric_error
   /// if the iteration does not reach tolerance.

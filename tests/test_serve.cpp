@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "hicond/dynamic/update.hpp"
 #include "hicond/graph/generators.hpp"
 #include "hicond/graph/io.hpp"
 #include "hicond/la/vector_ops.hpp"
@@ -391,6 +392,161 @@ TEST(ServeServer, ShutdownDrainsAndStops) {
   const auto response = client.call(R"({"op":"shutdown"})");
   EXPECT_TRUE(response.at("ok").boolean);
   EXPECT_TRUE(client.core().shutting_down());
+}
+
+// --- the update op --------------------------------------------------------
+
+TEST(ServeUpdate, UpdateOverTheWireServesBothFingerprints) {
+  const Graph g = test_graph();
+  const std::string path = write_test_snapshot(g, "serve_update.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+
+  InProcessClient client;
+  ASSERT_TRUE(client.call(R"({"op":"load","path":")" + path + R"("})")
+                  .at("ok")
+                  .boolean);
+  // Warm the old fingerprint so the update can repair in place.
+  ASSERT_TRUE(
+      client.call(R"({"op":"solve","graph":")" + fp + R"(","rhs_seed":1})")
+          .at("ok")
+          .boolean);
+
+  const std::string update_req =
+      R"({"id":5,"op":"update","graph":")" + fp +
+      R"(","updates":[{"kind":"reweight","u":0,"v":1,"weight":9.5}]})";
+  const auto up = client.call(update_req);
+  ASSERT_TRUE(up.at("ok").boolean) << up.at("message").string;
+  EXPECT_FALSE(up.at("unchanged").boolean);
+  const std::string new_fp = up.at("new_graph").string;
+  EXPECT_NE(new_fp, fp);
+  EXPECT_EQ(static_cast<vidx>(up.at("n").number), g.num_vertices());
+  // The mutated hierarchy was installed under the new fingerprint with the
+  // same solver options, so a follow-up solve is a cache hit...
+  const auto solve_new = client.call(
+      R"({"op":"solve","graph":")" + new_fp + R"(","rhs_seed":1})");
+  ASSERT_TRUE(solve_new.at("ok").boolean);
+  EXPECT_TRUE(solve_new.at("cache_hit").boolean);
+  EXPECT_TRUE(solve_new.at("converged").boolean);
+  // ...and the pre-update graph remains served.
+  const auto solve_old = client.call(
+      R"({"op":"solve","graph":")" + fp + R"(","rhs_seed":1})");
+  ASSERT_TRUE(solve_old.at("ok").boolean);
+  EXPECT_TRUE(solve_old.at("cache_hit").boolean);
+
+  // A retried (duplicate) update lands exactly once: same new fingerprint,
+  // no second build.
+  const auto retry = client.call(update_req);
+  ASSERT_TRUE(retry.at("ok").boolean);
+  EXPECT_EQ(retry.at("new_graph").string, new_fp);
+  EXPECT_TRUE(retry.at("already_cached").boolean);
+}
+
+TEST(ServeUpdate, EmptyAndNetNoOpBatchesAreUnchanged) {
+  const Graph g = test_graph();
+  const std::string path = write_test_snapshot(g, "serve_update_noop.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+  InProcessClient client;
+  ASSERT_TRUE(client.call(R"({"op":"load","path":")" + path + R"("})")
+                  .at("ok")
+                  .boolean);
+
+  const auto empty = client.call(
+      R"({"op":"update","graph":")" + fp + R"(","updates":[]})");
+  ASSERT_TRUE(empty.at("ok").boolean);
+  EXPECT_TRUE(empty.at("unchanged").boolean);
+  EXPECT_EQ(empty.at("new_graph").string, fp);
+
+  // Insert + delete of the same absent edge cancels in canonical form, so
+  // the fingerprint round-trips and no new state is registered.
+  const auto cancel = client.call(
+      R"({"op":"update","graph":")" + fp +
+      R"(","updates":[{"kind":"insert","u":0,"v":25,"weight":2.0},)"
+      R"({"kind":"delete","u":0,"v":25}]})");
+  ASSERT_TRUE(cancel.at("ok").boolean);
+  EXPECT_TRUE(cancel.at("unchanged").boolean);
+  EXPECT_EQ(cancel.at("new_graph").string, fp);
+}
+
+TEST(ServeUpdate, RebuildModeIsBitwiseIdenticalToColdLoadOfMutatedGraph) {
+  const Graph g = test_graph();
+  const std::string path = write_test_snapshot(g, "serve_update_base.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+
+  // Ground truth: mutate the graph in-process and serve it cold.
+  const std::vector<dynamic::EdgeUpdate> updates{
+      {dynamic::UpdateKind::insert, 0, 25, 1.5},
+      {dynamic::UpdateKind::reweight, 0, 1, 3.0},
+  };
+  const Graph mutated = dynamic::apply_updates(g, updates);
+  const std::string mutated_path =
+      write_test_snapshot(mutated, "serve_update_mutated.hsnap");
+  const std::string mutated_fp =
+      serve::fingerprint_hex(serve::graph_fingerprint(mutated));
+
+  InProcessClient cold;
+  ASSERT_TRUE(
+      cold.call(R"({"op":"load","path":")" + mutated_path + R"("})")
+          .at("ok")
+          .boolean);
+  const auto truth = cold.call(
+      R"({"op":"solve","graph":")" + mutated_fp + R"(","rhs_seed":42})");
+  ASSERT_TRUE(truth.at("ok").boolean);
+
+  // Candidate: the same graph reached through the update op in rebuild
+  // mode. A rebuild constructs the hierarchy from scratch exactly like a
+  // cold load, so the solution bits must match the truth server's.
+  InProcessClient via_update;
+  ASSERT_TRUE(via_update.call(R"({"op":"load","path":")" + path + R"("})")
+                  .at("ok")
+                  .boolean);
+  const auto up = via_update.call(
+      R"({"op":"update","graph":")" + fp + R"(","mode":"rebuild",)"
+      R"("updates":[{"kind":"insert","u":0,"v":25,"weight":1.5},)"
+      R"({"kind":"reweight","u":0,"v":1,"weight":3.0}]})");
+  ASSERT_TRUE(up.at("ok").boolean) << up.at("message").string;
+  EXPECT_FALSE(up.at("repaired").boolean);
+  ASSERT_EQ(up.at("new_graph").string, mutated_fp);
+  const auto candidate = via_update.call(
+      R"({"op":"solve","graph":")" + mutated_fp + R"(","rhs_seed":42})");
+  ASSERT_TRUE(candidate.at("ok").boolean);
+  EXPECT_EQ(candidate.at("solution_fnv").string,
+            truth.at("solution_fnv").string);
+  EXPECT_EQ(candidate.at("iterations").number, truth.at("iterations").number);
+}
+
+TEST(ServeUpdate, ErrorPathsLeaveServerStateUntouched) {
+  // A disconnecting update must be rejected atomically: use a path graph,
+  // where every edge is a bridge.
+  const Graph g = gen::path(6, gen::WeightSpec::uniform(1.0, 2.0), 3);
+  const std::string path = write_test_snapshot(g, "serve_update_err.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+  InProcessClient client;
+  ASSERT_TRUE(client.call(R"({"op":"load","path":")" + path + R"("})")
+                  .at("ok")
+                  .boolean);
+
+  const auto unloaded = client.call(
+      R"({"op":"update","graph":"00000000deadbeef","updates":[]})");
+  EXPECT_FALSE(unloaded.at("ok").boolean);
+  EXPECT_EQ(unloaded.at("error").string, "not_found");
+
+  const auto malformed = client.call(
+      R"({"op":"update","graph":")" + fp +
+      R"(","updates":[{"kind":"teleport","u":0,"v":1}]})");
+  EXPECT_FALSE(malformed.at("ok").boolean);
+  EXPECT_EQ(malformed.at("error").string, "bad_request");
+
+  const auto disconnect = client.call(
+      R"({"op":"update","graph":")" + fp +
+      R"(","updates":[{"kind":"delete","u":2,"v":3}]})");
+  EXPECT_FALSE(disconnect.at("ok").boolean);
+  EXPECT_EQ(disconnect.at("error").string, "disconnected");
+
+  // After all three rejections the original graph still solves.
+  const auto solve = client.call(
+      R"({"op":"solve","graph":")" + fp + R"(","rhs_seed":2})");
+  ASSERT_TRUE(solve.at("ok").boolean);
+  EXPECT_TRUE(solve.at("converged").boolean);
 }
 
 // --- fingerprints ---------------------------------------------------------

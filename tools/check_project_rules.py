@@ -372,23 +372,28 @@ def main() -> int:
                             f'"{expected}"')
 
     # --- serve-coverage (cross-file) ------------------------------------
-    # The serving subsystem is the outermost API boundary: every public
-    # header under src/hicond/serve/ must be exercised by at least one test
+    # The serving subsystem is the outermost API boundary, and dynamic/ is
+    # its mutation path: every public header under src/hicond/serve/ and
+    # src/hicond/dynamic/ must be exercised by at least one test
     # translation unit (direct #include under tests/).
-    serve_dir = src / "serve"
     tests_dir = root / "tests"
-    if serve_dir.is_dir() and tests_dir.is_dir():
+    covered_dirs = [src / "serve", src / "dynamic"]
+    if tests_dir.is_dir():
         test_includes: set[str] = set()
         for test_path in tests_dir.rglob("*.cpp"):
             for m in re.finditer(r'#\s*include\s+"([^"]+)"',
                                  test_path.read_text(encoding="utf-8")):
                 test_includes.add(m.group(1))
-        for header in sorted(serve_dir.rglob("*.hpp")):
-            include_name = header.relative_to(root / "src").as_posix()
-            if include_name not in test_includes:
-                err(header, 1, "serve-coverage",
-                    f'"{include_name}" is not included by any test under '
-                    "tests/; every serve/ header needs test coverage")
+        for covered in covered_dirs:
+            if not covered.is_dir():
+                continue
+            for header in sorted(covered.rglob("*.hpp")):
+                include_name = header.relative_to(root / "src").as_posix()
+                if include_name not in test_includes:
+                    err(header, 1, "serve-coverage",
+                        f'"{include_name}" is not included by any test '
+                        "under tests/; every serve/ and dynamic/ header "
+                        "needs test coverage")
 
     if errors:
         print("\n".join(errors))

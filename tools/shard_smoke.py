@@ -275,6 +275,128 @@ def main():
         f"{hot_entry['replica']}"
     )
 
+    # ---- dynamic updates through the router --------------------------------
+    # Phase A: an auto-mode (repair) update routed through the router must
+    # behave exactly like a lone server running the identical session: same
+    # response fields, and post-update solves bitwise equal.
+    upd_a = [
+        {"kind": "reweight", "u": 0, "v": 1, "weight": 4.25},
+        {"kind": "insert", "u": 0, "v": 33, "weight": 1.75},
+    ]
+    lone = Session([serve_bin])
+    check(
+        lone.call({"op": "load", "path": snaps[2]}).get("ok") is True,
+        "phase-A lone load failed",
+    )
+    check(
+        lone.call(
+            {"op": "solve", "graph": fingerprints[2], "rhs_seed": RHS_SEED}
+        ).get("ok") is True,
+        "phase-A lone warm-up solve failed",
+    )
+    lone_up = lone.call(
+        {"op": "update", "graph": fingerprints[2], "updates": upd_a}
+    )
+    check(lone_up.get("ok") is True, f"phase-A lone update failed: {lone_up}")
+    check(lone_up.get("repaired") is True, f"lone update did not repair: "
+          f"{lone_up}")
+    lone_new = lone.call(
+        {"op": "solve", "graph": lone_up["new_graph"], "rhs_seed": RHS_SEED}
+    )
+    check(lone_new.get("ok") is True, "phase-A lone post-update solve failed")
+    shut = lone.call({"op": "shutdown"})
+    check(shut.get("ok") is True, "phase-A lone shutdown failed")
+    lone.finish()
+
+    routed_up = router.call(
+        {"op": "update", "graph": fingerprints[2], "updates": upd_a}
+    )
+    check(
+        routed_up.get("ok") is True,
+        f"routed update failed: {routed_up}",
+    )
+    for field in ["repaired", "unchanged", "new_graph", "upper_rebuilt",
+                  "clusters_touched", "clusters_dirty"]:
+        check(
+            routed_up.get(field) == lone_up.get(field),
+            f"routed update field {field} diverged: "
+            f"{routed_up.get(field)} != {lone_up.get(field)}",
+        )
+    routed_new = router.call(
+        {"op": "solve", "graph": routed_up["new_graph"], "rhs_seed": RHS_SEED}
+    )
+    check(
+        routed_new.get("ok") is True
+        and routed_new["solution_fnv"] == lone_new["solution_fnv"],
+        "routed post-repair solve is not bitwise equal to the lone "
+        "server's",
+    )
+    # The pre-update fingerprint stays served.
+    old_again = router.call(
+        {"op": "solve", "graph": fingerprints[2], "rhs_seed": RHS_SEED}
+    )
+    check(
+        old_again.get("ok") is True
+        and old_again["solution_fnv"] == truth_solve[fingerprints[2]],
+        "pre-update fingerprint drifted after the update",
+    )
+    print("shard_smoke: repair-mode update matches lone server bitwise")
+
+    # Phase B: a rebuild-mode update must be bitwise identical to a lone
+    # server cold-loading the mutated snapshot produced by hicond_tool
+    # mutate -- the strongest equivalence the determinism policy offers.
+    upd_b = [
+        {"kind": "reweight", "u": 0, "v": 1, "weight": 3.5},
+        {"kind": "insert", "u": 0, "v": 37, "weight": 1.25},
+    ]
+    upd_b_path = os.path.join(work, "upd_b.json")
+    with open(upd_b_path, "w", encoding="utf-8") as f:
+        json.dump({"updates": upd_b}, f)
+    mut_b_snap = os.path.join(work, "g3_mut.hsnap")
+    mut_b_fp = run(tool_bin, "mutate", snaps[3], upd_b_path, mut_b_snap)
+    lone = Session([serve_bin])
+    check(
+        lone.call({"op": "load", "path": mut_b_snap}).get("ok") is True,
+        "phase-B lone load failed",
+    )
+    truth_b = lone.call(
+        {"op": "solve", "graph": mut_b_fp, "rhs_seed": RHS_SEED}
+    )
+    check(truth_b.get("ok") is True, "phase-B lone solve failed")
+    shut = lone.call({"op": "shutdown"})
+    check(shut.get("ok") is True, "phase-B lone shutdown failed")
+    lone.finish()
+
+    rebuilt = router.call(
+        {
+            "op": "update",
+            "graph": fingerprints[3],
+            "mode": "rebuild",
+            "updates": upd_b,
+        }
+    )
+    check(rebuilt.get("ok") is True, f"rebuild update failed: {rebuilt}")
+    check(
+        rebuilt.get("repaired") is False,
+        "rebuild mode must not take the repair path",
+    )
+    check(
+        rebuilt.get("new_graph") == mut_b_fp,
+        f"update fingerprint {rebuilt.get('new_graph')} != hicond_tool "
+        f"mutate's {mut_b_fp}",
+    )
+    routed_b = router.call(
+        {"op": "solve", "graph": mut_b_fp, "rhs_seed": RHS_SEED}
+    )
+    check(
+        routed_b.get("ok") is True
+        and routed_b["solution_fnv"] == truth_b["solution_fnv"],
+        "rebuild-mode update is not bitwise equal to a cold load of the "
+        "mutated snapshot",
+    )
+    print("shard_smoke: rebuild-mode update matches cold mutated load "
+          "bitwise")
+
     # ---- SIGKILL mid-build: supervised retry must be invisible -------------
     big_entry = next(g for g in topo["graphs"] if g["fingerprint"] == big_fp)
     victim = big_entry["primary"]
@@ -344,8 +466,11 @@ def main():
     rt = stats["router"]
     for field in ["requests", "routed", "retries", "restarts",
                   "replica_promotions", "replications", "shed",
-                  "workers_up", "hot"]:
+                  "workers_up", "hot", "updates", "derived_graphs"]:
         check(field in rt, f"router stats missing {field}")
+    check(rt["updates"] >= 2, "router did not count the updates")
+    check(rt["derived_graphs"] >= 2, "router did not record derived "
+          "fingerprints")
     check(rt["retries"] >= 1, "router did not count the retry")
     check(rt["restarts"] >= 1, "router did not count the restart")
     check(rt["replications"] >= 1, "router did not count the replication")
@@ -365,6 +490,94 @@ def main():
     check(
         sum(e["hits"] for e in hot_rows) >= 1,
         f"hammered fingerprint shows no hits: {hot_rows}",
+    )
+
+    # ---- SIGKILL mid-update: the retried update lands exactly once ---------
+    # A fresh big graph that is loaded but never solved: the update's cold
+    # hierarchy build is the slow in-flight work the SIGKILL interrupts, and
+    # because the pre-update fingerprint is cold on every server, the
+    # post-recovery build is deterministic whichever side of the kill the
+    # worker was on.
+    big2_wel = os.path.join(work, "big2.wel")
+    big2_snap = os.path.join(work, "big2.hsnap")
+    run(tool_bin, "gen", "grid2d", "160", big2_wel, "101")
+    run(tool_bin, "snapshot-convert", big2_wel, big2_snap)
+    big2_fp = run(tool_bin, "fingerprint", big2_snap)
+    upd_c = [{"kind": "reweight", "u": 0, "v": 1, "weight": 2.5}]
+    upd_c_path = os.path.join(work, "upd_c.json")
+    with open(upd_c_path, "w", encoding="utf-8") as f:
+        json.dump({"updates": upd_c}, f)
+    big2_mut_snap = os.path.join(work, "big2_mut.hsnap")
+    big2_mut_fp = run(
+        tool_bin, "mutate", big2_snap, upd_c_path, big2_mut_snap
+    )
+    lone = Session([serve_bin])
+    check(
+        lone.call({"op": "load", "path": big2_mut_snap}).get("ok") is True,
+        "phase-C lone load failed",
+    )
+    truth_c = lone.call(
+        {"op": "solve", "graph": big2_mut_fp, "rhs_seed": RHS_SEED}
+    )
+    check(truth_c.get("ok") is True, "phase-C lone solve failed")
+    shut = lone.call({"op": "shutdown"})
+    check(shut.get("ok") is True, "phase-C lone shutdown failed")
+    lone.finish()
+
+    loaded = router.call({"op": "load", "path": big2_snap})
+    check(loaded.get("ok") is True, f"big2 load failed: {loaded}")
+    topo = router.call({"op": "topology"})
+    big2_entry = next(
+        g for g in topo["graphs"] if g["fingerprint"] == big2_fp
+    )
+    victim = big2_entry["primary"]
+    victim_pid = next(
+        w["pid"] for w in topo["workers"] if w["worker"] == victim
+    )
+    update_id = router.post(
+        {"op": "update", "graph": big2_fp, "updates": upd_c}
+    )
+    time.sleep(0.05)  # let the router forward; the cold build takes longer
+    os.kill(victim_pid, signal.SIGKILL)
+    recovered = router.read_response(update_id)
+    check(
+        recovered.get("ok") is True,
+        f"update across a worker SIGKILL failed: {recovered}",
+    )
+    check(
+        recovered.get("new_graph") == big2_mut_fp,
+        f"retried update fingerprint {recovered.get('new_graph')} != "
+        f"{big2_mut_fp}",
+    )
+    # Exactly once: the next responses' strict id matching would catch any
+    # duplicate emission for update_id; the derived fingerprint solves
+    # bitwise identically to the lone cold truth.
+    solved_c = router.call(
+        {"op": "solve", "graph": big2_mut_fp, "rhs_seed": RHS_SEED}
+    )
+    check(
+        solved_c.get("ok") is True
+        and solved_c["solution_fnv"] == truth_c["solution_fnv"],
+        "post-SIGKILL update solve is not bitwise equal to the lone cold "
+        "truth",
+    )
+    stats = router.call({"op": "stats"})
+    rt = stats["router"]
+    check(rt["restarts"] >= 2, "second restart not counted")
+    check(rt["updates"] >= 3, "SIGKILL-phase update not counted")
+    check(rt["derived_graphs"] >= 3, "derived fingerprint not recorded")
+    topo = router.call({"op": "topology"})
+    derived = {d["fingerprint"]: d for d in topo.get("derived", [])}
+    check(
+        big2_mut_fp in derived
+        and derived[big2_mut_fp]["root"] == big2_fp,
+        f"topology derived map missing {big2_mut_fp}: {sorted(derived)}",
+    )
+    states = [w["state"] for w in topo["workers"]]
+    check(states == ["up"] * WORKERS, f"workers not all up: {states}")
+    print(
+        f"shard_smoke: SIGKILL of worker {victim} mid-update recovered; "
+        "retried update landed exactly once"
     )
 
     # ---- shutdown ----------------------------------------------------------
