@@ -36,6 +36,7 @@
 #include "hicond/la/vector_ops.hpp"
 #include "hicond/obs/json.hpp"
 #include "hicond/obs/metrics.hpp"
+#include "hicond/partition/backends/backend.hpp"
 #include "hicond/partition/fixed_degree.hpp"
 #include "hicond/partition/hierarchy.hpp"
 #include "hicond/precond/steiner.hpp"
@@ -151,6 +152,31 @@ BenchCase case_fixed_degree(vidx side) {
             {"clusters", static_cast<double>(fd.decomposition.num_clusters)},
             {"reduction", fd.decomposition.reduction_factor()},
             {"cut_fraction", cut_weight_fraction(g, fd.decomposition)}};
+      }
+    });
+  }};
+}
+
+/// One registered partitioner backend through the production entry point
+/// (checked_decompose = decompose + validation boundary) on a 2D grid of
+/// `side`^2 vertices. The three backends share one case shape so the score
+/// table is directly comparable: same graph, same timer, same metrics.
+BenchCase case_decompose_backend(const std::string& backend, vidx side) {
+  const std::string name =
+      "decompose_" + backend + "/grid2d_" + std::to_string(side);
+  return {name, [name, backend, side](int repeats) {
+    const Graph g =
+        gen::grid2d(side, side, gen::WeightSpec::uniform(1.0, 2.0), 7);
+    partition::BackendOptions bo;
+    bo.backend = backend;
+    return timed_case(name, repeats, [&](CaseResult& out, bool first) {
+      const Decomposition d = partition::checked_decompose(g, bo);
+      if (first) {
+        out.metrics = {
+            {"vertices", static_cast<double>(g.num_vertices())},
+            {"clusters", static_cast<double>(d.num_clusters)},
+            {"reduction", d.reduction_factor()},
+            {"cut_fraction", cut_weight_fraction(g, d)}};
       }
     });
   }};
@@ -636,6 +662,9 @@ Suite make_suite(const std::string& name) {
     return {name,
             5,
             {case_laplacian_apply(12), case_fixed_degree(12),
+             case_decompose_backend("fixed_degree", 141),
+             case_decompose_backend("louvain", 141),
+             case_decompose_backend("lowdiam", 141),
              case_tree_decomposition(20000), case_hierarchy(48),
              case_steiner_apply(10), case_solve_multilevel(48),
              case_serve_solve_cold(48), case_serve_solve_warm(48),
@@ -654,6 +683,9 @@ Suite make_suite(const std::string& name) {
     return {name,
             7,
             {case_laplacian_apply(32), case_fixed_degree(32),
+             case_decompose_backend("fixed_degree", 447),
+             case_decompose_backend("louvain", 447),
+             case_decompose_backend("lowdiam", 447),
              case_tree_decomposition(200000), case_hierarchy(128),
              case_steiner_apply(20), case_solve_multilevel(128),
              case_serve_solve_cold(128), case_serve_solve_warm(128),

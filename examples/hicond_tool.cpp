@@ -5,8 +5,13 @@
 //   hicond_tool stats <graph.wel>
 //       vertex/edge counts, degree and weight ranges, connectivity
 //   hicond_tool decompose <graph.wel> [k] [out.assignment]
-//       Section 3.1 decomposition + quality report; optionally writes
-//       "vertex cluster" lines
+//       one-shot decomposition (--backend selects the construction;
+//       default is the Section 3.1 fixed-degree algorithm) + quality
+//       report; optionally writes "vertex cluster" lines
+//   hicond_tool compare-backends <graph> [k]
+//       run every registered partitioner backend on the graph and emit a
+//       JSON score table: phi bounds, reduction factor, cut fraction,
+//       certify-oracle verdict, PCG iterations and build times
 //   hicond_tool solve <graph.wel> [precond]
 //       solve A x = b (random mean-free b) with precond in
 //       {none, jacobi, steiner, multilevel, subgraph}
@@ -21,6 +26,9 @@
 //       of {"kind":"insert|delete|reweight","u":U,"v":V,"weight":W}
 //
 // Global flags (accepted anywhere on the command line):
+//   --backend NAME     partitioner backend for decompose / solve
+//                      (fixed_degree, louvain, lowdiam; see
+//                      docs/PARTITIONERS.md)
 //   --trace out.json   record scoped spans, write a Chrome trace-event file
 //                      (open in Perfetto or chrome://tracing)
 //   --report           solve only: print the structured SolverReport
@@ -52,6 +60,7 @@
 #include "hicond/obs/json.hpp"
 #include "hicond/obs/report.hpp"
 #include "hicond/obs/trace.hpp"
+#include "hicond/partition/backends/backend.hpp"
 #include "hicond/partition/fixed_degree.hpp"
 #include "hicond/partition/hierarchy.hpp"
 #include "hicond/precond/multilevel.hpp"
@@ -68,6 +77,7 @@ using namespace hicond;
 
 struct GlobalFlags {
   std::string trace_path;  ///< empty = tracing off
+  std::string backend = "fixed_degree";  ///< registered partitioner backend
   bool report = false;
   bool json = false;
   bool certify = false;
@@ -81,14 +91,15 @@ int usage() {
                "  hicond_tool gen <family> <size> <out.wel> [seed]\n"
                "  hicond_tool stats <graph.wel>\n"
                "  hicond_tool decompose <graph.wel> [k] [out.assignment]\n"
+               "  hicond_tool compare-backends <graph> [k]\n"
                "  hicond_tool solve <graph.wel> [precond]\n"
                "  hicond_tool snapshot-convert <in> <out>\n"
                "  hicond_tool fingerprint <graph>\n"
                "  hicond_tool mutate <in> <updates.json> <out>\n"
                "(.hsnap = binary snapshot, .metis/.graph = METIS, "
                "otherwise .wel)\n"
-               "global flags: --trace out.json | --report | --json | "
-               "--certify\n");
+               "global flags: --backend name | --trace out.json | --report "
+               "| --json | --certify\n");
   return 2;
 }
 
@@ -150,10 +161,13 @@ int cmd_decompose(int argc, char** argv) {
   if (argc < 3) return usage();
   const Graph g = read_graph_file(argv[2]);
   const vidx k = argc > 3 ? static_cast<vidx>(std::atoi(argv[3])) : 4;
+  partition::BackendOptions bo;
+  bo.max_cluster_size = k;
+  bo.backend = g_flags.backend;
   Timer t;
-  const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = k});
+  const Decomposition d = partition::checked_decompose(g, bo);
   const double build_s = t.seconds();
-  const auto stats = evaluate_decomposition(g, fd.decomposition);
+  const auto stats = evaluate_decomposition(g, d);
   auto write_assignment = [&]() -> int {
     if (argc <= 4) return 0;
     std::ofstream out(argv[4]);
@@ -162,8 +176,7 @@ int cmd_decompose(int argc, char** argv) {
       return 1;
     }
     for (vidx v = 0; v < g.num_vertices(); ++v) {
-      out << v << ' '
-          << fd.decomposition.assignment[static_cast<std::size_t>(v)] << '\n';
+      out << v << ' ' << d.assignment[static_cast<std::size_t>(v)] << '\n';
     }
     return 0;
   };
@@ -172,7 +185,7 @@ int cmd_decompose(int argc, char** argv) {
     // Structural targets only (phi = 0, rho = 1): the certificate still
     // records independently recomputed conductance bounds per cluster.
     const certify::Certificate cert =
-        certify::certify_decomposition(g, fd.decomposition, 0.0, 1.0);
+        certify::certify_decomposition(g, d, 0.0, 1.0);
     if (g_flags.json) {
       std::printf("%s\n", cert.to_json().c_str());
     } else {
@@ -185,15 +198,16 @@ int cmd_decompose(int argc, char** argv) {
     w.begin_object();
     w.kv("vertices", g.num_vertices());
     w.kv("edges", static_cast<std::int64_t>(g.num_edges()));
-    w.kv("clusters", fd.decomposition.num_clusters);
+    w.kv("backend", g_flags.backend);
+    w.kv("clusters", d.num_clusters);
     w.kv("reduction", stats.reduction_factor);
     w.kv("build_seconds", build_s);
     w.kv("phi_lower", stats.min_phi_lower);
     w.kv("phi_upper", stats.min_phi_upper);
     w.kv("phi_exact", stats.phi_exact);
     w.kv("min_gamma", stats.min_gamma);
-    w.kv("avg_gamma", average_gamma(g, fd.decomposition));
-    w.kv("cut_fraction", cut_weight_fraction(g, fd.decomposition));
+    w.kv("avg_gamma", average_gamma(g, d));
+    w.kv("cut_fraction", cut_weight_fraction(g, d));
     w.kv("max_cluster_size", stats.max_cluster_size);
     w.kv("singletons", stats.num_singletons);
     w.end_object();
@@ -201,14 +215,14 @@ int cmd_decompose(int argc, char** argv) {
     if (const int rc = print_certificate(); rc != 0) return rc;
     return write_assignment();
   }
-  std::printf("clusters        %d (reduction %.2f) in %s\n",
-              fd.decomposition.num_clusters, stats.reduction_factor,
-              format_duration(build_s).c_str());
+  std::printf("backend         %s\n", g_flags.backend.c_str());
+  std::printf("clusters        %d (reduction %.2f) in %s\n", d.num_clusters,
+              stats.reduction_factor, format_duration(build_s).c_str());
   std::printf("phi             [%.4f, %.4f]%s\n", stats.min_phi_lower,
               stats.min_phi_upper, stats.phi_exact ? " (exact)" : "");
   std::printf("gamma (min/avg) %.4f / %.4f\n", stats.min_gamma,
-              average_gamma(g, fd.decomposition));
-  std::printf("cut fraction    %.4f\n", cut_weight_fraction(g, fd.decomposition));
+              average_gamma(g, d));
+  std::printf("cut fraction    %.4f\n", cut_weight_fraction(g, d));
   std::printf("max cluster     %d, singletons %d\n", stats.max_cluster_size,
               stats.num_singletons);
   if (const int rc = print_certificate(); rc != 0) return rc;
@@ -240,9 +254,12 @@ int cmd_solve(int argc, char** argv) {
   std::vector<double> x(static_cast<std::size_t>(n), 0.0);
   Timer t;
   SolveStats stats;
+  partition::BackendOptions bo;
+  bo.backend = g_flags.backend;
   if (g_flags.report && kind == "multilevel") {
     // LaplacianSolver owns the hierarchy bookkeeping the report needs.
-    const LaplacianSolver solver(g, {.hierarchy = {.coarsest_size = 200}});
+    const LaplacianSolver solver(
+        g, {.hierarchy = {.contraction = bo, .coarsest_size = 200}});
     stats = solver.solve(b, x);
     const obs::SolverReport report = solver.report();
     if (g_flags.json) {
@@ -269,13 +286,12 @@ int cmd_solve(int argc, char** argv) {
     };
     stats = pcg_solve(a, jacobi, b, x, opt);
   } else if (kind == "steiner") {
-    const auto fd = fixed_degree_decomposition(g, {.max_cluster_size = 4});
-    const SteinerPreconditioner sp =
-        SteinerPreconditioner::build(g, fd.decomposition);
+    const Decomposition d = partition::checked_decompose(g, bo);
+    const SteinerPreconditioner sp = SteinerPreconditioner::build(g, d);
     stats = pcg_solve(a, sp.as_operator(), b, x, opt);
   } else if (kind == "multilevel") {
     const MultilevelSteinerSolver ml = MultilevelSteinerSolver::build(
-        build_hierarchy(g, {.coarsest_size = 200}));
+        build_hierarchy(g, {.contraction = bo, .coarsest_size = 200}));
     stats = flexible_pcg_solve(a, ml.as_operator(), b, x, opt);
   } else if (kind == "subgraph") {
     SubgraphPrecondOptions so;
@@ -294,15 +310,86 @@ int cmd_solve(int argc, char** argv) {
   return stats.converged ? 0 : 1;
 }
 
-// Extension-dispatched reader shared by snapshot-convert and fingerprint:
-// .hsnap is the binary snapshot, .metis/.graph the METIS text format,
-// anything else the weighted edge list.
+// Extension-dispatched reader shared by compare-backends, snapshot-convert
+// and fingerprint: .hsnap is the binary snapshot, .metis/.graph the METIS
+// text format, anything else the weighted edge list.
 Graph read_any_graph(const std::string& path) {
   if (path.ends_with(".hsnap")) return serve::read_snapshot_file(path);
   if (path.ends_with(".metis") || path.ends_with(".graph")) {
     return read_metis_file(path);
   }
   return read_graph_file(path);
+}
+
+// Score every registered backend on one graph: decomposition quality (phi
+// bounds, reduction, cut fraction, certify-oracle verdict) and end-to-end
+// solver behaviour (hierarchy build time, PCG iterations on a shared
+// mean-free rhs). Always emits JSON -- the table is meant for scripts and
+// bench tooling. Exits nonzero if any backend fails certification.
+int cmd_compare_backends(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Graph g = read_any_graph(argv[2]);
+  const vidx k = argc > 3 ? static_cast<vidx>(std::atoi(argv[3])) : 4;
+  if (!is_connected(g)) {
+    std::fprintf(stderr, "compare-backends requires a connected graph\n");
+    return 1;
+  }
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  Rng rng(7);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::remove_mean(b);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("graph", argv[2]);
+  w.kv("vertices", g.num_vertices());
+  w.kv("edges", static_cast<std::int64_t>(g.num_edges()));
+  w.kv("max_cluster_size", k);
+  w.key("backends");
+  w.begin_array();
+  bool all_certified = true;
+  for (const partition::PartitionerBackend* backend :
+       partition::registered_backends()) {
+    partition::BackendOptions bo;
+    bo.max_cluster_size = k;
+    bo.backend = std::string(backend->name());
+    Timer decompose_timer;
+    const Decomposition d = partition::checked_decompose(g, bo);
+    const double decompose_s = decompose_timer.seconds();
+    const auto stats = evaluate_decomposition(g, d);
+    const certify::Certificate cert =
+        certify::certify_decomposition(g, d, 0.0, 1.0);
+    all_certified = all_certified && cert.pass;
+
+    LaplacianSolverOptions so;
+    so.hierarchy.contraction = bo;
+    Timer build_timer;
+    const LaplacianSolver solver(g, so);
+    const double build_s = build_timer.seconds();
+    std::vector<double> x(n, 0.0);
+    const SolveStats ss = solver.solve(b, x);
+
+    w.begin_object();
+    w.kv("backend", std::string(backend->name()));
+    w.kv("options_key", partition::backend_options_key(bo));
+    w.kv("clusters", d.num_clusters);
+    w.kv("reduction", stats.reduction_factor);
+    w.kv("phi_lower", stats.min_phi_lower);
+    w.kv("phi_upper", stats.min_phi_upper);
+    w.kv("min_gamma", stats.min_gamma);
+    w.kv("cut_fraction", cut_weight_fraction(g, d));
+    w.kv("certified", cert.pass);
+    w.kv("decompose_seconds", decompose_s);
+    w.kv("hierarchy_build_seconds", build_s);
+    w.kv("pcg_iterations", ss.iterations);
+    w.kv("converged", ss.converged);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return all_certified ? 0 : 1;
 }
 
 int cmd_snapshot_convert(int argc, char** argv) {
@@ -399,6 +486,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_flags.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--backend needs a backend name\n");
+        return 2;
+      }
+      g_flags.backend = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0) {
       g_flags.report = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -411,6 +504,16 @@ int main(int argc, char** argv) {
   }
   const int n_args = static_cast<int>(args.size());
   if (n_args < 2) return usage();
+
+  if (hicond::partition::find_backend(g_flags.backend) == nullptr) {
+    std::fprintf(stderr, "unknown backend '%s' (registered:",
+                 g_flags.backend.c_str());
+    for (const auto* b : hicond::partition::registered_backends()) {
+      std::fprintf(stderr, " %s", std::string(b->name()).c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
 
   if (!g_flags.trace_path.empty()) {
     if (!HICOND_TRACE_ENABLED) {
@@ -428,6 +531,8 @@ int main(int argc, char** argv) {
     rc = cmd_stats(n_args, args.data());
   } else if (std::strcmp(args[1], "decompose") == 0) {
     rc = cmd_decompose(n_args, args.data());
+  } else if (std::strcmp(args[1], "compare-backends") == 0) {
+    rc = cmd_compare_backends(n_args, args.data());
   } else if (std::strcmp(args[1], "solve") == 0) {
     rc = cmd_solve(n_args, args.data());
   } else if (std::strcmp(args[1], "snapshot-convert") == 0 ||

@@ -9,6 +9,7 @@
 #include "hicond/graph/quotient.hpp"
 #include "hicond/obs/metrics.hpp"
 #include "hicond/obs/trace.hpp"
+#include "hicond/partition/fixed_degree.hpp"
 
 namespace hicond::dynamic {
 
@@ -24,7 +25,8 @@ RepairResult declined(const char* reason) {
 
 /// The paper's fixed-degree guarantee 1 / (2 d^2 k) evaluated on the updated
 /// graph -- the default dirtiness threshold.
-double default_phi_floor(const Graph& g, const FixedDegreeOptions& contraction) {
+double default_phi_floor(const Graph& g,
+                         const partition::BackendOptions& contraction) {
   const double d = static_cast<double>(g.max_degree());
   const double k = static_cast<double>(contraction.max_cluster_size);
   if (d <= 0.0 || k <= 0.0) return 0.0;
@@ -42,6 +44,12 @@ RepairResult repair_decomposition(const Graph& new_graph,
   HICOND_CHECK(repair.max_dirty_volume_fraction > 0.0 &&
                    repair.max_dirty_volume_fraction <= 1.0,
                "max_dirty_volume_fraction must be in (0, 1]");
+  if (!partition::get_backend(options.contraction.backend).supports_repair()) {
+    // The splice semantics below re-run the Section 3.1 clustering on the
+    // dirty region; backends without a local construction (Louvain,
+    // low-diameter) get the canonical cold rebuild instead.
+    return declined("backend_unsupported");
+  }
   if (old_hierarchy.levels.empty()) {
     // A flat hierarchy (input was already coarsest-sized) has no level-0
     // decomposition to repair; a cold build is just as cheap.
@@ -147,7 +155,10 @@ RepairResult repair_decomposition(const Graph& new_graph,
     // --- Re-run the Section 3.1 clustering on the induced dirty region with
     // the same options (and seed) build_hierarchy uses for level 0.
     const Graph sub = induced_subgraph(new_graph, region);
-    FixedDegreeOptions contraction = options.contraction;
+    const FixedDegreeOptions contraction{
+        .max_cluster_size = options.contraction.max_cluster_size,
+        .seed = options.contraction.seed,
+        .perturb = options.contraction.perturb};
     Decomposition sub_d = fixed_degree_decomposition(sub, contraction)
                               .decomposition;
     if (options.refine) {

@@ -15,10 +15,11 @@
 // the coarsest graph are reused as-is.
 //
 // Repair *declines* (RepairResult::repaired == false, with a reason) when it
-// would not be cheaper or meaningful: a flat hierarchy (no contraction
-// levels), or a dirty region exceeding RepairOptions::max_dirty_volume_
-// fraction of the total volume. Callers fall back to a cold build; the
-// HierarchyCache update path does exactly that.
+// would not be cheaper or meaningful: a hierarchy built by a contraction
+// backend with no local re-clustering (anything but "fixed_degree"), a flat
+// hierarchy (no contraction levels), or a dirty region exceeding
+// RepairOptions::max_dirty_volume_fraction of the total volume. Callers fall
+// back to a cold build; the HierarchyCache update path does exactly that.
 #pragma once
 
 #include <span>
@@ -46,7 +47,8 @@ struct RepairOptions {
 
 struct RepairResult {
   /// False when repair declined; `hierarchy` is then empty and
-  /// `decline_reason` says why ("flat_hierarchy", "dirty_volume_exceeded").
+  /// `decline_reason` says why ("backend_unsupported", "flat_hierarchy",
+  /// "dirty_volume_exceeded").
   bool repaired = false;
   std::string decline_reason;
   LaminarHierarchy hierarchy;

@@ -1,0 +1,32 @@
+// The paper's Section 3.1 fixed-degree heaviest-edge clustering as the
+// first registered PartitionerBackend. A thin adapter over
+// partition/fixed_degree.hpp: the three-pass construction itself (perturb,
+// keep heaviest incident edge, split the unimodal forest) is unchanged, so
+// a hierarchy built through the registry is bitwise identical to one built
+// by calling fixed_degree_decomposition directly.
+//
+// This is the only built-in backend with supports_repair() == true:
+// dynamic::repair_decomposition re-runs exactly this construction on the
+// dissolved subregion, which is meaningful only when the original
+// decomposition came from the same algorithm.
+#pragma once
+
+#include "hicond/partition/backends/backend.hpp"
+
+namespace hicond::partition {
+
+class FixedDegreeBackend final : public PartitionerBackend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fixed_degree";
+  }
+  [[nodiscard]] std::string options_key(
+      const BackendOptions& options) const override;
+  [[nodiscard]] Decomposition decompose(
+      const Graph& g, const BackendOptions& options) const override;
+  [[nodiscard]] bool supports_repair() const noexcept override {
+    return true;
+  }
+};
+
+}  // namespace hicond::partition

@@ -1,0 +1,181 @@
+#include "hicond/partition/backends/louvain.hpp"
+
+#include <algorithm>
+
+#include "hicond/graph/quotient.hpp"
+#include "hicond/partition/refinement.hpp"
+#include "hicond/util/common.hpp"
+
+namespace hicond::partition {
+
+namespace {
+
+/// Move-phase sweeps per coarsening round. Each accepted move strictly
+/// increases modularity, so sweeps converge fast; the cap only bounds the
+/// tail.
+constexpr int kMaxSweeps = 8;
+
+}  // namespace
+
+std::string LouvainBackend::options_key(const BackendOptions& options) const {
+  // The construction is deterministic without randomness: seed and perturb
+  // are not consumed and deliberately absent from the key.
+  std::string key;
+  detail::append_key_int(key, "lv.max_cluster_size",
+                         options.max_cluster_size);
+  detail::append_key_double(key, "lv.resolution", options.resolution);
+  detail::append_key_int(key, "lv.rounds", options.rounds);
+  return key;
+}
+
+Decomposition LouvainBackend::decompose(const Graph& g,
+                                        const BackendOptions& options) const {
+  return louvain_decomposition(g, options);
+}
+
+Decomposition louvain_decomposition(const Graph& g,
+                                    const BackendOptions& opt) {
+  HICOND_CHECK(opt.max_cluster_size >= 1,
+               "louvain max_cluster_size must be at least 1");
+  HICOND_CHECK(opt.resolution > 0.0, "louvain resolution must be positive");
+  HICOND_CHECK(opt.rounds >= 1, "louvain rounds must be at least 1");
+  const vidx n0 = g.num_vertices();
+  Decomposition total = singleton_decomposition(g);
+  const double vol_g = g.total_volume();
+  if (n0 == 0 || vol_g <= 0.0) {
+    return total;  // edgeless: every vertex stays its own cluster
+  }
+
+  // Working state on the current (aggregated) graph. quotient_graph keeps
+  // only crossing weights, so the volume a community absorbed internally is
+  // carried in `extra` (2x the internal edge weight, the self-loop weight
+  // classic Louvain keeps) and `size` counts original vertices, which is
+  // what the cluster-size cap bounds.
+  Graph cur = g;
+  std::vector<vidx> size(static_cast<std::size_t>(n0), 1);
+  std::vector<double> extra(static_cast<std::size_t>(n0), 0.0);
+
+  for (int round = 0; round < opt.rounds; ++round) {
+    const vidx nc = cur.num_vertices();
+    std::vector<vidx> comm(static_cast<std::size_t>(nc));
+    std::vector<double> comm_vol(static_cast<std::size_t>(nc));
+    std::vector<vidx> comm_size(static_cast<std::size_t>(nc));
+    for (vidx v = 0; v < nc; ++v) {
+      const auto vu = static_cast<std::size_t>(v);
+      comm[vu] = v;
+      comm_vol[vu] = cur.vol(v) + extra[vu];
+      comm_size[vu] = size[vu];
+    }
+
+    // --- Greedy move phase: fixed sweep order, ascending-community-id
+    // tie-breaks; both make the phase deterministic at any thread count.
+    std::vector<double> w_to(static_cast<std::size_t>(nc), 0.0);
+    std::vector<char> seen(static_cast<std::size_t>(nc), 0);
+    std::vector<vidx> touched;
+    for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+      vidx moves = 0;
+      for (vidx v = 0; v < nc; ++v) {
+        const auto vu = static_cast<std::size_t>(v);
+        const vidx home = comm[vu];
+        const double v_vol = cur.vol(v) + extra[vu];
+        // Detach v so every candidate (including re-attaching to home)
+        // is scored against the community without v.
+        comm_vol[static_cast<std::size_t>(home)] -= v_vol;
+        comm_size[static_cast<std::size_t>(home)] -= size[vu];
+        touched.clear();
+        const auto nbrs = cur.neighbors(v);
+        const auto ws = cur.weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const auto c = static_cast<std::size_t>(
+              comm[static_cast<std::size_t>(nbrs[i])]);
+          if (!seen[c]) {
+            seen[c] = 1;
+            touched.push_back(static_cast<vidx>(c));
+          }
+          w_to[c] += ws[i];
+        }
+        std::sort(touched.begin(), touched.end());
+        const double home_w = seen[static_cast<std::size_t>(home)]
+                                  ? w_to[static_cast<std::size_t>(home)]
+                                  : 0.0;
+        double best_gain =
+            home_w - opt.resolution * v_vol *
+                         comm_vol[static_cast<std::size_t>(home)] / vol_g;
+        vidx best = home;
+        for (const vidx c : touched) {
+          if (c == home) continue;
+          const auto cu = static_cast<std::size_t>(c);
+          if (comm_size[cu] + size[vu] > opt.max_cluster_size) continue;
+          const double gain =
+              w_to[cu] - opt.resolution * v_vol * comm_vol[cu] / vol_g;
+          // Strict improvement over the ascending scan order: the smallest
+          // community id among equal-gain candidates wins.
+          if (gain > best_gain) {
+            best_gain = gain;
+            best = c;
+          }
+        }
+        if (best != home) ++moves;
+        comm[vu] = best;
+        comm_vol[static_cast<std::size_t>(best)] += v_vol;
+        comm_size[static_cast<std::size_t>(best)] += size[vu];
+        for (const vidx c : touched) {
+          w_to[static_cast<std::size_t>(c)] = 0.0;
+          seen[static_cast<std::size_t>(c)] = 0;
+        }
+      }
+      if (moves == 0) break;
+    }
+
+    // --- Compact community ids (ascending, deterministic) and stop when
+    // the phase found nothing to merge.
+    std::vector<vidx> remap(static_cast<std::size_t>(nc), -1);
+    vidx m = 0;
+    for (vidx c = 0; c < nc; ++c) {
+      if (comm_size[static_cast<std::size_t>(c)] > 0) {
+        remap[static_cast<std::size_t>(c)] = m++;
+      }
+    }
+    if (m >= nc) break;
+    Decomposition level;
+    level.assignment.resize(static_cast<std::size_t>(nc));
+    level.num_clusters = m;
+    for (vidx v = 0; v < nc; ++v) {
+      level.assignment[static_cast<std::size_t>(v)] =
+          remap[static_cast<std::size_t>(comm[static_cast<std::size_t>(v)])];
+    }
+
+    // --- Contract: fold sizes, carried internal volume, and this round's
+    // newly internal edges (each arc once per direction = 2x edge weight).
+    std::vector<vidx> new_size(static_cast<std::size_t>(m), 0);
+    std::vector<double> new_extra(static_cast<std::size_t>(m), 0.0);
+    for (vidx v = 0; v < nc; ++v) {
+      const auto cu = static_cast<std::size_t>(
+          level.assignment[static_cast<std::size_t>(v)]);
+      new_size[cu] += size[static_cast<std::size_t>(v)];
+      new_extra[cu] += extra[static_cast<std::size_t>(v)];
+    }
+    for (vidx v = 0; v < nc; ++v) {
+      const auto nbrs = cur.neighbors(v);
+      const auto ws = cur.weights(v);
+      const vidx cv = level.assignment[static_cast<std::size_t>(v)];
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (level.assignment[static_cast<std::size_t>(nbrs[i])] == cv) {
+          new_extra[static_cast<std::size_t>(cv)] += ws[i];
+        }
+      }
+    }
+    total = compose(total, level);
+    cur = quotient_graph(cur, level.assignment);
+    size = std::move(new_size);
+    extra = std::move(new_extra);
+    if (cur.num_vertices() <= 1) break;
+  }
+
+  // --- Conductance-aware refinement: gamma-guided migration of weakly
+  // attached vertices, then the connected-component relabel that guarantees
+  // every emitted cluster is connected (see partition/refinement.hpp).
+  return refine_decomposition(g, total, RefinementOptions{}).decomposition;
+}
+
+}  // namespace hicond::partition

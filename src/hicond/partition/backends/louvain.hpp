@@ -1,0 +1,50 @@
+// Louvain-style multilevel modularity coarsening as a PartitionerBackend.
+//
+// The classic two-phase loop (Blondel et al.; see the Galois
+// louvain-partitioning / BiPart lineage in SNIPPETS.md): a greedy move
+// phase sweeps the vertices in a fixed order, moving each to the
+// neighbouring community with the largest modularity gain
+//
+//     dQ(v -> C) = w(v, C) - resolution * vol(v) * vol(C) / vol(G),
+//
+// then the converged communities are contracted into a quotient graph and
+// the phase repeats, up to BackendOptions::rounds times. Communities are
+// capped at BackendOptions::max_cluster_size *original* vertices so the
+// result stays a bounded-size clustering usable as one hierarchy
+// contraction level (the multilevel character of Louvain and of
+// build_hierarchy compose).
+//
+// A conductance-aware refinement pass (partition/refinement.hpp) finishes
+// the job: weakly attached vertices (gamma below the floor) migrate to the
+// cluster holding most of their weight, and the final connected-component
+// relabel guarantees every emitted cluster is connected -- the invariant
+// checked_decompose enforces at the backend boundary.
+//
+// Determinism: the construction is serial with a fixed sweep order and
+// ascending-community-id tie-breaks, so the output is bitwise identical at
+// every thread count by construction (no seed is consumed; the options key
+// therefore excludes the seed).
+#pragma once
+
+#include "hicond/partition/backends/backend.hpp"
+
+namespace hicond::partition {
+
+class LouvainBackend final : public PartitionerBackend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "louvain";
+  }
+  [[nodiscard]] std::string options_key(
+      const BackendOptions& options) const override;
+  [[nodiscard]] Decomposition decompose(
+      const Graph& g, const BackendOptions& options) const override;
+};
+
+/// The construction behind LouvainBackend::decompose, exposed for direct
+/// tests. Uses options.max_cluster_size, options.resolution and
+/// options.rounds; ignores seed/perturb/beta.
+[[nodiscard]] Decomposition louvain_decomposition(
+    const Graph& g, const BackendOptions& options);
+
+}  // namespace hicond::partition

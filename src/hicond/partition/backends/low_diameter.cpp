@@ -1,0 +1,97 @@
+#include "hicond/partition/backends/low_diameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "hicond/util/common.hpp"
+#include "hicond/util/rng.hpp"
+
+namespace hicond::partition {
+
+std::string LowDiameterBackend::options_key(
+    const BackendOptions& options) const {
+  // seed and beta fully determine the output (satellite guarantee:
+  // different seed => different canonical options => different cache key).
+  std::string key;
+  detail::append_key_int(key, "ld.seed",
+                         static_cast<long long>(options.seed));
+  detail::append_key_double(key, "ld.beta", options.beta);
+  return key;
+}
+
+Decomposition LowDiameterBackend::decompose(
+    const Graph& g, const BackendOptions& options) const {
+  return low_diameter_decomposition(g, options);
+}
+
+Decomposition low_diameter_decomposition(const Graph& g,
+                                         const BackendOptions& opt) {
+  HICOND_CHECK(opt.beta > 0.0, "lowdiam beta must be positive");
+  const vidx n = g.num_vertices();
+  Decomposition d;
+  d.assignment.assign(static_cast<std::size_t>(n), -1);
+  d.num_clusters = 0;
+  if (n == 0) return d;
+
+  // delta_v ~ Exp(beta), a pure function of (seed, v): unit(counter_u64)
+  // lands in [0, 1), so 1 - u is in (0, 1] and -log1p(-u) is finite.
+  std::vector<double> shift(static_cast<std::size_t>(n));
+  for (vidx v = 0; v < n; ++v) {
+    const double u = u64_to_unit_double(
+        counter_u64(opt.seed, static_cast<std::uint64_t>(v)));
+    shift[static_cast<std::size_t>(v)] = -std::log1p(-u) / opt.beta;
+  }
+
+  // Multi-source Dijkstra on unit hop lengths: source v enters at key
+  // -delta_v; settling v from an entry pushed by neighbour u adopts u's
+  // owner, which keeps every owner region connected. Lexicographic
+  // (key, owner, vertex) ordering makes every tie deterministic.
+  using HeapEntry = std::tuple<double, vidx, vidx>;  // (key, owner, vertex)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (vidx v = 0; v < n; ++v) {
+    heap.emplace(-shift[static_cast<std::size_t>(v)], v, v);
+  }
+  std::vector<vidx> owner(static_cast<std::size_t>(n), -1);
+  while (!heap.empty()) {
+    const auto [key, o, v] = heap.top();
+    heap.pop();
+    if (owner[static_cast<std::size_t>(v)] >= 0) continue;  // settled
+    owner[static_cast<std::size_t>(v)] = o;
+    for (const vidx u : g.neighbors(v)) {
+      if (owner[static_cast<std::size_t>(u)] < 0) {
+        heap.emplace(key + 1.0, o, u);
+      }
+    }
+  }
+
+  // Compact owner ids in ascending owner-vertex order (deterministic).
+  std::vector<vidx> remap(static_cast<std::size_t>(n), -1);
+  vidx m = 0;
+  for (vidx v = 0; v < n; ++v) {
+    const vidx o = owner[static_cast<std::size_t>(v)];
+    HICOND_CHECK(o >= 0, "low-diameter search left a vertex unassigned");
+    if (remap[static_cast<std::size_t>(o)] < 0) {
+      // Owners are discovered in vertex order only if every owner owns
+      // itself, which holds: v can lose ownership of v only to an owner
+      // with a strictly smaller start key, in which case o never appears.
+      remap[static_cast<std::size_t>(o)] = -2;  // mark used, number below
+    }
+  }
+  for (vidx v = 0; v < n; ++v) {
+    if (remap[static_cast<std::size_t>(v)] == -2) {
+      remap[static_cast<std::size_t>(v)] = m++;
+    }
+  }
+  for (vidx v = 0; v < n; ++v) {
+    d.assignment[static_cast<std::size_t>(v)] =
+        remap[static_cast<std::size_t>(owner[static_cast<std::size_t>(v)])];
+  }
+  d.num_clusters = m;
+  return d;
+}
+
+}  // namespace hicond::partition

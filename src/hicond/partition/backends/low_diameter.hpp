@@ -1,0 +1,51 @@
+// Miller-Peng-Xu low-diameter decomposition via exponential random shifts
+// (arXiv:1307.3692; see PAPERS.md), as a PartitionerBackend.
+//
+// Every vertex u draws a shift delta_u ~ Exp(beta) and vertex v joins the
+// cluster of the u maximizing delta_u - dist(u, v); equivalently, a
+// multi-source shortest-path computation where source u starts at time
+// -delta_u. The MPX guarantee: each cluster has (hop) diameter
+// O(log n / beta) and the expected fraction of cut edges is O(beta).
+// Clusters are connected by construction -- a vertex is always settled
+// from an already-settled neighbour with the same owner, so owner regions
+// are unions of shortest-path trees.
+//
+// Implementation notes:
+//  * Shifts come from the project's counter RNG (util/rng.hpp):
+//    delta_v = -log1p(-u) / beta with u = unit(counter_u64(seed, v)), so
+//    the draw is a pure function of (seed, v) -- deterministic at every
+//    thread count, per the determinism policy the canonical options carry
+//    the seed for.
+//  * Distances are hop counts (unit edge lengths): MPX is stated for
+//    unweighted graphs, and hop radius is what bounds the closure diameter
+//    of the clusters. Edge weights still shape the hierarchy through the
+//    quotient weights, just not the cluster shapes.
+//  * The search is a serial Dijkstra over (key, owner, vertex)-ordered
+//    heap entries with lazy deletion; ties break lexicographically, so the
+//    assignment is bitwise reproducible.
+//  * BackendOptions::max_cluster_size is not consumed: cluster size is
+//    controlled by beta (larger beta => smaller shifts => more, smaller
+//    clusters).
+#pragma once
+
+#include "hicond/partition/backends/backend.hpp"
+
+namespace hicond::partition {
+
+class LowDiameterBackend final : public PartitionerBackend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lowdiam";
+  }
+  [[nodiscard]] std::string options_key(
+      const BackendOptions& options) const override;
+  [[nodiscard]] Decomposition decompose(
+      const Graph& g, const BackendOptions& options) const override;
+};
+
+/// The construction behind LowDiameterBackend::decompose, exposed for
+/// direct tests. Uses options.seed and options.beta; ignores the rest.
+[[nodiscard]] Decomposition low_diameter_decomposition(
+    const Graph& g, const BackendOptions& options);
+
+}  // namespace hicond::partition

@@ -20,17 +20,20 @@ LaminarHierarchy build_hierarchy(const Graph& g,
                                  const HierarchyOptions& opt) {
   HICOND_CHECK(opt.coarsest_size >= 1, "coarsest_size must be >= 1");
   HICOND_SPAN("hierarchy.build");
+  // Resolve the contraction backend once; throws on an unknown name before
+  // any work happens.
+  (void)partition::get_backend(opt.contraction.backend);
   LaminarHierarchy h;
   Graph current = g;
-  FixedDegreeOptions contraction = opt.contraction;
+  partition::BackendOptions contraction = opt.contraction;
   for (int level = 0; level < opt.max_levels; ++level) {
     if (current.num_vertices() <= opt.coarsest_size) break;
     HICOND_SPAN("hierarchy.level");
     const Timer level_timer;
     // Vary the perturbation seed per level so contractions decorrelate.
     contraction.seed = opt.contraction.seed + static_cast<std::uint64_t>(level);
-    FixedDegreeResult fd = fixed_degree_decomposition(current, contraction);
-    Decomposition level_decomp = std::move(fd.decomposition);
+    Decomposition level_decomp =
+        partition::checked_decompose(current, contraction);
     if (opt.refine) {
       level_decomp =
           refine_decomposition(current, level_decomp, opt.refinement)

@@ -11,14 +11,17 @@
 #include <vector>
 
 #include "hicond/graph/graph.hpp"
+#include "hicond/partition/backends/backend.hpp"
 #include "hicond/partition/decomposition.hpp"
-#include "hicond/partition/fixed_degree.hpp"
 #include "hicond/partition/refinement.hpp"
 
 namespace hicond {
 
 struct HierarchyOptions {
-  FixedDegreeOptions contraction{};
+  /// Per-level contraction strategy and knobs. `contraction.backend` names
+  /// a registered PartitionerBackend (partition/backends/backend.hpp);
+  /// "fixed_degree" keeps the paper's Section 3.1 construction.
+  partition::BackendOptions contraction{};
   vidx coarsest_size = 256;  ///< stop once the graph is this small
   int max_levels = 40;       ///< hard cap (contraction halves sizes, so ample)
   /// Run the gamma-guided refinement pass after each level's contraction
@@ -50,7 +53,11 @@ struct LaminarHierarchy {
   [[nodiscard]] Decomposition flatten() const;
 };
 
-/// Build the hierarchy by repeated fixed-degree contraction.
+/// Build the hierarchy by repeated contraction with the selected backend
+/// (options.contraction.backend; the paper's fixed-degree construction by
+/// default). Every level's decomposition passes the backend boundary check
+/// (structural validity + connected clusters); an unknown backend name
+/// throws invalid_argument_error.
 [[nodiscard]] LaminarHierarchy build_hierarchy(
     const Graph& g, const HierarchyOptions& options = {});
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "hicond/obs/metrics.hpp"
+#include "hicond/partition/backends/backend.hpp"
 #include "hicond/serve/snapshot.hpp"
 #include "hicond/util/timer.hpp"
 
@@ -42,9 +43,9 @@ std::string solver_options_key(const LaplacianSolverOptions& options) {
   std::string key;
   key.reserve(256);
   const HierarchyOptions& h = options.hierarchy;
-  append_int(key, "fd.max_cluster_size", h.contraction.max_cluster_size);
-  append_int(key, "fd.seed", static_cast<long long>(h.contraction.seed));
-  append_int(key, "fd.perturb", h.contraction.perturb ? 1 : 0);
+  // "backend=<name>;" + the backend's rendering of the knobs it consumes --
+  // the same contraction under two backends can never share a cache entry.
+  key += partition::backend_options_key(h.contraction);
   append_int(key, "h.coarsest_size", h.coarsest_size);
   append_int(key, "h.max_levels", h.max_levels);
   append_int(key, "h.refine", h.refine ? 1 : 0);

@@ -70,9 +70,10 @@ class HierarchyCache {
     bool upper_rebuilt = false;   ///< repair had to rebuild above level 0
     vidx clusters_touched = 0;    ///< dissolved (dirty + halo) clusters
     vidx clusters_dirty = 0;
-    /// Why the build fell back to cold ("flat_hierarchy",
-    /// "dirty_volume_exceeded", "old_fingerprint_not_cached",
-    /// "repair_disabled"); empty when repaired or already cached.
+    /// Why the build fell back to cold ("backend_unsupported",
+    /// "flat_hierarchy", "dirty_volume_exceeded",
+    /// "old_fingerprint_not_cached", "repair_disabled"); empty when repaired
+    /// or already cached.
     std::string decline_reason;
     double build_seconds = 0.0;  ///< 0 when already cached
   };

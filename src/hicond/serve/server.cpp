@@ -19,6 +19,7 @@
 #include "hicond/la/vector_ops.hpp"
 #include "hicond/obs/json.hpp"
 #include "hicond/obs/metrics.hpp"
+#include "hicond/partition/backends/backend.hpp"
 #include "hicond/serve/batch.hpp"
 #include "hicond/serve/snapshot.hpp"
 #include "hicond/serve/wire.hpp"
@@ -262,6 +263,34 @@ std::string ServerCore::process(const Pending& pending) {
   solver_options.max_iterations = static_cast<int>(number_or(
       request, "max_iterations",
       static_cast<double>(solver_options.max_iterations)));
+  // Per-request contraction backend: the name becomes part of the canonical
+  // options, so solves against different backends get distinct cache
+  // entries. An unregistered name is rejected before any build starts.
+  if (const obs::JsonValue* bk = request.find("backend"); bk != nullptr) {
+    HICOND_CHECK(bk->is_string(), "backend must be a string");
+    if (partition::find_backend(bk->string) == nullptr) {
+      return error_response(pending.id, "unknown_backend",
+                            "no registered partitioner backend named \"" +
+                                bk->string + "\"");
+    }
+    solver_options.hierarchy.contraction.backend = bk->string;
+  }
+  if (const obs::JsonValue* bo = request.find("backend_options");
+      bo != nullptr) {
+    HICOND_CHECK(bo->is_object(), "backend_options must be an object");
+    partition::BackendOptions& c = solver_options.hierarchy.contraction;
+    c.max_cluster_size = static_cast<vidx>(
+        number_or(*bo, "max_cluster_size",
+                  static_cast<double>(c.max_cluster_size)));
+    c.seed = static_cast<std::uint64_t>(
+        number_or(*bo, "seed", static_cast<double>(c.seed)));
+    c.perturb = bool_or(*bo, "perturb", c.perturb);
+    c.resolution = number_or(*bo, "resolution", c.resolution);
+    c.rounds =
+        static_cast<int>(number_or(*bo, "rounds",
+                                   static_cast<double>(c.rounds)));
+    c.beta = number_or(*bo, "beta", c.beta);
+  }
 
   if (op == "update") {
     // A wire-supplied batch length is untrusted; cap it before parsing
@@ -361,6 +390,7 @@ std::string ServerCore::process(const Pending& pending) {
     w.kv("op", op);
     w.kv("graph", graph_field.string);
     w.kv("cache_hit", lookup.hit);
+    w.kv("backend", solver_options.hierarchy.contraction.backend);
     w.kv("setup_seconds", lookup.build_seconds);
     w.kv("solve_seconds", solve_seconds);
     write_solve_summary(w, stats);
@@ -410,6 +440,7 @@ std::string ServerCore::process(const Pending& pending) {
   w.kv("op", op);
   w.kv("graph", graph_field.string);
   w.kv("cache_hit", lookup.hit);
+  w.kv("backend", solver_options.hierarchy.contraction.backend);
   w.kv("setup_seconds", lookup.build_seconds);
   w.kv("solve_seconds", batch.solve_seconds);
   w.kv("k", static_cast<std::int64_t>(rhs.size()));

@@ -1,0 +1,151 @@
+// Properties of every registered partitioner backend, checked through the
+// certify oracle layer with input shrinking: structural validity and
+// certification at 1 and 8 threads (the determinism policy says the output
+// is a pure function of the canonical options, never of the thread count),
+// plus seed determinism of the random-shift low-diameter backend (same
+// seed => bitwise-identical decomposition across thread counts; different
+// seed => different canonical options, hence a different cache key).
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hicond/certify/certify.hpp"
+#include "hicond/graph/generators.hpp"
+#include "hicond/partition/backends/backend.hpp"
+#include "hicond/partition/backends/low_diameter.hpp"
+#include "prop.hpp"
+
+namespace hicond {
+namespace {
+
+Graph backend_instance(Rng& rng, vidx n) {
+  const std::uint64_t s = rng.next_u64();
+  const auto side = static_cast<vidx>(
+      std::max(3.0, std::sqrt(static_cast<double>(std::max<vidx>(n, 9)))));
+  switch (rng.uniform_index(3)) {
+    case 0: return gen::torus2d(side, side, gen::WeightSpec::uniform(1, 4), s);
+    case 1:
+      return gen::grid2d(side, side, gen::WeightSpec::lognormal(0.0, 1.0), s);
+    default: {
+      vidx m = std::max<vidx>(n, 6);
+      if ((m * 4) % 2 != 0) ++m;  // n * d must be even
+      return gen::random_regular(m, 4, gen::WeightSpec::uniform(0.5, 2.0), s);
+    }
+  }
+}
+
+struct RestoreThreads {
+  int ambient = omp_get_max_threads();
+  ~RestoreThreads() { omp_set_num_threads(ambient); }
+};
+
+/// The shared property: the named backend's output is certified by the
+/// independent oracle and bitwise identical at 1 and 8 threads.
+prop::GraphProperty certified_and_thread_invariant(std::string backend) {
+  return [backend = std::move(backend)](const Graph& g) {
+    if (g.num_vertices() == 0) return;
+    partition::BackendOptions bo;
+    bo.backend = backend;
+    RestoreThreads restore;
+    Decomposition reference;
+    for (const int threads : {1, 8}) {
+      omp_set_num_threads(threads);
+      const Decomposition d = partition::checked_decompose(g, bo);
+      const certify::Certificate cert =
+          certify::certify_decomposition(g, d, 0.0, 1.0);
+      if (!cert.pass) {
+        throw std::runtime_error(backend + " threads=" +
+                                 std::to_string(threads) + "\n" +
+                                 cert.to_text());
+      }
+      if (threads == 1) {
+        reference = d;
+      } else if (d.assignment != reference.assignment ||
+                 d.num_clusters != reference.num_clusters) {
+        throw std::runtime_error(backend +
+                                 ": decomposition differs between 1 and " +
+                                 std::to_string(threads) + " threads");
+      }
+    }
+  };
+}
+
+TEST(prop_backends, EveryRegisteredBackendIsCertifiedAndThreadInvariant) {
+  // The suite below iterates the registry, so it covers whatever is
+  // registered — but first pin the roster so a silently dropped
+  // registration cannot shrink the property's coverage unnoticed.
+  std::vector<std::string> names;
+  for (const partition::PartitionerBackend* backend :
+       partition::registered_backends()) {
+    names.emplace_back(backend->name());
+  }
+  for (const char* expected : {"fixed_degree", "louvain", "lowdiam"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
+                names.end())
+        << "builtin backend \"" << expected << "\" is not registered";
+  }
+  for (const partition::PartitionerBackend* backend :
+       partition::registered_backends()) {
+    prop::PropOptions o;
+    o.cases = 15;
+    o.min_size = 4;
+    o.max_size = 72;
+    o.seed = 501;
+    const prop::PropResult r = prop::check_property(
+        backend_instance,
+        certified_and_thread_invariant(std::string(backend->name())), o);
+    EXPECT_TRUE(r.ok) << "backend " << backend->name() << ": "
+                      << r.describe();
+  }
+}
+
+TEST(prop_backends, LowDiameterSeedDeterminism) {
+  const auto property = [](const Graph& g) {
+    if (g.num_vertices() == 0) return;
+    partition::BackendOptions a;
+    a.backend = "lowdiam";
+    a.seed = 11;
+    partition::BackendOptions b = a;
+    b.seed = 12;
+    // Different seed => different canonical options => different cache key.
+    if (partition::backend_options_key(a) ==
+        partition::backend_options_key(b)) {
+      throw std::runtime_error("seeds 11 and 12 render the same options key");
+    }
+    RestoreThreads restore;
+    Decomposition reference;
+    for (const int threads : {1, 8}) {
+      omp_set_num_threads(threads);
+      const Decomposition d = partition::low_diameter_decomposition(g, a);
+      if (threads == 1) {
+        reference = d;
+      } else if (d.assignment != reference.assignment ||
+                 d.num_clusters != reference.num_clusters) {
+        throw std::runtime_error(
+            "same seed produced different bits at 8 threads");
+      }
+    }
+    // And a fixed seed is reproducible within one thread count too.
+    const Decomposition again = partition::low_diameter_decomposition(g, a);
+    if (again.assignment != reference.assignment) {
+      throw std::runtime_error("same seed, same thread count, different bits");
+    }
+  };
+  prop::PropOptions o;
+  o.cases = 20;
+  o.min_size = 4;
+  o.max_size = 80;
+  o.seed = 502;
+  const prop::PropResult r =
+      prop::check_property(backend_instance, property, o);
+  EXPECT_TRUE(r.ok) << r.describe();
+}
+
+}  // namespace
+}  // namespace hicond

@@ -427,6 +427,25 @@ TEST(RepairDecomposition, DeclinesFlatHierarchy) {
   EXPECT_EQ(rr.decline_reason, "flat_hierarchy");
 }
 
+TEST(RepairDecomposition, DeclinesNonFixedDegreeBackends) {
+  // Repair's splice re-runs the Section 3.1 clustering on the dirty region;
+  // for any other contraction backend it must step aside and let the cache
+  // do the canonical cold rebuild.
+  const Graph g = gen::grid2d(8, 8, gen::WeightSpec::uniform(1.0, 2.0), 5);
+  for (const std::string backend : {"louvain", "lowdiam"}) {
+    HierarchyOptions ho = small_hierarchy_options();
+    ho.contraction.backend = backend;
+    const LaminarHierarchy old = build_hierarchy(g, ho);
+    ASSERT_FALSE(old.levels.empty()) << backend;
+    const std::vector<EdgeUpdate> batch{{UpdateKind::insert, 0, 9, 1.0}};
+    const Graph h = dynamic::apply_updates(g, batch);
+    const dynamic::RepairResult rr =
+        dynamic::repair_decomposition(h, batch, old, ho);
+    EXPECT_FALSE(rr.repaired) << backend;
+    EXPECT_EQ(rr.decline_reason, "backend_unsupported") << backend;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Solver reuse + cache update path
 // ---------------------------------------------------------------------------
@@ -525,6 +544,39 @@ TEST(HierarchyCacheUpdate, FallsBackToColdBuildWithAReason) {
     (void)cold.solve(b, x2);
     EXPECT_EQ(x1, x2);
   }
+}
+
+TEST(HierarchyCacheUpdate, NonFixedDegreeBackendTakesColdRebuildFallback) {
+  // An update against a louvain-built entry: repair declines with
+  // "backend_unsupported" and the cache installs the cold-build solver for
+  // the new fingerprint -- bitwise the same as a fresh load of the mutated
+  // graph under the same options.
+  const Graph g = gen::grid2d(6, 6, gen::WeightSpec::uniform(1.0, 2.0), 7);
+  const std::uint64_t fp = serve::graph_fingerprint(g);
+  LaplacianSolverOptions opt;
+  opt.hierarchy = small_hierarchy_options();
+  opt.hierarchy.contraction.backend = "louvain";
+  const std::vector<EdgeUpdate> batch{{UpdateKind::insert, 0, 14, 1.0}};
+  const Graph h = dynamic::apply_updates(g, batch);
+  const std::uint64_t new_fp = serve::graph_fingerprint(h);
+
+  serve::HierarchyCache cache(std::size_t{64} << 20);
+  (void)cache.get_or_build(fp, g, opt);
+  const auto out = cache.update_entry(fp, new_fp, h, batch, opt);
+  ASSERT_NE(out.solver, nullptr);
+  EXPECT_FALSE(out.repaired);
+  EXPECT_EQ(out.decline_reason, "backend_unsupported");
+  EXPECT_TRUE(out.solver->graph().identical_to(h));
+
+  const LaplacianSolver cold(h, opt);
+  std::vector<double> b(static_cast<std::size_t>(h.num_vertices()), 0.0);
+  b.front() = 1.0;
+  b.back() = -1.0;
+  std::vector<double> x1(b.size(), 0.0);
+  std::vector<double> x2(b.size(), 0.0);
+  (void)out.solver->solve(b, x1);
+  (void)cold.solve(b, x2);
+  EXPECT_EQ(x1, x2);
 }
 
 }  // namespace

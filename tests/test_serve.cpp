@@ -113,6 +113,47 @@ TEST(ServeCache, DistinctOptionsAreDistinctEntries) {
   EXPECT_EQ(cache.stats().entries, 2u);
 }
 
+TEST(ServeCache, SameFingerprintDifferentBackendsAreIsolatedEntries) {
+  // Satellite regression for the backend registry: one graph, two
+  // contraction backends. Their canonical options must differ, they must
+  // occupy distinct cache entries, and a warm solve against each entry must
+  // be bitwise identical to its own cold solve -- never the other's.
+  const Graph g = test_graph();
+  const std::uint64_t fp = serve::graph_fingerprint(g);
+  HierarchyCache cache(std::size_t{64} << 20);
+  LaplacianSolverOptions fixed;  // default backend: "fixed_degree"
+  LaplacianSolverOptions lowdiam;
+  lowdiam.hierarchy.contraction.backend = "lowdiam";
+  ASSERT_NE(serve::solver_options_key(fixed),
+            serve::solver_options_key(lowdiam));
+
+  const std::vector<double> b = mean_free_rhs(g.num_vertices(), 21);
+  const auto cold_fixed = cache.get_or_build(fp, g, fixed);
+  const auto cold_low = cache.get_or_build(fp, g, lowdiam);
+  ASSERT_FALSE(cold_fixed.hit);
+  ASSERT_FALSE(cold_low.hit);  // same fingerprint, still a distinct entry
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_NE(cold_fixed.solver, cold_low.solver);
+
+  std::vector<double> x_cold_fixed(b.size(), 0.0);
+  std::vector<double> x_cold_low(b.size(), 0.0);
+  (void)cold_fixed.solver->solve(b, x_cold_fixed);
+  (void)cold_low.solver->solve(b, x_cold_low);
+
+  const auto warm_fixed = cache.get_or_build(fp, g, fixed);
+  const auto warm_low = cache.get_or_build(fp, g, lowdiam);
+  ASSERT_TRUE(warm_fixed.hit);
+  ASSERT_TRUE(warm_low.hit);
+  EXPECT_EQ(warm_fixed.solver, cold_fixed.solver);
+  EXPECT_EQ(warm_low.solver, cold_low.solver);
+  std::vector<double> x_warm_fixed(b.size(), 0.0);
+  std::vector<double> x_warm_low(b.size(), 0.0);
+  (void)warm_fixed.solver->solve(b, x_warm_fixed);
+  (void)warm_low.solver->solve(b, x_warm_low);
+  EXPECT_EQ(x_warm_fixed, x_cold_fixed);
+  EXPECT_EQ(x_warm_low, x_cold_low);
+}
+
 TEST(ServeCache, EvictsLeastRecentlyUsedUnderBudget) {
   const Graph g1 = gen::grid2d(10, 10, gen::WeightSpec::uniform(0.5, 2.0), 1);
   const Graph g2 = gen::grid2d(11, 11, gen::WeightSpec::uniform(0.5, 2.0), 2);
@@ -289,6 +330,45 @@ TEST(ServeServer, BatchColumnsMatchSingleSolvesOverTheWire) {
     EXPECT_EQ(single.at("solution_fnv").string, hashes[j].string)
         << "column " << j;
   }
+}
+
+TEST(ServeServer, BackendSelectionOverTheWire) {
+  const Graph g = test_graph();
+  const std::string path = write_test_snapshot(g, "serve_backend.hsnap");
+  const std::string fp = serve::fingerprint_hex(serve::graph_fingerprint(g));
+  InProcessClient client;
+  ASSERT_TRUE(client.call(R"({"op":"load","path":")" + path + R"("})")
+                  .at("ok")
+                  .boolean);
+
+  const auto bad = client.call(R"({"id":9,"op":"solve","graph":")" + fp +
+                               R"(","rhs_seed":1,"backend":"nope"})");
+  EXPECT_FALSE(bad.at("ok").boolean);
+  EXPECT_EQ(bad.at("error").string, "unknown_backend");
+
+  for (const std::string backend : {"fixed_degree", "louvain", "lowdiam"}) {
+    const std::string req = R"({"op":"solve","graph":")" + fp +
+                            R"(","rhs_seed":5,"backend":")" + backend +
+                            R"("})";
+    const auto cold = client.call(req);
+    ASSERT_TRUE(cold.at("ok").boolean) << backend;
+    EXPECT_FALSE(cold.at("cache_hit").boolean) << backend;  // own entry
+    EXPECT_EQ(cold.at("backend").string, backend);
+    EXPECT_TRUE(cold.at("converged").boolean) << backend;
+    const auto warm = client.call(req);
+    ASSERT_TRUE(warm.at("ok").boolean) << backend;
+    EXPECT_TRUE(warm.at("cache_hit").boolean) << backend;
+    EXPECT_EQ(warm.at("solution_fnv").string, cold.at("solution_fnv").string)
+        << backend;
+  }
+
+  // backend_options thread through to the canonical key: a reseeded
+  // low-diameter request is its own cold entry.
+  const auto reseeded = client.call(
+      R"({"op":"solve","graph":")" + fp +
+      R"(","rhs_seed":5,"backend":"lowdiam","backend_options":{"seed":9}})");
+  ASSERT_TRUE(reseeded.at("ok").boolean);
+  EXPECT_FALSE(reseeded.at("cache_hit").boolean);
 }
 
 TEST(ServeServer, HostileRandomRhsCountIsRejectedBeforeAllocating) {

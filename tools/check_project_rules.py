@@ -59,6 +59,14 @@ Rules (each failure prints `path:line: [rule] message` and exits nonzero):
                       tests/ — the serving subsystem is the outermost API
                       boundary and ships nothing untested.
 
+  backend-coverage    Every public header in src/hicond/partition/backends/
+                      must be #included by at least one translation unit
+                      under tests/, and every builtin backend name listed
+                      in kBuiltinBackendNames (backend.cpp) must appear in
+                      the property suite under tests/prop/ — backends are
+                      interchangeable only if each one is driven through
+                      the certify oracle.
+
   syscall-discipline  Direct read/write/readv/writev/pread/pwrite/send/
                       recv/sendto/recvfrom/sendmsg/recvmsg calls are only
                       allowed in serve/wire.{hpp,cpp} and
@@ -394,6 +402,44 @@ def main() -> int:
                         f'"{include_name}" is not included by any test '
                         "under tests/; every serve/ and dynamic/ header "
                         "needs test coverage")
+
+    # --- backend-coverage (cross-file) ----------------------------------
+    # Partitioner backends are interchangeable implementations behind one
+    # interface; interchangeability is only real if every backend is
+    # exercised.  Two obligations: (a) each header under
+    # src/hicond/partition/backends/ is #included by a test TU, and
+    # (b) each builtin backend name (the kBuiltinBackendNames roster in
+    # backend.cpp) appears in the property suite under tests/prop/, which
+    # drives all registered backends through the certify oracle.
+    backends_dir = src / "partition" / "backends"
+    if tests_dir.is_dir() and backends_dir.is_dir():
+        for header in sorted(backends_dir.rglob("*.hpp")):
+            include_name = header.relative_to(root / "src").as_posix()
+            if include_name not in test_includes:
+                err(header, 1, "backend-coverage",
+                    f'"{include_name}" is not included by any test under '
+                    "tests/; every partitioner backend header needs test "
+                    "coverage")
+        registry_cpp = backends_dir / "backend.cpp"
+        roster_match = re.search(
+            r"kBuiltinBackendNames\[\]\s*=\s*\{([^}]*)\}",
+            registry_cpp.read_text(encoding="utf-8"))
+        if roster_match is None:
+            err(registry_cpp, 1, "backend-coverage",
+                "could not locate the kBuiltinBackendNames roster; the "
+                "backend-coverage rule parses it to enforce prop-suite "
+                "coverage")
+        else:
+            roster = re.findall(r'"([^"]+)"', roster_match.group(1))
+            prop_text = "".join(
+                p.read_text(encoding="utf-8")
+                for p in sorted((tests_dir / "prop").rglob("*.cpp")))
+            for name in roster:
+                if name not in prop_text:
+                    err(registry_cpp, 1, "backend-coverage",
+                        f'builtin backend "{name}" never appears in '
+                        "tests/prop/; the property suite must drive every "
+                        "registered backend through the certify oracle")
 
     if errors:
         print("\n".join(errors))

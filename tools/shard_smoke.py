@@ -13,17 +13,22 @@ sharding subsystem's contract:
   3. routing: every solve and batch_solve routed through the router returns
      solution_fnv values byte-identical to the lone server's; warm repeats
      are cache hits with identical bits.
-  4. replication: hammering one fingerprint past the hot threshold mirrors
+  4. backends: solves carrying a partitioner-backend selection route to
+     their own cache entries and stay byte-identical to a lone server
+     running the same session; an unknown backend is rejected; an update
+     against a louvain-built entry declines local repair with
+     "backend_unsupported" and lands via the cold-rebuild fallback.
+  5. replication: hammering one fingerprint past the hot threshold mirrors
      it to its replica position (`replicated` flips in topology).
-  5. supervision: SIGKILLing the worker that owns a slow cold build while
+  6. supervision: SIGKILLing the worker that owns a slow cold build while
      the request is in flight must be invisible to the client -- the router
      respawns the worker, replays its loads, retries the request once, and
      the retried response is still bitwise identical; stats report the
      restart/retry and topology shows a new pid.
-  6. aggregated stats: the fanned-out stats document carries the aggregate
+  7. aggregated stats: the fanned-out stats document carries the aggregate
      cache/requests section, router counters, and one per-worker breakdown
      (including the per-entry cache stats) per live worker.
-  7. shutdown: drains, stops every worker process, exits 0.
+  8. shutdown: drains, stops every worker process, exits 0.
 
 Usage: shard_smoke.py HICOND_ROUTER_BIN HICOND_SERVE_BIN HICOND_TOOL_BIN
                       [WORK_DIR]
@@ -250,6 +255,111 @@ def main():
         "server's",
     )
     print("shard_smoke: routed solves bitwise-identical to lone server")
+
+    # ---- backend-selected solves and the update decline path ---------------
+    # The solve carries the contraction backend in its request line; the
+    # router forwards it verbatim, so the routed response must be
+    # byte-identical to a lone server running the identical session.
+    backend_fp = fingerprints[0]
+    upd_backend = [{"kind": "reweight", "u": 0, "v": 1, "weight": 2.0}]
+    lone = Session([serve_bin])
+    check(
+        lone.call({"op": "load", "path": snaps[0]}).get("ok") is True,
+        "backend-phase lone load failed",
+    )
+    truth_backend = {}
+    for backend in ["louvain", "lowdiam"]:
+        solved = lone.call(
+            {
+                "op": "solve",
+                "graph": backend_fp,
+                "rhs_seed": RHS_SEED,
+                "backend": backend,
+            }
+        )
+        check(
+            solved.get("ok") is True and solved.get("backend") == backend,
+            f"backend-phase lone solve failed: {solved}",
+        )
+        truth_backend[backend] = solved["solution_fnv"]
+    # A louvain-built entry has no local repair: the update must decline
+    # with an explicit reason and land via the cold-rebuild fallback.
+    lone_decl = lone.call(
+        {
+            "op": "update",
+            "graph": backend_fp,
+            "updates": upd_backend,
+            "backend": "louvain",
+        }
+    )
+    check(
+        lone_decl.get("ok") is True
+        and lone_decl.get("repaired") is False
+        and lone_decl.get("decline_reason") == "backend_unsupported",
+        f"lone louvain update did not decline cleanly: {lone_decl}",
+    )
+    shut = lone.call({"op": "shutdown"})
+    check(shut.get("ok") is True, "backend-phase lone shutdown failed")
+    lone.finish()
+
+    for backend in ["louvain", "lowdiam"]:
+        req = {
+            "op": "solve",
+            "graph": backend_fp,
+            "rhs_seed": RHS_SEED,
+            "backend": backend,
+        }
+        cold = router.call(req)
+        check(
+            cold.get("ok") is True and cold.get("backend") == backend,
+            f"routed backend solve failed: {cold}",
+        )
+        check(
+            cold.get("cache_hit") is False,
+            "a backend-selected solve must be its own cache entry",
+        )
+        check(
+            cold["solution_fnv"] == truth_backend[backend],
+            f"routed {backend} solve is not bitwise equal to the lone "
+            f"server: {cold['solution_fnv']} != {truth_backend[backend]}",
+        )
+        warm = router.call(req)
+        check(
+            warm.get("cache_hit") is True
+            and warm["solution_fnv"] == truth_backend[backend],
+            f"routed warm {backend} solve drifted",
+        )
+    bad = router.call(
+        {
+            "op": "solve",
+            "graph": backend_fp,
+            "rhs_seed": RHS_SEED,
+            "backend": "nope",
+        }
+    )
+    check(
+        bad.get("ok") is False and bad.get("error") == "unknown_backend",
+        f"unknown backend not rejected: {bad}",
+    )
+    routed_decl = router.call(
+        {
+            "op": "update",
+            "graph": backend_fp,
+            "updates": upd_backend,
+            "backend": "louvain",
+        }
+    )
+    check(
+        routed_decl.get("ok") is True
+        and routed_decl.get("repaired") is False
+        and routed_decl.get("decline_reason") == "backend_unsupported"
+        and routed_decl.get("new_graph") == lone_decl.get("new_graph"),
+        f"routed louvain update decline diverged: {routed_decl}",
+    )
+    print(
+        "shard_smoke: backend-selected solves bitwise-identical; louvain "
+        "update declined to cold rebuild"
+    )
 
     # ---- hot-set replication ----------------------------------------------
     hot_fp = fingerprints[1]
